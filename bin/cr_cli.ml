@@ -1,0 +1,393 @@
+(* Command-line interface: generate graphs, inspect schemes, route
+   messages, and print the Table 1 reproduction on demand. *)
+open Cmdliner
+open Cr_graph
+open Cr_routing
+open Cr_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let eps_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "eps" ] ~docv:"EPS" ~doc:"Stretch slack parameter eps.")
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "graph"; "g" ] ~docv:"FILE" ~doc:"Graph file (see $(b,generate)).")
+
+let scheme_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "scheme"; "s" ] ~docv:"ID"
+        ~doc:"Scheme id; run $(b,cr_cli schemes) for the list.")
+
+let load_graph path =
+  try Ok (Graph_io.load path) with Failure m -> Error m
+
+let build_scheme ~seed ~eps id g =
+  match Catalog.find id with
+  | None ->
+    Error
+      (Printf.sprintf "unknown scheme %S; known: %s" id
+         (String.concat ", " (Catalog.ids ())))
+  | Some e ->
+    if (not e.Catalog.weighted_ok) && not (Graph.is_unit_weighted g) then
+      Error (Printf.sprintf "scheme %s requires an unweighted graph" id)
+    else begin
+      try Ok (e, e.Catalog.build ~seed ~eps g)
+      with Invalid_argument m -> Error m
+    end
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let family_conv =
+  let families =
+    [ "path"; "cycle"; "grid"; "torus"; "hypercube"; "tree"; "gnp"; "gnm";
+      "ba"; "caveman" ]
+  in
+  Arg.enum (List.map (fun f -> (f, f)) families)
+
+let generate family n seed weights out =
+  let g =
+    match family with
+    | "path" -> Generators.path n
+    | "cycle" -> Generators.cycle n
+    | "grid" ->
+      let s = max 1 (int_of_float (sqrt (float_of_int n))) in
+      Generators.grid s s
+    | "torus" ->
+      let s = max 3 (int_of_float (sqrt (float_of_int n))) in
+      Generators.torus s s
+    | "hypercube" ->
+      let d = max 1 (int_of_float (log (float_of_int n) /. log 2.0)) in
+      Generators.hypercube d
+    | "tree" -> Generators.random_tree ~seed n
+    | "gnp" ->
+      Generators.connect ~seed
+        (Generators.gnp ~seed n (Float.min 1.0 (6.0 /. float_of_int n)))
+    | "gnm" -> Generators.connect ~seed (Generators.gnm ~seed n (3 * n))
+    | "ba" -> Generators.barabasi_albert ~seed n 3
+    | "caveman" ->
+      Generators.caveman ~seed ~cliques:(max 2 (n / 16)) ~size:16 ~rewire:0.1
+    | _ -> assert false
+  in
+  let g =
+    match weights with
+    | None -> g
+    | Some (lo, hi) -> Generators.with_random_weights ~seed ~lo ~hi g
+  in
+  (match out with
+  | None -> print_string (Graph_io.to_string g)
+  | Some path ->
+    Graph_io.save g path;
+    Format.printf "wrote %s: %a@." path Graph.pp g);
+  0
+
+let generate_cmd =
+  let family =
+    Arg.(
+      value
+      & opt family_conv "gnp"
+      & info [ "family"; "f" ] ~docv:"FAMILY" ~doc:"Graph family.")
+  in
+  let n =
+    Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"Vertex count.")
+  in
+  let weights =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' float float)) None
+      & info [ "weights"; "w" ] ~docv:"LO,HI"
+          ~doc:"Draw edge weights uniformly from [LO,HI].")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic graph")
+    Term.(const generate $ family $ n $ seed_arg $ weights $ out)
+
+(* ------------------------------------------------------------------ *)
+(* schemes                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let schemes () =
+  Printf.printf "%-16s %-12s %-16s %s\n" "id" "stretch" "space/vertex" "source";
+  Printf.printf "%s\n" (String.make 76 '-');
+  List.iter
+    (fun (e : Catalog.entry) ->
+      Printf.printf "%-16s %-12s %-16s %s%s\n" e.Catalog.id
+        e.Catalog.paper_stretch e.Catalog.paper_space e.Catalog.source
+        (if e.Catalog.weighted_ok then "" else "  [unweighted only]"))
+    Catalog.all;
+  0
+
+let schemes_cmd =
+  Cmd.v
+    (Cmd.info "schemes" ~doc:"List the available routing schemes")
+    Term.(const schemes $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* route                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let route graph_file scheme src dst seed eps verbose =
+  let g = or_die (load_graph graph_file) in
+  let _e, (inst, (alpha, beta)) = or_die (build_scheme ~seed ~eps scheme g) in
+  if src < 0 || src >= Graph.n g || dst < 0 || dst >= Graph.n g then begin
+    Printf.eprintf "error: endpoints must be in [0, %d)\n" (Graph.n g);
+    exit 1
+  end;
+  let o = inst.Scheme.route ~src ~dst in
+  let d = (Dijkstra.spt g src).Dijkstra.dist.(dst) in
+  Printf.printf "path: %s\n"
+    (String.concat " -> " (List.map string_of_int o.Port_model.path));
+  if verbose then begin
+    (* Per-hop view: the port each vertex used and the link weight. *)
+    let rec hops = function
+      | u :: (v :: _ as rest) ->
+        let p = Option.get (Graph.port_to g u v) in
+        Printf.printf "  at %4d: port %2d -> %4d (weight %g)\n" u p v
+          (Graph.port_weight g u p);
+        hops rest
+      | _ -> ()
+    in
+    hops o.Port_model.path
+  end;
+  Printf.printf "delivered: %b  hops: %d  length: %g  distance: %g\n"
+    (o.Port_model.delivered && o.Port_model.final = dst)
+    o.Port_model.hops o.Port_model.length d;
+  if d > 0.0 && d < infinity then
+    Printf.printf "stretch: %.4f (guarantee: length <= %.3f*d + %g)\n"
+      (o.Port_model.length /. d) alpha beta;
+  Printf.printf "peak header: %d words\n" o.Port_model.header_words_peak;
+  0
+
+let route_cmd =
+  let src = Arg.(required & opt (some int) None & info [ "src" ] ~docv:"U") in
+  let dst = Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"V") in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every hop with its port.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route one message and print the simulated path")
+    Term.(
+      const route $ graph_arg $ scheme_arg $ src $ dst $ seed_arg $ eps_arg
+      $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats graph_file scheme seed eps pairs =
+  let g = or_die (load_graph graph_file) in
+  let e, (inst, (alpha, beta)) = or_die (build_scheme ~seed ~eps scheme g) in
+  Printf.printf "scheme: %s (%s)\n" e.Catalog.id e.Catalog.description;
+  Format.printf "graph:  %a@." Graph.pp g;
+  Printf.printf "tables: max %d words, avg %.1f words, labels max %d words\n"
+    (Scheme.max_table_words inst)
+    (Scheme.avg_table_words inst)
+    (Scheme.max_label_words inst);
+  let apsp = Apsp.compute g in
+  let sampled = Scheme.sample_pairs ~seed ~n:(Graph.n g) ~count:pairs in
+  let ev = Scheme.evaluate inst apsp sampled in
+  Printf.printf "routed %d pairs: failures %d, max stretch %.4f, avg %.4f, p99 %.4f\n"
+    (Array.length ev.Scheme.samples + ev.Scheme.failures)
+    ev.Scheme.failures (Scheme.max_stretch ev) (Scheme.avg_stretch ev)
+    (Scheme.percentile_stretch ev 0.99);
+  Printf.printf "peak header: %d words\n" ev.Scheme.header_words_peak;
+  Printf.printf "guarantee (%.3f, %g): %s\n" alpha beta
+    (if Scheme.within ev ~alpha ~beta then "satisfied" else "VIOLATED");
+  if not (Scheme.within ev ~alpha ~beta) then 1 else 0
+
+let stats_cmd =
+  let pairs =
+    Arg.(
+      value & opt int 2000
+      & info [ "pairs" ] ~docv:"K" ~doc:"Number of sampled source/target pairs.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Preprocess a scheme and report space and stretch")
+    Term.(const stats $ graph_arg $ scheme_arg $ seed_arg $ eps_arg $ pairs)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 n seed eps pairs =
+  let g =
+    Generators.connect ~seed
+      (Generators.gnp ~seed n (Float.min 1.0 (6.0 /. float_of_int n)))
+  in
+  let gw = Generators.with_random_weights ~seed ~lo:1.0 ~hi:8.0 g in
+  Printf.printf "Table 1 reproduction on G(n=%d, m=%d) and a weighted copy.\n\n"
+    (Graph.n g) (Graph.m g);
+  Printf.printf "%-16s %-11s %-16s %9s %9s %9s %6s\n" "scheme" "paper"
+    "space" "max-str" "avg-str" "tbl-max" "ok";
+  Printf.printf "%s\n" (String.make 82 '-');
+  let apsp = Apsp.compute g and apsp_w = Apsp.compute gw in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let graph, oracle = if e.Catalog.weighted_ok then (gw, apsp_w) else (g, apsp) in
+      let inst, (alpha, beta) = e.Catalog.build ~seed ~eps graph in
+      let sampled = Scheme.sample_pairs ~seed ~n:(Graph.n graph) ~count:pairs in
+      let ev = Scheme.evaluate inst oracle sampled in
+      Printf.printf "%-16s %-11s %-16s %9.3f %9.3f %9d %6s\n%!" e.Catalog.id
+        e.Catalog.paper_stretch e.Catalog.paper_space (Scheme.max_stretch ev)
+        (Scheme.avg_stretch ev)
+        (Scheme.max_table_words inst)
+        (if Scheme.within ev ~alpha ~beta then "ok" else "FAIL"))
+    Catalog.all;
+  0
+
+let table1_cmd =
+  let n = Arg.(value & opt int 256 & info [ "n" ] ~docv:"N") in
+  let pairs = Arg.(value & opt int 1000 & info [ "pairs" ] ~docv:"K") in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the Table 1 reproduction on a random graph")
+    Term.(const table1 $ n $ seed_arg $ eps_arg $ pairs)
+
+(* ------------------------------------------------------------------ *)
+(* oracle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let oracle graph_file kind k seed pairs query =
+  let g = or_die (load_graph graph_file) in
+  let name, q, total =
+    match kind with
+    | "tz" ->
+      let o = Cr_baselines.Tz_oracle.preprocess ~seed g ~k in
+      ( Printf.sprintf "tz-oracle k=%d (stretch %d)" k ((2 * k) - 1),
+        Cr_baselines.Tz_oracle.query o,
+        Cr_baselines.Tz_oracle.total_words o )
+    | "pr" ->
+      if not (Graph.is_unit_weighted g) then begin
+        Printf.eprintf "error: the PR (2,1) oracle requires an unweighted graph\n";
+        exit 1
+      end;
+      let o = Cr_baselines.Pr_oracle.preprocess g in
+      ( "pr-oracle (stretch (2,1))",
+        Cr_baselines.Pr_oracle.query o,
+        Cr_baselines.Pr_oracle.total_words o )
+    | _ -> assert false
+  in
+  Printf.printf "%s on %d vertices, total size %d words\n" name (Graph.n g) total;
+  (match query with
+  | Some (u, v) ->
+    let t = Dijkstra.spt g u in
+    Printf.printf "query(%d, %d) = %g   (true distance %g)\n" u v (q u v)
+      t.Dijkstra.dist.(v)
+  | None -> ());
+  if pairs > 0 then begin
+    let apsp = Apsp.compute g in
+    let sampled = Scheme.sample_pairs ~seed ~n:(Graph.n g) ~count:pairs in
+    let worst = ref 1.0 and acc = ref 0.0 and cnt = ref 0 in
+    List.iter
+      (fun (u, v) ->
+        let d = Apsp.dist apsp u v in
+        if d > 0.0 && d < infinity then begin
+          let s = q u v /. d in
+          worst := Float.max !worst s;
+          acc := !acc +. s;
+          incr cnt
+        end)
+      sampled;
+    Printf.printf "sampled %d pairs: max stretch %.4f, avg %.4f\n" !cnt !worst
+      (!acc /. float_of_int (max 1 !cnt))
+  end;
+  0
+
+let oracle_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("tz", "tz"); ("pr", "pr") ]) "tz"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Oracle: $(b,tz) (2k-1) or $(b,pr) (2,1).")
+  in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K") in
+  let pairs = Arg.(value & opt int 1000 & info [ "pairs" ] ~docv:"P") in
+  let query =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' int int)) None
+      & info [ "query" ] ~docv:"U,V" ~doc:"Print one distance estimate.")
+  in
+  Cmd.v
+    (Cmd.info "oracle" ~doc:"Build a distance oracle and query it")
+    Term.(const oracle $ graph_arg $ kind $ k $ seed_arg $ pairs $ query)
+
+(* ------------------------------------------------------------------ *)
+(* spanner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spanner graph_file algo kk out =
+  let g = or_die (load_graph graph_file) in
+  if not (Bfs.is_connected g) then begin
+    Printf.eprintf "error: graph must be connected\n";
+    exit 1
+  end;
+  let h =
+    match algo with
+    | "greedy" -> Spanner.greedy g ~k:kk
+    | "baswana-sen" -> Spanner.baswana_sen ~seed:42 g ~k:kk
+    | _ -> assert false
+  in
+  Printf.printf "(2k-1) = %d spanner via %s: kept %d of %d edges (%.1f%%)\n"
+    ((2 * kk) - 1) algo (Graph.m h) (Graph.m g)
+    (100.0 *. float_of_int (Graph.m h) /. float_of_int (max 1 (Graph.m g)));
+  Printf.printf "measured max stretch: %.4f (bound %d)\n"
+    (Spanner.max_stretch g h)
+    ((2 * kk) - 1);
+  (match out with
+  | None -> ()
+  | Some path ->
+    Graph_io.save h path;
+    Printf.printf "wrote %s\n" path);
+  0
+
+let spanner_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("greedy", "greedy"); ("baswana-sen", "baswana-sen") ]) "greedy"
+      & info [ "algo"; "a" ] ~docv:"ALGO")
+  in
+  let kk = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "spanner" ~doc:"Compute a (2k-1)-spanner of a graph")
+    Term.(const spanner $ graph_arg $ algo $ kk $ out)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "cr_cli" ~version:"1.0.0"
+       ~doc:"Compact routing schemes of Roditty and Tov (PODC'15)")
+    [
+      generate_cmd; schemes_cmd; route_cmd; stats_cmd; table1_cmd; oracle_cmd;
+      spanner_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,73 @@
+(* ISP-style scenario: a two-level topology of access "pods" (dense
+   communities) stitched by a sparse backbone — the kind of network where
+   compact routing tables matter because core routers cannot hold a route
+   per prefix.
+
+   Sweeps the generalized schemes of Theorems 13 and 15 over ell, showing
+   the stretch/space dial the paper exposes, and closes with Theorem 16
+   against its Thorup-Zwick ancestor on a weighted copy.
+
+   Run with: dune exec examples/isp_hierarchy.exe *)
+open Cr_graph
+open Cr_routing
+open Cr_core
+
+let build_topology ~seed =
+  (* 24 pods of 16 routers, plus random backbone shortcuts between pods. *)
+  let pods = Generators.caveman ~seed ~cliques:24 ~size:16 ~rewire:0.0 in
+  let n = Graph.n pods in
+  let st = Random.State.make [| seed; 0xbb |] in
+  let backbone =
+    List.init (n / 8) (fun _ ->
+        let u = Random.State.int st n and v = Random.State.int st n in
+        (u, v, 1.0))
+  in
+  let edges =
+    List.filter (fun (u, v, _) -> u <> v) backbone @ Graph.edges pods
+  in
+  Generators.connect ~seed (Graph.of_edges ~n edges)
+
+let () =
+  let g = build_topology ~seed:37 in
+  Format.printf "ISP topology: %a@." Graph.pp g;
+  let n = Graph.n g in
+  let apsp = Apsp.compute g in
+  let pairs = Scheme.sample_pairs ~seed:41 ~n ~count:3000 in
+  let row name bound inst =
+    let ev = Scheme.evaluate inst apsp pairs in
+    Printf.printf "%-18s %10s %10.0f %10.3f %10.3f\n%!" name bound
+      (Scheme.avg_table_words inst)
+      (Scheme.max_stretch ev) (Scheme.avg_stretch ev)
+  in
+  Printf.printf "%-18s %10s %10s %10s %10s\n" "scheme" "bound" "tbl-avg"
+    "max-str" "avg-str";
+  Printf.printf "%s\n" (String.make 62 '-');
+  (* The generalized dial: more levels = less space, more stretch (plus
+     variant) or more space, less stretch (minus variant). *)
+  List.iter
+    (fun (variant, vname) ->
+      List.iter
+        (fun ell ->
+          let t = Scheme_ptr.preprocess ~eps:0.5 ~seed:43 ~variant ~ell g in
+          let alpha, beta = Scheme_ptr.stretch_bound t in
+          row
+            (Printf.sprintf "ptr-%s l=%d" vname ell)
+            (Printf.sprintf "(%.2f,%g)" alpha beta)
+            (Scheme_ptr.instance t))
+        [ 2; 3 ])
+    [ (`Minus, "minus"); (`Plus, "plus") ];
+  (* Weighted backbone: Theorem 16 vs TZ at k=3. *)
+  let gw = Generators.with_random_weights ~seed:47 ~lo:1.0 ~hi:10.0 g in
+  let apsp_w = Apsp.compute gw in
+  let row_w name bound inst =
+    let ev = Scheme.evaluate inst apsp_w pairs in
+    Printf.printf "%-18s %10s %10.0f %10.3f %10.3f\n%!" name bound
+      (Scheme.avg_table_words inst)
+      (Scheme.max_stretch ev) (Scheme.avg_stretch ev)
+  in
+  Printf.printf "--- weighted backbone ---\n";
+  let tz = Cr_baselines.Tz_routing.preprocess ~seed:53 gw ~k:3 in
+  row_w "tz-k3" "7" (Cr_baselines.Tz_routing.instance tz);
+  let t16 = Scheme4km7.preprocess ~eps:0.5 ~seed:53 gw ~k:3 in
+  let a16, _ = Scheme4km7.stretch_bound t16 in
+  row_w "rt-4km7 k=3" (Printf.sprintf "%.2f" a16) (Scheme4km7.instance t16)

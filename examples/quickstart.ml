@@ -1,0 +1,41 @@
+(* Quickstart: build a graph, preprocess the paper's headline (5+eps)
+   scheme, and route a few messages through the fixed-port simulator.
+
+   Run with: dune exec examples/quickstart.exe *)
+open Cr_graph
+open Cr_routing
+open Cr_core
+
+let () =
+  (* A weighted random network: 200 routers, ~600 links. *)
+  let g =
+    Generators.with_random_weights ~seed:2 ~lo:1.0 ~hi:5.0
+      (Generators.connect ~seed:1 (Generators.gnp ~seed:1 200 0.03))
+  in
+  Format.printf "network: %a@." Graph.pp g;
+
+  (* Preprocess the (5+eps)-stretch scheme of Theorem 11. *)
+  let scheme = Scheme5eps.preprocess ~eps:0.5 ~seed:3 g in
+  let inst = Scheme5eps.instance scheme in
+  Printf.printf "routing tables: max %d words/vertex (full tables: %d)\n"
+    (Scheme.max_table_words inst)
+    (Graph.n g - 1);
+  Printf.printf
+    "(at n=200 the O~ log factors dominate; the n^(1/3) vs n gap opens with\n\
+     n — see the [fig:space-scaling] section of `dune exec bench/main.exe`)\n";
+
+  (* Route some messages; each hop is a local decision at the holding
+     vertex, simulated by the port model. *)
+  let apsp = Apsp.compute g in
+  List.iter
+    (fun (src, dst) ->
+      let o = inst.Scheme.route ~src ~dst in
+      Printf.printf "%3d -> %3d: %2d hops, length %6.2f, true distance %6.2f, stretch %.3f\n"
+        src dst o.Port_model.hops o.Port_model.length
+        (Apsp.dist apsp src dst)
+        (Apsp.stretch apsp ~src ~dst ~length:o.Port_model.length))
+    [ (0, 199); (17, 101); (42, 180); (5, 5); (150, 3) ];
+
+  (* The guarantee behind those numbers. *)
+  let alpha, beta = Scheme5eps.stretch_bound scheme in
+  Printf.printf "guarantee: every path is <= %.2f * d + %g\n" alpha beta

@@ -1,0 +1,60 @@
+(* Wireless-mesh scenario: a random geometric graph (radio nodes in the
+   unit square, links weighted by distance) — the topology class compact
+   routing was originally motivated by, with Theta(sqrt n) diameter.
+
+   Shows the full toolbox on one network: the (5+eps) scheme of Theorem 11
+   against Thorup-Zwick k=3, the (2,1) Patrascu-Roditty oracle on the unit-
+   weight version, and a traced route.
+
+   Run with: dune exec examples/wireless_mesh.exe *)
+open Cr_graph
+open Cr_routing
+open Cr_core
+
+let () =
+  (* Keep drawing until the placement is connected (radius ~ the known
+     connectivity threshold sqrt(log n / n) with slack). *)
+  let n = 350 in
+  let rec make seed =
+    let g = Generators.random_geometric ~seed n ~radius:0.11 in
+    if Bfs.is_connected g then g else make (seed + 1)
+  in
+  let g = make 1 in
+  Format.printf "mesh: %a, avg degree %.1f@." Graph.pp g (Graph.avg_degree g);
+
+  let apsp = Apsp.compute g in
+  let pairs = Scheme.sample_pairs ~seed:5 ~n ~count:3000 in
+  Printf.printf "%-12s %10s %10s %10s\n" "scheme" "tbl-avg" "max-str" "avg-str";
+  Printf.printf "%s\n" (String.make 44 '-');
+  let row name inst =
+    let ev = Scheme.evaluate inst apsp pairs in
+    Printf.printf "%-12s %10.0f %10.3f %10.3f\n%!" name
+      (Scheme.avg_table_words inst)
+      (Scheme.max_stretch ev) (Scheme.avg_stretch ev)
+  in
+  row "tz-k3" (Cr_baselines.Tz_routing.instance (Cr_baselines.Tz_routing.preprocess ~seed:7 g ~k:3));
+  let t11 = Scheme5eps.preprocess ~eps:0.5 ~seed:7 g in
+  row "rt-5eps" (Scheme5eps.instance t11);
+
+  (* The centralized comparison point on the hop-count metric. *)
+  let unit = Graph.unit_weighted g in
+  let pr = Cr_baselines.Pr_oracle.preprocess unit in
+  let hop_apsp = Apsp.compute unit in
+  let worst = ref 1.0 in
+  List.iter
+    (fun (u, v) ->
+      let d = Apsp.dist hop_apsp u v in
+      if d > 0.0 then
+        worst := Float.max !worst (Cr_baselines.Pr_oracle.query pr u v /. d))
+    pairs;
+  Printf.printf "pr-oracle on hop counts: worst query stretch %.3f (bound 2d+1)\n"
+    !worst;
+
+  (* One traced message. *)
+  let inst = Scheme5eps.instance t11 in
+  let o = inst.Scheme.route ~src:0 ~dst:(n - 1) in
+  Printf.printf "route 0 -> %d: %d hops, length %.3f, true %.3f\n" (n - 1)
+    o.Port_model.hops o.Port_model.length
+    (Apsp.dist apsp 0 (n - 1));
+  Printf.printf "path: %s\n"
+    (String.concat " -> " (List.map string_of_int o.Port_model.path))

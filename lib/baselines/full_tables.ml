@@ -1,0 +1,49 @@
+open Cr_graph
+open Cr_routing
+
+type t = {
+  graph : Graph.t;
+  next_port : int array array; (* next_port.(u).(v) = port of u toward v *)
+}
+
+let preprocess g =
+  if not (Bfs.is_connected g) then
+    invalid_arg "Full_tables.preprocess: graph must be connected";
+  let n = Graph.n g in
+  (* The SPT from v gives, at every u, the first edge toward v by walking
+     u's parent pointer (the tree is rooted at v). *)
+  let next_port = Array.make_matrix n n (-1) in
+  for v = 0 to n - 1 do
+    let t = Dijkstra.spt g v in
+    for u = 0 to n - 1 do
+      if u <> v then begin
+        let p = t.Dijkstra.parent.(u) in
+        match Graph.port_to g u p with
+        | Some port -> next_port.(u).(v) <- port
+        | None -> assert false
+      end
+    done
+  done;
+  { graph = g; next_port }
+
+let step t ~at dst =
+  if at = dst then Port_model.Deliver
+  else Port_model.Forward (t.next_port.(at).(dst), dst)
+
+let route t ~src ~dst =
+  Port_model.run t.graph ~src ~header:dst
+    ~step:(fun ~at h -> step t ~at h)
+    ~header_words:(fun _ -> 1)
+    ()
+
+let instance t =
+  let n = Graph.n t.graph in
+  {
+    Scheme.name = "full-tables";
+    graph = t.graph;
+    route = (fun ~src ~dst -> route t ~src ~dst);
+    table_words = Array.make n (max 0 (n - 1));
+    label_words = Array.make n 1;
+  }
+
+let stretch_bound _ = (1.0, 0.0)

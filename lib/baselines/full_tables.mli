@@ -1,0 +1,18 @@
+open Cr_graph
+open Cr_routing
+
+(** The trivial stretch-1 baseline: every vertex stores the next-hop port of
+    a shortest path toward every destination ([Theta(n)] words per vertex).
+    Anchors the space axis of the Table 1 reproduction. *)
+
+type t
+
+val preprocess : Graph.t -> t
+(** @raise Invalid_argument if the graph is disconnected. *)
+
+val route : t -> src:int -> dst:int -> Port_model.outcome
+
+val instance : t -> Scheme.instance
+
+val stretch_bound : t -> float * float
+(** [(1, 0)] — routing is exact. *)

@@ -1,0 +1,66 @@
+open Cr_graph
+open Cr_routing
+
+type t = {
+  vic : Vicinity.t array;
+  center_index : (int, int) Hashtbl.t; (* a -> row in center_dist *)
+  center_dist : float array array;     (* center_dist.(row).(v) = d(a, v) *)
+  nearest_center : int array;          (* the A-vertex of B(u, l) closest to u *)
+}
+
+let stretch _ = (2.0, 1.0)
+
+let preprocess ?(vicinity_factor = 1.0) g =
+  if not (Bfs.is_connected g) then
+    invalid_arg "Pr_oracle.preprocess: graph must be connected";
+  if not (Graph.is_unit_weighted g) then
+    invalid_arg "Pr_oracle.preprocess: the (2,1) bound addresses unweighted graphs";
+  let n = Graph.n g in
+  let q = max 1 (int_of_float (Float.round (float_of_int n ** (1.0 /. 3.0)))) in
+  let log2n = Float.max 1.0 (log (float_of_int n) /. log 2.0) in
+  let l = min n (max 2 (int_of_float (ceil (vicinity_factor *. float_of_int q *. log2n)))) in
+  let vic = Vicinity.compute_all g l in
+  let centers =
+    Hitting_set.greedy ~n (Array.to_list (Array.map Vicinity.members vic))
+  in
+  let center_index = Hashtbl.create (2 * List.length centers) in
+  List.iteri (fun i a -> Hashtbl.replace center_index a i) centers;
+  let center_dist =
+    Array.of_list (List.map (fun a -> (Dijkstra.spt g a).Dijkstra.dist) centers)
+  in
+  let nearest_center =
+    Array.init n (fun u ->
+        match Vicinity.nearest_of vic.(u) (Hashtbl.mem center_index) with
+        | Some a -> a
+        | None -> invalid_arg "Pr_oracle: hitting set misses a vicinity")
+  in
+  { vic; center_index; center_dist; nearest_center }
+
+let center_d t a v = t.center_dist.(Hashtbl.find t.center_index a).(v)
+
+let query t u v =
+  if u = v then 0.0
+  else begin
+    (* Candidate 1: cheapest witness in B(u) ∩ B(v). *)
+    let best = ref infinity in
+    Array.iter
+      (fun w ->
+        if Vicinity.mem t.vic.(v) w then begin
+          let s = Vicinity.dist t.vic.(u) w +. Vicinity.dist t.vic.(v) w in
+          if s < !best then best := s
+        end)
+      (Vicinity.members t.vic.(u));
+    (* Candidate 2: the detour through either nearest center. *)
+    let au = t.nearest_center.(u) and av = t.nearest_center.(v) in
+    let c2 = Vicinity.dist t.vic.(u) au +. center_d t au v in
+    let c3 = Vicinity.dist t.vic.(v) av +. center_d t av u in
+    Float.min !best (Float.min c2 c3)
+  end
+
+let total_words t =
+  let vic_words =
+    Array.fold_left (fun acc b -> acc + (2 * Vicinity.size b)) 0 t.vic
+  in
+  let rows = Array.length t.center_dist in
+  let n = Array.length t.nearest_center in
+  vic_words + (rows * n) + n

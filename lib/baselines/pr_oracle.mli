@@ -1,0 +1,26 @@
+open Cr_graph
+
+(** The Patrascu–Roditty [(2,1)]-stretch distance oracle for unweighted
+    graphs (FOCS'10 / SICOMP'14) — the structure Theorem 10 "almost
+    matches" on the routing side. [O~(n^(5/3))] total space.
+
+    Construction: vicinities [B(u, l)] with [l ~ n^(1/3)], a hitting set
+    [A] of the vicinities, and all [n x |A|] center distances. A query
+    takes the best of (a) the cheapest common vicinity witness and (b) the
+    detour through either endpoint's nearest center: if the vicinity radii
+    overlap along a shortest path the witness is exact, otherwise the
+    smaller radius is at most [(d-1)/2] and the detour costs at most
+    [2d + 1]. *)
+
+type t
+
+val preprocess : ?vicinity_factor:float -> Graph.t -> t
+(** @raise Invalid_argument if the graph is disconnected or weighted. *)
+
+val query : t -> int -> int -> float
+(** [query t u v] is an estimate [d'] with [d <= d' <= 2d + 1]. *)
+
+val total_words : t -> int
+
+val stretch : t -> float * float
+(** [(2, 1)]. *)

@@ -1,0 +1,87 @@
+open Cr_graph
+open Cr_routing
+
+type t = {
+  k : int;
+  in_set : bool array array;
+  level : int array;
+  dist : float array array;
+  p : int array array;
+}
+
+let build ~seed ?a1_target g ~k =
+  if k < 2 then invalid_arg "Tz_hierarchy.build: need k >= 2";
+  if not (Bfs.is_connected g) then
+    invalid_arg "Tz_hierarchy.build: graph must be connected";
+  let n = Graph.n g in
+  let st = Random.State.make [| seed; 0x747a |] in
+  let in_set = Array.init k (fun _ -> Array.make n false) in
+  (* A_0 = V. *)
+  Array.iteri (fun v _ -> in_set.(0).(v) <- true) in_set.(0);
+  (* A_1 by Lemma 4 sampling: level-0 clusters bounded by 4 n^(1/k). *)
+  if k >= 2 then begin
+    let target =
+      match a1_target with
+      | Some s -> s
+      | None ->
+        max 1
+          (int_of_float
+             (Float.round (float_of_int n ** (1.0 -. (1.0 /. float_of_int k)))))
+    in
+    let c = Centers.sample ~seed g ~target in
+    Array.iter (fun a -> in_set.(1).(a) <- true) c.Centers.centers
+  end;
+  (* Further levels by independent sampling with probability n^(-1/k). *)
+  let prob = float_of_int n ** (-1.0 /. float_of_int k) in
+  for i = 2 to k - 1 do
+    for v = 0 to n - 1 do
+      if in_set.(i - 1).(v) && Random.State.float st 1.0 < prob then
+        in_set.(i).(v) <- true
+    done
+  done;
+  (* Nonempty A_{k-1}: force-keep the lowest-id member of A_{k-2}. *)
+  for i = 1 to k - 1 do
+    if not (Array.exists Fun.id in_set.(i)) then begin
+      let rec first v = if in_set.(i - 1).(v) then v else first (v + 1) in
+      in_set.(i).(first 0) <- true
+    end
+  done;
+  let level = Array.make n 0 in
+  for i = 1 to k - 1 do
+    Array.iteri (fun v m -> if m then level.(v) <- i) in_set.(i)
+  done;
+  (* Distances and nearest centers per level. *)
+  let dist = Array.make (k + 1) [||] in
+  let p = Array.make k [||] in
+  dist.(k) <- Array.make n infinity;
+  for i = 0 to k - 1 do
+    let members =
+      Array.to_list (Array.mapi (fun v m -> if m then v else -1) in_set.(i))
+      |> List.filter (fun v -> v >= 0)
+    in
+    let m = Dijkstra.multi_source g members in
+    dist.(i) <- m.Dijkstra.dist_to_set;
+    p.(i) <- m.Dijkstra.nearest
+  done;
+  (* TZ tie rule, applied top-down. *)
+  for i = k - 2 downto 0 do
+    for v = 0 to n - 1 do
+      if dist.(i).(v) = dist.(i + 1).(v) then p.(i).(v) <- p.(i + 1).(v)
+    done
+  done;
+  { k; in_set; level; dist; p }
+
+let cluster g t w =
+  let lim = t.dist.(t.level.(w) + 1) in
+  Dijkstra.restricted g w ~limit:(fun v -> lim.(v))
+
+let bunches g t =
+  let n = Graph.n g in
+  let acc = Array.make n [] in
+  for w = 0 to n - 1 do
+    let c = cluster g t w in
+    Array.iter
+      (fun v -> acc.(v) <- (w, c.Dijkstra.dist.(v)) :: acc.(v))
+      c.Dijkstra.order
+  done;
+  Array.map List.rev acc

@@ -1,0 +1,32 @@
+open Cr_graph
+
+(** The Thorup–Zwick center hierarchy [A_0 ⊇ A_1 ⊇ ... ⊇ A_{k-1}], [A_k = ∅],
+    shared by the (4k-5) routing scheme, the (2k-1) distance oracle, and the
+    paper's Theorem 16.
+
+    [p_i(v)] is the nearest [A_i]-vertex under the TZ tie rule (if
+    [d(v, A_i) = d(v, A_{i+1})] then [p_i(v) = p_{i+1}(v)]), which guarantees
+    [v ∈ C(p_i(v))] for every level. *)
+
+type t = {
+  k : int;
+  in_set : bool array array;  (** [in_set.(i).(v)]: is [v ∈ A_i]? [i < k]. *)
+  level : int array;          (** largest [i] with [v ∈ A_i]. *)
+  dist : float array array;   (** [dist.(i).(v) = d(v, A_i)]; [dist.(k)] is all-infinity. *)
+  p : int array array;        (** [p.(i).(v) = p_i(v)] under the tie rule. *)
+}
+
+val build : seed:int -> ?a1_target:int -> Graph.t -> k:int -> t
+(** [build ~seed g ~k] samples the hierarchy: [A_1] by Lemma 4 (target
+    [a1_target], default [n^(1-1/k)]) so level-0 clusters are
+    [O(n^(1/k))]-sized — the (4k-5) refinement — and each further level by
+    independent [n^(-1/k)] sampling, forcing [A_{k-1}] nonempty.
+    @raise Invalid_argument if [k < 2] or [g] is disconnected. *)
+
+val cluster : Graph.t -> t -> int -> Dijkstra.tree
+(** [cluster g t w] is the TZ cluster of [w] at [w]'s own level:
+    [{ v | d(w,v) < d(v, A_{level(w)+1}) }], with its shortest-path tree. *)
+
+val bunches : Graph.t -> t -> (int * float) list array
+(** [bunches g t].(v) lists [(w, d(w,v))] for every [w] with [v ∈ C(w)] —
+    the TZ bunch of [v], with distances. *)

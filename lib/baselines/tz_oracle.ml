@@ -1,0 +1,67 @@
+open Cr_graph
+
+type t = {
+  k : int;
+  p : int array array;          (* p.(i).(v), i = 0..k-1 *)
+  d_p : float array array;      (* d_p.(i).(v) = d(v, p_i(v)) *)
+  bunch : (int, float) Hashtbl.t array; (* B(v) with distances *)
+}
+
+let k t = t.k
+
+let stretch t = float_of_int ((2 * t.k) - 1)
+
+(* Reuses the routing hierarchy; the (2k-1) query bound holds for any
+   nested hierarchy, with or without the Lemma 4 refinement of A_1. *)
+let preprocess ~seed g ~k =
+  if k < 1 then invalid_arg "Tz_oracle.preprocess: need k >= 1";
+  if not (Bfs.is_connected g) then
+    invalid_arg "Tz_oracle.preprocess: graph must be connected";
+  let n = Graph.n g in
+  if k = 1 then begin
+    (* Exact distances: bunches are the whole graph. *)
+    let bunch = Array.init n (fun _ -> Hashtbl.create (2 * n)) in
+    for w = 0 to n - 1 do
+      let tr = Dijkstra.spt g w in
+      for v = 0 to n - 1 do
+        Hashtbl.replace bunch.(v) w tr.Dijkstra.dist.(v)
+      done
+    done;
+    {
+      k;
+      p = [| Array.init n Fun.id |];
+      d_p = [| Array.make n 0.0 |];
+      bunch;
+    }
+  end
+  else begin
+    let h = Tz_hierarchy.build ~seed g ~k in
+    let bunch = Array.init n (fun _ -> Hashtbl.create 8) in
+    Array.iteri
+      (fun v ws -> List.iter (fun (w, d) -> Hashtbl.replace bunch.(v) w d) ws)
+      (Tz_hierarchy.bunches g h);
+    let d_p =
+      Array.init k (fun i ->
+          Array.init n (fun v -> h.Tz_hierarchy.dist.(i).(v)))
+    in
+    { k; p = Array.sub h.Tz_hierarchy.p 0 k; d_p; bunch }
+  end
+
+let query t u v =
+  if u = v then 0.0
+  else begin
+    (* TZ query: climb levels, swapping endpoints, until the pivot of one
+       endpoint lies in the other's bunch. *)
+    let rec climb i u v w =
+      match Hashtbl.find_opt t.bunch.(v) w with
+      | Some dwv -> t.d_p.(i).(u) +. dwv
+      | None -> climb (i + 1) v u t.p.(i + 1).(v)
+    in
+    climb 0 u v u
+  end
+
+let total_words t =
+  let bunch_words =
+    Array.fold_left (fun acc b -> acc + (2 * Hashtbl.length b)) 0 t.bunch
+  in
+  bunch_words + (2 * t.k * Array.length t.bunch)

@@ -1,0 +1,21 @@
+open Cr_graph
+
+(** The Thorup–Zwick [(2k-1)]-stretch approximate distance oracle
+    (J. ACM 2005) — the centralized structure the paper's routing schemes
+    are measured against. [O(k n^(1+1/k))] total space, [O(k)] query time. *)
+
+type t
+
+val preprocess : seed:int -> Graph.t -> k:int -> t
+(** @raise Invalid_argument if [k < 1] or the graph is disconnected. *)
+
+val query : t -> int -> int -> float
+(** [query t u v] is an estimate [d'] with [d <= d' <= (2k-1) d]. *)
+
+val total_words : t -> int
+(** Total oracle size in words (bunch distances + pivot lists). *)
+
+val k : t -> int
+
+val stretch : t -> float
+(** [2k - 1]. *)

@@ -1,0 +1,190 @@
+open Cr_graph
+open Cr_routing
+
+type t = {
+  graph : Graph.t;
+  k : int;
+  h : Tz_hierarchy.t;
+  trees : Tree_routing.t option array; (* T(w) for every w (None if C(w) = ∅) *)
+  in_bunch : (int, unit) Hashtbl.t array; (* membership hash of B(u) *)
+  home_labels : (int, Tree_routing.label) Hashtbl.t array;
+      (* at u ∉ A_1: member -> label in T(u) *)
+  table_words : int array;
+  label_words : int array;
+}
+
+(* Label of v: for each level i, p_i(v) and v's label in T(p_i(v)). *)
+type label = { vertex : int; pivots : (int * Tree_routing.label) array }
+
+type header = { lbl : label; root : int } (* riding T(root) *)
+
+let k t = t.k
+
+let hierarchy t = t.h
+
+let stretch_bound t = (float_of_int ((4 * t.k) - 5), 0.0)
+
+let label_of t v =
+  {
+    vertex = v;
+    pivots =
+      Array.init t.k (fun i ->
+          let p = t.h.Tz_hierarchy.p.(i).(v) in
+          match t.trees.(p) with
+          | Some tr -> (p, Tree_routing.label tr v)
+          | None -> assert false (* v ∈ C(p_i(v)) so the tree exists *));
+  }
+
+let preprocess ?a1_target ~seed g ~k =
+  let n = Graph.n g in
+  let h = Tz_hierarchy.build ~seed ?a1_target g ~k in
+  let trees = Array.make n None in
+  let members_of = Array.make n [||] in
+  for w = 0 to n - 1 do
+    let c = Tz_hierarchy.cluster g h w in
+    members_of.(w) <- c.Dijkstra.order;
+    if Array.length c.Dijkstra.order > 0 then
+      trees.(w) <- Some (Tree_routing.of_tree g c)
+  done;
+  let in_bunch = Array.init n (fun _ -> Hashtbl.create 8) in
+  for w = 0 to n - 1 do
+    Array.iter (fun v -> Hashtbl.replace in_bunch.(v) w ()) members_of.(w)
+  done;
+  let home_labels = Array.init n (fun _ -> Hashtbl.create 1) in
+  for u = 0 to n - 1 do
+    if not h.Tz_hierarchy.in_set.(1).(u) then begin
+      match trees.(u) with
+      | None -> ()
+      | Some tr ->
+        Array.iter
+          (fun v -> Hashtbl.replace home_labels.(u) v (Tree_routing.label tr v))
+          members_of.(u)
+    end
+  done;
+  let table_words = Array.make n 0 in
+  for u = 0 to n - 1 do
+    let bunch_words = 8 * Hashtbl.length in_bunch.(u) in
+    (* per tree: 7-word record + 1 word of bunch hash *)
+    let home_words =
+      Hashtbl.fold
+        (fun _ lbl acc -> acc + 1 + Tree_routing.label_words lbl)
+        home_labels.(u) 0
+    in
+    table_words.(u) <- bunch_words + home_words + k
+  done;
+  let label_words = Array.make n 0 in
+  let t =
+    { graph = g; k; h; trees; in_bunch; home_labels; table_words; label_words }
+  in
+  for v = 0 to n - 1 do
+    let l = label_of t v in
+    label_words.(v) <-
+      1
+      + Array.fold_left
+          (fun acc (_, tl) -> acc + 1 + Tree_routing.label_words tl)
+          0 l.pivots
+  done;
+  t
+
+let header_words h =
+  2
+  + Array.fold_left
+      (fun acc (_, tl) -> acc + 1 + Tree_routing.label_words tl)
+      0 h.lbl.pivots
+
+let step t ~at h =
+  match t.trees.(h.root) with
+  | None -> invalid_arg "Tz_routing.step: empty tree"
+  | Some tr -> (
+    (* The destination's tree label for the chosen root, from its label. *)
+    let lbl =
+      let rec find i =
+        if i >= Array.length h.lbl.pivots then
+          invalid_arg "Tz_routing.step: root not among pivots"
+        else begin
+          let p, l = h.lbl.pivots.(i) in
+          if p = h.root then l else find (i + 1)
+        end
+      in
+      find 0
+    in
+    match Tree_routing.step tr ~at lbl with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+
+(* The source decision: its own cluster if it stores v's label (the 4k-5
+   refinement), else the lowest level whose pivot's cluster contains u. *)
+let initial_header t ~src lbl =
+  let v = lbl.vertex in
+  match Hashtbl.find_opt t.home_labels.(src) v with
+  | Some _ -> { lbl; root = src }
+  | None ->
+    let rec find i =
+      if i >= t.k then invalid_arg "Tz_routing: no usable pivot"
+      else begin
+        let p, _ = lbl.pivots.(i) in
+        if p = src || Hashtbl.mem t.in_bunch.(src) p then { lbl; root = p }
+        else find (i + 1)
+      end
+    in
+    find 0
+
+(* Home-cluster routing uses the label stored at the source, not the
+   destination label; splice it into the header's pivot list so the relay
+   vertices can keep routing. *)
+let step_home t ~at (lbl_home : Tree_routing.label) root dst =
+  match t.trees.(root) with
+  | None -> invalid_arg "Tz_routing.step_home: empty tree"
+  | Some tr -> (
+    match Tree_routing.step tr ~at lbl_home with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, (lbl_home, root, dst)))
+
+let route t ~src ~dst =
+  if src = dst then
+    Port_model.run t.graph ~src ~header:()
+      ~step:(fun ~at:_ () -> Port_model.Deliver)
+      ~header_words:(fun () -> 0)
+      ()
+  else
+    match Hashtbl.find_opt t.home_labels.(src) dst with
+    | Some lbl_home ->
+      Port_model.run t.graph ~src ~header:(lbl_home, src, dst)
+        ~step:(fun ~at (l, r, d) -> step_home t ~at l r d)
+        ~header_words:(fun (l, _, _) -> 2 + Tree_routing.label_words l)
+        ()
+    | None ->
+      let header = initial_header t ~src (label_of t dst) in
+      Port_model.run t.graph ~src ~header
+        ~step:(fun ~at h -> step t ~at h)
+        ~header_words ()
+
+let tree t w = t.trees.(w)
+
+let bunch_mem t u w = Hashtbl.mem t.in_bunch.(u) w
+
+let home_label t u v = Hashtbl.find_opt t.home_labels.(u) v
+
+let table_words t = t.table_words
+
+let base_label_words t = t.label_words
+
+let label_bits t v =
+  let n = Graph.n t.graph in
+  let id_bits = Cr_routing.Bits.bits_for n in
+  let l = label_of t v in
+  Array.fold_left
+    (fun acc (p, _) ->
+      match t.trees.(p) with
+      | Some tr -> acc + id_bits + Tree_routing.label_bits tr v
+      | None -> acc)
+    id_bits l.pivots
+
+let instance t =
+  {
+    Scheme.name = Printf.sprintf "thorup-zwick-k%d" t.k;
+    graph = t.graph;
+    route = (fun ~src ~dst -> route t ~src ~dst);
+    table_words = t.table_words;
+    label_words = t.label_words;
+  }

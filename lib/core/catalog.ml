@@ -1,0 +1,177 @@
+open Cr_routing
+open Cr_baselines
+
+type entry = {
+  id : string;
+  description : string;
+  paper_stretch : string;
+  paper_space : string;
+  source : string;
+  weighted_ok : bool;
+  build :
+    seed:int -> eps:float -> Cr_graph.Graph.t -> Scheme.instance * (float * float);
+}
+
+let all =
+  [
+    {
+      id = "full";
+      description = "shortest-path routing with full tables";
+      paper_stretch = "1";
+      paper_space = "n";
+      source = "folklore";
+      weighted_ok = true;
+      build =
+        (fun ~seed:_ ~eps:_ g ->
+          let t = Full_tables.preprocess g in
+          (Full_tables.instance t, Full_tables.stretch_bound t));
+    };
+    {
+      id = "tz-k2";
+      description = "Thorup-Zwick compact routing, k=2";
+      paper_stretch = "3";
+      paper_space = "n^1/2";
+      source = "Thorup-Zwick SPAA'01";
+      weighted_ok = true;
+      build =
+        (fun ~seed ~eps:_ g ->
+          let t = Tz_routing.preprocess ~seed g ~k:2 in
+          (Tz_routing.instance t, Tz_routing.stretch_bound t));
+    };
+    {
+      id = "tz-k3";
+      description = "Thorup-Zwick compact routing, k=3";
+      paper_stretch = "7";
+      paper_space = "n^1/3";
+      source = "Thorup-Zwick SPAA'01";
+      weighted_ok = true;
+      build =
+        (fun ~seed ~eps:_ g ->
+          let t = Tz_routing.preprocess ~seed g ~k:3 in
+          (Tz_routing.instance t, Tz_routing.stretch_bound t));
+    };
+    {
+      id = "tz-k4";
+      description = "Thorup-Zwick compact routing, k=4";
+      paper_stretch = "11";
+      paper_space = "n^1/4";
+      source = "Thorup-Zwick SPAA'01";
+      weighted_ok = true;
+      build =
+        (fun ~seed ~eps:_ g ->
+          let t = Tz_routing.preprocess ~seed g ~k:4 in
+          (Tz_routing.instance t, Tz_routing.stretch_bound t));
+    };
+    {
+      id = "rt-3eps";
+      description = "Roditty-Tov warm-up (3+eps)-stretch scheme";
+      paper_stretch = "3+eps";
+      paper_space = "n^1/2 / eps";
+      source = "paper Section 4";
+      weighted_ok = true;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme3eps.preprocess ~eps ~seed g in
+          (Scheme3eps.instance t, Scheme3eps.stretch_bound t));
+    };
+    {
+      id = "rt-3eps-ni";
+      description = "Roditty-Tov name-independent (3+eps)-stretch scheme";
+      paper_stretch = "3+eps";
+      paper_space = "n^1/2 / eps";
+      source = "paper Section 4 (remark)";
+      weighted_ok = true;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme_ni.preprocess ~eps ~seed g in
+          (Scheme_ni.instance t, Scheme_ni.stretch_bound t));
+    };
+    {
+      id = "rt-2eps1";
+      description = "Roditty-Tov (2+eps,1)-stretch scheme (Theorem 10)";
+      paper_stretch = "(2+eps,1)";
+      paper_space = "n^2/3 / eps";
+      source = "paper Theorem 10";
+      weighted_ok = false;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme2eps1.preprocess ~eps ~seed g in
+          (Scheme2eps1.instance t, Scheme2eps1.stretch_bound t));
+    };
+    {
+      id = "rt-5eps";
+      description = "Roditty-Tov (5+eps)-stretch scheme (Theorem 11)";
+      paper_stretch = "5+eps";
+      paper_space = "n^1/3 logD / eps";
+      source = "paper Theorem 11";
+      weighted_ok = true;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme5eps.preprocess ~eps ~seed g in
+          (Scheme5eps.instance t, Scheme5eps.stretch_bound t));
+    };
+    {
+      id = "rt-ptr-minus-l3";
+      description = "Roditty-Tov (2 1/3+eps,2)-stretch scheme (Theorem 13, l=3)";
+      paper_stretch = "(2 1/3+eps,2)";
+      paper_space = "n^3/5 / eps";
+      source = "paper Theorem 13";
+      weighted_ok = false;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme_ptr.preprocess ~eps ~seed ~variant:`Minus ~ell:3 g in
+          (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
+    };
+    {
+      id = "rt-ptr-minus-l2";
+      description = "Roditty-Tov (2+eps,2)-stretch scheme (Theorem 13, l=2)";
+      paper_stretch = "(2+eps,2)";
+      paper_space = "n^2/3 / eps";
+      source = "paper Theorem 13";
+      weighted_ok = false;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme_ptr.preprocess ~eps ~seed ~variant:`Minus ~ell:2 g in
+          (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
+    };
+    {
+      id = "rt-ptr-plus-l2";
+      description = "Roditty-Tov (4+eps,2)-stretch scheme (Theorem 15, l=2)";
+      paper_stretch = "(4+eps,2)";
+      paper_space = "n^2/5 / eps";
+      source = "paper Theorem 15";
+      weighted_ok = false;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme_ptr.preprocess ~eps ~seed ~variant:`Plus ~ell:2 g in
+          (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
+    };
+    {
+      id = "rt-4km7-k3";
+      description = "Roditty-Tov (5+eps)-stretch via Theorem 16, k=3";
+      paper_stretch = "5+eps";
+      paper_space = "n^1/3 logD / eps";
+      source = "paper Theorem 16";
+      weighted_ok = true;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme4km7.preprocess ~eps ~seed g ~k:3 in
+          (Scheme4km7.instance t, Scheme4km7.stretch_bound t));
+    };
+    {
+      id = "rt-4km7-k4";
+      description = "Roditty-Tov (9+eps)-stretch scheme (Theorem 16, k=4)";
+      paper_stretch = "9+eps";
+      paper_space = "n^1/4 logD / eps";
+      source = "paper Theorem 16";
+      weighted_ok = true;
+      build =
+        (fun ~seed ~eps g ->
+          let t = Scheme4km7.preprocess ~eps ~seed g ~k:4 in
+          (Scheme4km7.instance t, Scheme4km7.stretch_bound t));
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,27 @@
+open Cr_graph
+open Cr_routing
+
+(** A uniform catalog of every routing scheme in the repository — the
+    paper's five schemes and the implemented baselines — keyed by short ids.
+    Drives the CLI, the benchmark harness and the examples. *)
+
+type entry = {
+  id : string;                 (** e.g. ["rt-5eps"], ["tz-k2"] *)
+  description : string;
+  paper_stretch : string;      (** stretch claimed in the paper / Table 1 *)
+  paper_space : string;        (** per-vertex table bound, e.g. ["n^2/3"] *)
+  source : string;             (** where the scheme comes from *)
+  weighted_ok : bool;          (** accepts weighted graphs? *)
+  build :
+    seed:int -> eps:float -> Graph.t -> Scheme.instance * (float * float);
+      (** preprocess and return the instance with its proven
+          [(alpha, beta)] guarantee at this [eps] *)
+}
+
+val all : entry list
+(** Every scheme, ordered as in the paper's Table 1. *)
+
+val find : string -> entry option
+(** Look up an entry by id. *)
+
+val ids : unit -> string list

@@ -1,0 +1,268 @@
+open Cr_graph
+open Cr_routing
+
+type t = {
+  graph : Graph.t;
+  eps : float;
+  vic : Vicinity.t array;
+  centers : Centers.t;
+  cluster_trees : (int, Tree_routing.t) Hashtbl.t;
+      (* w -> T_{C_A(w)}, for nonempty clusters *)
+  cluster_labels : (int, (int, Tree_routing.label) Hashtbl.t) Hashtbl.t;
+      (* w -> (v in C_A(w) -> label of v in T_{C_A(w)}), stored at w *)
+  global_trees : (int, Tree_routing.t) Hashtbl.t; (* a in A -> T(a) *)
+  witness : (int, int) Hashtbl.t array;
+      (* witness.(u) : v -> best w in B(u,q~) ∩ B_A(v) *)
+  coloring : Coloring.t;
+  reps : (int * float) array array;
+  lemma7 : Seq_routing.t;
+  table_words : int array;
+  label_words : int array;
+  breakdown : (string * int) list;
+}
+
+(* Label of v: (v, c(v), p_A(v), d(v, p_A(v)), tree label in T(p_A(v))). *)
+type label = {
+  vertex : int;
+  color : int;
+  p_a : int;
+  d_pa : float;
+  tree_label : Tree_routing.label;
+}
+
+type phase =
+  | Direct                                  (* vicinity route to dst *)
+  | To_witness of int                       (* vicinity route to w, then cluster tree *)
+  | Cluster_tree of int * Tree_routing.label
+  | Global_tree                             (* ride T(p_A(dst)) using the label *)
+  | Seek_rep of int                         (* vicinity route to the color rep *)
+  | Lemma7 of Seq_routing.header
+
+type header = { lbl : label; phase : phase }
+
+let eps t = t.eps
+
+let stretch_bound t = ((2.0 +. (2.0 *. t.eps)), 1.0)
+
+let centers t = t.centers.Centers.centers
+
+let space_breakdown t = t.breakdown
+
+let label_of t v =
+  let p_a = t.centers.Centers.p_a.(v) in
+  let tree = Hashtbl.find t.global_trees p_a in
+  {
+    vertex = v;
+    color = t.coloring.color.(v);
+    p_a;
+    d_pa = t.centers.Centers.dist_to_a.(v);
+    tree_label = Tree_routing.label tree v;
+  }
+
+let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target ~seed g =
+  Scheme_util.require_connected g "Scheme2eps1.preprocess";
+  Scheme_util.Log.debug (fun m -> m "Scheme2eps1: n=%d eps=%g" (Graph.n g) eps);
+  if not (Graph.is_unit_weighted g) then
+    invalid_arg "Scheme2eps1.preprocess: Theorem 10 addresses unweighted graphs";
+  let n = Graph.n g in
+  let q = Scheme_util.root_exp n (1.0 /. 3.0) in
+  let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
+  let vic = Vicinity.compute_all g l in
+  let target =
+    match center_target with
+    | Some s -> s
+    | None -> Scheme_util.root_exp n (2.0 /. 3.0)
+  in
+  let centers = Centers.sample ~seed g ~target in
+  (* Cluster trees and the per-center label stores. *)
+  let cluster_trees = Hashtbl.create (2 * n) in
+  let cluster_labels = Hashtbl.create (2 * n) in
+  let cluster_of = Array.make n [||] in
+  for w = 0 to n - 1 do
+    let c = Centers.cluster g centers w in
+    cluster_of.(w) <- c.Dijkstra.order;
+    if Array.length c.Dijkstra.order > 0 then begin
+      let tr = Tree_routing.of_tree g c in
+      Hashtbl.replace cluster_trees w tr;
+      let labels = Hashtbl.create (2 * Array.length c.Dijkstra.order) in
+      Array.iter
+        (fun v -> Hashtbl.replace labels v (Tree_routing.label tr v))
+        c.Dijkstra.order;
+      Hashtbl.replace cluster_labels w labels
+    end
+  done;
+  (* Global trees for the centers. *)
+  let global_trees = Hashtbl.create (2 * Array.length centers.Centers.centers) in
+  Array.iter
+    (fun a -> Hashtbl.replace global_trees a (Tree_routing.of_tree g (Dijkstra.spt g a)))
+    centers.Centers.centers;
+  (* Intersection witnesses: for u and each v with B(u,q~) ∩ B_A(v) <> ∅,
+     the w minimizing d(u,w) + d(w,v); enumerate via the clusters of the
+     vicinity members. *)
+  let witness = Array.init n (fun _ -> Hashtbl.create 8) in
+  let best = Array.init n (fun _ -> Hashtbl.create 8) in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun w ->
+        let duw = Vicinity.dist vic.(u) w in
+        let cluster = cluster_of.(w) in
+        if Array.length cluster > 0 then begin
+          let tr = Hashtbl.find cluster_trees w in
+          Array.iter
+            (fun v ->
+              let s = duw +. Tree_routing.tree_dist tr w v in
+              match Hashtbl.find_opt best.(u) v with
+              | Some (s0, w0) when (s0, w0) <= (s, w) -> ()
+              | _ -> Hashtbl.replace best.(u) v (s, w))
+            cluster
+        end)
+      (Vicinity.members vic.(u))
+  done;
+  for u = 0 to n - 1 do
+    Hashtbl.iter (fun v (_, w) -> Hashtbl.replace witness.(u) v w) best.(u)
+  done;
+  (* Coloring, representatives, Lemma 7 over the color classes. *)
+  let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
+  let reps = Scheme_util.color_reps vic coloring in
+  let lemma7 =
+    Seq_routing.preprocess ~eps g ~vicinities:vic ~parts:coloring.classes
+      ~part_of:coloring.color
+  in
+  (* Table accounting. *)
+  let bunches = Centers.bunches g centers in
+  let table_words = Array.make n 0 in
+  let tot_cluster = ref 0
+  and tot_own = ref 0
+  and tot_global = ref 0
+  and tot_witness = ref 0
+  and tot_reps = ref 0 in
+  for u = 0 to n - 1 do
+    let cluster_records = 7 * Array.length bunches.(u) in
+    let own_labels =
+      match Hashtbl.find_opt cluster_labels u with
+      | None -> 0
+      | Some labels ->
+        Hashtbl.fold
+          (fun _ lbl acc -> acc + 1 + Tree_routing.label_words lbl)
+          labels 0
+    in
+    let global_records = 7 * Array.length centers.Centers.centers in
+    let witness_words = 2 * Hashtbl.length witness.(u) in
+    let rep_words = 2 * Array.length reps.(u) in
+    tot_cluster := !tot_cluster + cluster_records;
+    tot_own := !tot_own + own_labels;
+    tot_global := !tot_global + global_records;
+    tot_witness := !tot_witness + witness_words;
+    tot_reps := !tot_reps + rep_words;
+    table_words.(u) <-
+      (Seq_routing.table_words lemma7).(u)
+      + cluster_records + own_labels + global_records + witness_words
+      + rep_words
+  done;
+  let breakdown =
+    Seq_routing.breakdown lemma7
+    @ [
+        ("cluster-tree-records", !tot_cluster);
+        ("cluster-member-labels", !tot_own);
+        ("global-tree-records", !tot_global);
+        ("witness-tables", !tot_witness);
+        ("color-reps", !tot_reps);
+      ]
+  in
+  let label_words =
+    Array.init n (fun v ->
+        4 + Tree_routing.label_words (let p = centers.Centers.p_a.(v) in
+                                      Tree_routing.label (Hashtbl.find global_trees p) v))
+  in
+  {
+    graph = g;
+    eps;
+    vic;
+    centers;
+    cluster_trees;
+    cluster_labels;
+    global_trees;
+    witness;
+    coloring;
+    reps;
+    lemma7;
+    table_words;
+    label_words;
+    breakdown;
+  }
+
+let header_words h =
+  5
+  + (match h.phase with
+    | Direct | Global_tree -> 0
+    | To_witness _ | Seek_rep _ -> 1
+    | Cluster_tree (_, lbl) -> 1 + Tree_routing.label_words lbl
+    | Lemma7 ih -> Seq_routing.header_words ih)
+
+let rec step t ~at h =
+  let dst = h.lbl.vertex in
+  match h.phase with
+  | Direct ->
+    if at = dst then Port_model.Deliver
+    else Port_model.Forward (Vicinity.step t.vic ~at ~dst, h)
+  | To_witness w ->
+    if at = w then begin
+      (* w stores the cluster-tree label of every member of C_A(w). *)
+      let labels = Hashtbl.find t.cluster_labels w in
+      let lbl = Hashtbl.find labels dst in
+      step t ~at { h with phase = Cluster_tree (w, lbl) }
+    end
+    else Port_model.Forward (Vicinity.step t.vic ~at ~dst:w, h)
+  | Cluster_tree (w, lbl) -> (
+    let tree = Hashtbl.find t.cluster_trees w in
+    match Tree_routing.step tree ~at lbl with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+  | Global_tree -> (
+    let tree = Hashtbl.find t.global_trees h.lbl.p_a in
+    match Tree_routing.step tree ~at h.lbl.tree_label with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+  | Seek_rep w ->
+    if at = w then
+      step t ~at
+        { h with phase = Lemma7 (Seq_routing.initial_header t.lemma7 ~src:w ~dst) }
+    else Port_model.Forward (Vicinity.step t.vic ~at ~dst:w, h)
+  | Lemma7 ih -> (
+    match Seq_routing.step t.lemma7 ~at ih with
+    | Port_model.Deliver -> Port_model.Deliver
+    | Port_model.Forward (p, ih') ->
+      Port_model.Forward (p, { h with phase = Lemma7 ih' }))
+
+(* The source's decision tree, using only u's tables and v's label. *)
+let initial_header t ~src lbl =
+  let v = lbl.vertex in
+  if Vicinity.mem t.vic.(src) v then { lbl; phase = Direct }
+  else
+    match Hashtbl.find_opt t.witness.(src) v with
+    | Some w -> { lbl; phase = To_witness w }
+    | None ->
+      let w, d_uw = t.reps.(src).(lbl.color) in
+      if lbl.d_pa <= d_uw then { lbl; phase = Global_tree }
+      else { lbl; phase = Seek_rep w }
+
+let route t ~src ~dst =
+  let lbl = label_of t dst in
+  if src = dst then
+    Scheme_util.run_scheme t.graph ~src ~header:{ lbl; phase = Direct }
+      ~step:(fun ~at:_ _ -> Port_model.Deliver)
+      ~header_words
+  else
+    Scheme_util.run_scheme t.graph ~src
+      ~header:(initial_header t ~src lbl)
+      ~step:(fun ~at h -> step t ~at h)
+      ~header_words
+
+let instance t =
+  {
+    Scheme.name = "roditty-tov-2eps1";
+    graph = t.graph;
+    route = (fun ~src ~dst -> route t ~src ~dst);
+    table_words = t.table_words;
+    label_words = t.label_words;
+  }

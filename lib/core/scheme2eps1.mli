@@ -1,0 +1,48 @@
+open Cr_graph
+open Cr_routing
+
+(** Theorem 10: the [(2 + eps, 1)]-stretch labeled routing scheme for
+    unweighted graphs, with [O~((1/eps) n^(2/3))]-word tables.
+
+    Ingredients (all with [q = n^(1/3)]): vicinities [B(u, q~)]; a Lemma 4
+    center set [A] of size [O~(n^(2/3))] with clusters [C_A(w)] of size
+    [O(n^(1/3))] and their tree-routing structures; global shortest-path
+    trees [T(a)] for every [a ∈ A]; a per-source hash of the best
+    intersection witness [w ∈ B(u, q~) ∩ B_A(v)]; and Lemma 7 over the color
+    classes of a Lemma 6 coloring.
+
+    Routing: exact when the source vicinity intersects the destination
+    bunch (the witness lies on a shortest path); otherwise compare
+    [d(v, p_A(v))] against the distance to the color-[c(v)] representative
+    and either ride the global tree [T(p_A(v))] (at most [2d + 1]) or chase
+    the representative and finish with Lemma 7 (at most [(2 + 2 eps) d]). *)
+
+type t
+
+val preprocess :
+  ?eps:float ->
+  ?vicinity_factor:float ->
+  ?center_target:int ->
+  seed:int ->
+  Graph.t ->
+  t
+(** Builds the scheme. [center_target] overrides the Lemma 4 sampling
+    target (default [n^(2/3)]).
+    @raise Invalid_argument if [g] is disconnected, weighted, or the
+    coloring is infeasible. *)
+
+val route : t -> src:int -> dst:int -> Port_model.outcome
+
+val instance : t -> Scheme.instance
+
+val stretch_bound : t -> float * float
+(** The proven guarantee [(2 + 2 eps, 1)]. *)
+
+val eps : t -> float
+
+val centers : t -> int array
+(** The sampled set [A]. *)
+
+val space_breakdown : t -> (string * int) list
+(** Whole-network table space split by component (vicinities, sequences,
+    tree records, member labels, witnesses, representatives). *)

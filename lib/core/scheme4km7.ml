@@ -1,0 +1,210 @@
+open Cr_graph
+open Cr_routing
+open Cr_baselines
+
+type t = {
+  graph : Graph.t;
+  eps : float;
+  k : int;
+  tz : Tz_routing.t;
+  vic : Vicinity.t array;
+  coloring : Coloring.t;
+  reps : (int * float) array array;
+  group_of : int array; (* alpha(a) for a in A_(k-2); -1 elsewhere *)
+  lemma8 : Seq_routing2.t;
+  table_words : int array;
+  label_words : int array;
+}
+
+(* Label of v: the TZ label plus alpha(p_(k-2)(v)). *)
+type label = { tz_label : Tz_routing.label; group : int }
+
+type phase =
+  | Direct
+  | Tz_tree of int                (* riding T(root) via the TZ pivots *)
+  | Home of int * Tree_routing.label
+      (* riding T(root) with the label the source stored (4k-5 refinement) *)
+  | Seek_rep of int
+  | Lemma8 of Seq_routing2.header
+  | Final_tree                    (* riding T(p_(k-2)(v)) via the TZ pivots *)
+
+type header = { lbl : label; phase : phase }
+
+let eps t = t.eps
+
+let k t = t.k
+
+let stretch_bound t =
+  (float_of_int ((4 * t.k) - 7) +. (float_of_int ((2 * t.k) - 3) *. t.eps), 0.0)
+
+let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?a1_target ~seed g ~k =
+  if k < 3 then invalid_arg "Scheme4km7.preprocess: need k >= 3";
+  Scheme_util.require_connected g "Scheme4km7.preprocess";
+  Scheme_util.Log.debug (fun m -> m "Scheme4km7: n=%d k=%d eps=%g" (Graph.n g) k eps);
+  let n = Graph.n g in
+  let tz = Tz_routing.preprocess ?a1_target ~seed g ~k in
+  let h = Tz_routing.hierarchy tz in
+  let q = Scheme_util.root_exp n (1.0 /. float_of_int k) in
+  let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
+  let vic = Vicinity.compute_all g l in
+  let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
+  let reps = Scheme_util.color_reps vic coloring in
+  (* Partition A_(k-2) into q groups. *)
+  let a_km2 =
+    List.init n Fun.id |> List.filter (fun v -> h.Tz_hierarchy.in_set.(k - 2).(v))
+  in
+  let group_of = Array.make n (-1) in
+  let groups = Array.make q [] in
+  List.iteri
+    (fun i a ->
+      group_of.(a) <- i mod q;
+      groups.(i mod q) <- a :: groups.(i mod q))
+    a_km2;
+  let dests = Array.map Array.of_list groups in
+  let lemma8 =
+    Seq_routing2.preprocess ~eps g ~vicinities:vic ~parts:coloring.classes
+      ~part_of:coloring.color ~dests
+  in
+  let table_words =
+    Array.init n (fun u ->
+        (Tz_routing.table_words tz).(u)
+        + (Seq_routing2.table_words lemma8).(u)
+        + (2 * Array.length reps.(u)))
+  in
+  let label_words = Array.map (fun w -> w + 1) (Tz_routing.base_label_words tz) in
+  {
+    graph = g;
+    eps;
+    k;
+    tz;
+    vic;
+    coloring;
+    reps;
+    group_of;
+    lemma8;
+    table_words;
+    label_words;
+  }
+
+let label_of t v =
+  let tz_label = Tz_routing.label_of t.tz v in
+  let p_km2 = t.tz |> Tz_routing.hierarchy |> fun h -> h.Tz_hierarchy.p.(t.k - 2).(v) in
+  { tz_label; group = t.group_of.(p_km2) }
+
+let header_words h =
+  let pivot_words =
+    Array.fold_left
+      (fun acc (_, tl) -> acc + 1 + Tree_routing.label_words tl)
+      0 h.lbl.tz_label.Tz_routing.pivots
+  in
+  2 + pivot_words
+  + (match h.phase with
+    | Direct | Final_tree -> 0
+    | Tz_tree _ | Seek_rep _ -> 1
+    | Home (_, lbl) -> 2 + Tree_routing.label_words lbl
+    | Lemma8 ih -> 1 + Seq_routing2.header_words ih)
+
+let pivot_label h root =
+  let rec find i =
+    let p, l = h.lbl.tz_label.Tz_routing.pivots.(i) in
+    if p = root then l else find (i + 1)
+  in
+  find 0
+
+let rec step t ~at h =
+  let dst = h.lbl.tz_label.Tz_routing.vertex in
+  match h.phase with
+  | Direct ->
+    if at = dst then Port_model.Deliver
+    else Port_model.Forward (Vicinity.step t.vic ~at ~dst, h)
+  | Home (root, lbl) -> (
+    match Tz_routing.tree t.tz root with
+    | None -> invalid_arg "Scheme4km7.step: empty home tree"
+    | Some tr -> (
+      match Tree_routing.step tr ~at lbl with
+      | `Deliver -> Port_model.Deliver
+      | `Forward p -> Port_model.Forward (p, h)))
+  | Tz_tree root -> (
+    match Tz_routing.tree t.tz root with
+    | None -> invalid_arg "Scheme4km7.step: empty TZ tree"
+    | Some tr -> (
+      match Tree_routing.step tr ~at (pivot_label h root) with
+      | `Deliver -> Port_model.Deliver
+      | `Forward p -> Port_model.Forward (p, h)))
+  | Seek_rep w ->
+    if at = w then begin
+      let p_km2 =
+        let hh = Tz_routing.hierarchy t.tz in
+        hh.Tz_hierarchy.p.(t.k - 2).(dst)
+      in
+      if w = p_km2 then
+        if at = dst then Port_model.Deliver
+        else step t ~at { h with phase = Final_tree }
+      else
+        step t ~at
+          { h with
+            phase = Lemma8 (Seq_routing2.initial_header t.lemma8 ~src:w ~dst:p_km2)
+          }
+    end
+    else Port_model.Forward (Vicinity.step t.vic ~at ~dst:w, h)
+  | Lemma8 ih -> (
+    match Seq_routing2.step t.lemma8 ~at ih with
+    | Port_model.Deliver ->
+      if at = dst then Port_model.Deliver
+      else step t ~at { h with phase = Final_tree }
+    | Port_model.Forward (p, ih') ->
+      Port_model.Forward (p, { h with phase = Lemma8 ih' }))
+  | Final_tree -> (
+    let hh = Tz_routing.hierarchy t.tz in
+    let root = hh.Tz_hierarchy.p.(t.k - 2).(dst) in
+    match Tz_routing.tree t.tz root with
+    | None -> invalid_arg "Scheme4km7.step: empty final tree"
+    | Some tr -> (
+      match Tree_routing.step tr ~at (pivot_label h root) with
+      | `Deliver -> Port_model.Deliver
+      | `Forward p -> Port_model.Forward (p, h)))
+
+(* Source decision: vicinity, then the home cluster, then the smallest TZ
+   level i <= k-2 whose pivot's cluster contains the source, else the
+   Lemma 8 fallback. *)
+let initial_header t ~src lbl =
+  let v = lbl.tz_label.Tz_routing.vertex in
+  if Vicinity.mem t.vic.(src) v then { lbl; phase = Direct }
+  else
+    match Tz_routing.home_label t.tz src v with
+    | Some home -> { lbl; phase = Home (src, home) }
+    | None ->
+      let rec find i =
+        if i > t.k - 2 then begin
+          let w, _ = t.reps.(src).(lbl.group) in
+          { lbl; phase = Seek_rep w }
+        end
+        else begin
+          let p, _ = lbl.tz_label.Tz_routing.pivots.(i) in
+          if p = src || Tz_routing.bunch_mem t.tz src p then
+            { lbl; phase = Tz_tree p }
+          else find (i + 1)
+        end
+      in
+      find 0
+
+let route t ~src ~dst =
+  let lbl = label_of t dst in
+  if src = dst then
+    Scheme_util.run_scheme t.graph ~src ~header:{ lbl; phase = Direct }
+      ~step:(fun ~at:_ _ -> Port_model.Deliver)
+      ~header_words
+  else
+    Scheme_util.run_scheme t.graph ~src
+      ~header:(initial_header t ~src lbl)
+      ~step:(fun ~at h -> step t ~at h)
+      ~header_words
+
+let instance t =
+  {
+    Scheme.name = Printf.sprintf "roditty-tov-4km7-k%d" t.k;
+    graph = t.graph;
+    route = (fun ~src ~dst -> route t ~src ~dst);
+    table_words = t.table_words;
+    label_words = t.label_words;
+  }

@@ -1,0 +1,39 @@
+open Cr_graph
+open Cr_routing
+
+(** Theorem 16: the [(4k-7+eps)]-stretch routing scheme for weighted
+    graphs with [O~((1/eps) n^(1/k) log D)]-word tables — two stretch units
+    below the Thorup–Zwick [(4k-5)] baseline at the same space exponent.
+
+    Stores everything the TZ scheme stores, plus: vicinities [B(u, q~)]
+    with [q = n^(1/k)], a Lemma 6 coloring with [q] colors, an arbitrary
+    partition [W] of [A_(k-2)] into [q] groups, and a Lemma 8 instance from
+    the color classes to the groups. Routing follows TZ while the source
+    sits in the cluster of a pivot of level [<= k-2] (stretch [<= 4k-9]);
+    the expensive level-[(k-1)] fallback is replaced by: chase the
+    color-[alpha(p_(k-2)(v))] representative, ride Lemma 8 to [p_(k-2)(v)],
+    and finish on [T(p_(k-2)(v))]. *)
+
+type t
+
+val preprocess :
+  ?eps:float ->
+  ?vicinity_factor:float ->
+  ?a1_target:int ->
+  seed:int ->
+  Graph.t ->
+  k:int ->
+  t
+(** @raise Invalid_argument if [k < 3], the graph is disconnected, or the
+    coloring is infeasible. *)
+
+val route : t -> src:int -> dst:int -> Port_model.outcome
+
+val instance : t -> Scheme.instance
+
+val stretch_bound : t -> float * float
+(** The proven guarantee [(4k - 7 + (2k-3) eps, 0)]. *)
+
+val eps : t -> float
+
+val k : t -> int

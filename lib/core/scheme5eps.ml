@@ -1,0 +1,233 @@
+open Cr_graph
+open Cr_routing
+
+type t = {
+  graph : Graph.t;
+  eps : float;
+  vic : Vicinity.t array;
+  centers : Centers.t;
+  cluster_trees : (int, Tree_routing.t) Hashtbl.t;
+  cluster_labels : (int, (int, Tree_routing.label) Hashtbl.t) Hashtbl.t;
+  coloring : Coloring.t;
+  reps : (int * float) array array;
+  group_of : int array;        (* alpha(a) for a in A: index of its W-part *)
+  lemma8 : Seq_routing2.t;
+  first_edge : int array;      (* z on the first edge (p_A(v), z) toward v; -1 for v in A *)
+  table_words : int array;
+  label_words : int array;
+  breakdown : (string * int) list;
+}
+
+(* Label of v: (v, p_A(v), alpha(p_A(v)), z) with (p_A(v), z) the first edge
+   on a shortest path from p_A(v) to v (absent when v in A). *)
+type label = { vertex : int; p_a : int; group : int; z : int }
+
+type phase =
+  | Direct
+  | Seek_rep of int
+  | Lemma8 of Seq_routing2.header
+  | To_z                               (* at p_A(v), hop the stored edge *)
+  | Cluster_tree of int * Tree_routing.label
+      (* riding T_{C_A(root)}; used both for the source's own cluster and
+         for the final cluster behind the stored first edge *)
+
+type header = { lbl : label; phase : phase }
+
+let eps t = t.eps
+
+let stretch_bound t = ((5.0 +. (3.0 *. t.eps)), 0.0)
+
+let centers t = t.centers.Centers.centers
+
+let space_breakdown t = t.breakdown
+
+let label_of t v =
+  let p_a = t.centers.Centers.p_a.(v) in
+  { vertex = v; p_a; group = t.group_of.(p_a); z = t.first_edge.(v) }
+
+let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target ~seed g =
+  Scheme_util.require_connected g "Scheme5eps.preprocess";
+  Scheme_util.Log.debug (fun m -> m "Scheme5eps: n=%d eps=%g" (Graph.n g) eps);
+  let n = Graph.n g in
+  let q = Scheme_util.root_exp n (1.0 /. 3.0) in
+  let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
+  let vic = Vicinity.compute_all g l in
+  let target =
+    match center_target with
+    | Some s -> s
+    | None -> Scheme_util.root_exp n (2.0 /. 3.0)
+  in
+  let centers = Centers.sample ~seed g ~target in
+  let cluster_trees = Hashtbl.create (2 * n) in
+  let cluster_labels = Hashtbl.create (2 * n) in
+  for w = 0 to n - 1 do
+    let c = Centers.cluster g centers w in
+    if Array.length c.Dijkstra.order > 0 then begin
+      let tr = Tree_routing.of_tree g c in
+      Hashtbl.replace cluster_trees w tr;
+      let labels = Hashtbl.create (2 * Array.length c.Dijkstra.order) in
+      Array.iter
+        (fun v -> Hashtbl.replace labels v (Tree_routing.label tr v))
+        c.Dijkstra.order;
+      Hashtbl.replace cluster_labels w labels
+    end
+  done;
+  (* First edge (p_A(v), z) on a shortest path from each center toward v;
+     computed from the centers' shortest-path trees. *)
+  let first_edge = Array.make n (-1) in
+  Array.iter
+    (fun a ->
+      let spt = Dijkstra.spt g a in
+      for v = 0 to n - 1 do
+        if centers.Centers.p_a.(v) = a && v <> a then begin
+          (* First vertex after a on the tree path a -> v. *)
+          let rec climb x = if spt.Dijkstra.parent.(x) = a then x else climb spt.Dijkstra.parent.(x) in
+          first_edge.(v) <- climb v
+        end
+      done)
+    centers.Centers.centers;
+  (* Coloring, representatives, the W partition of A, Lemma 8. *)
+  let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
+  let reps = Scheme_util.color_reps vic coloring in
+  let group_of = Array.make n (-1) in
+  let groups = Array.make q [] in
+  Array.iteri
+    (fun i a ->
+      group_of.(a) <- i mod q;
+      groups.(i mod q) <- a :: groups.(i mod q))
+    centers.Centers.centers;
+  let dests = Array.map Array.of_list groups in
+  let lemma8 =
+    Seq_routing2.preprocess ~eps g ~vicinities:vic ~parts:coloring.classes
+      ~part_of:coloring.color ~dests
+  in
+  (* Table accounting: Lemma 8 (vicinities + sequences) + cluster-tree
+     records and member labels + color reps. *)
+  let bunches = Centers.bunches g centers in
+  let table_words = Array.make n 0 in
+  let tot_cluster = ref 0 and tot_own = ref 0 and tot_reps = ref 0 in
+  for u = 0 to n - 1 do
+    let cluster_records = 7 * Array.length bunches.(u) in
+    let own_labels =
+      match Hashtbl.find_opt cluster_labels u with
+      | None -> 0
+      | Some labels ->
+        Hashtbl.fold
+          (fun _ lbl acc -> acc + 1 + Tree_routing.label_words lbl)
+          labels 0
+    in
+    tot_cluster := !tot_cluster + cluster_records;
+    tot_own := !tot_own + own_labels;
+    tot_reps := !tot_reps + (2 * Array.length reps.(u));
+    table_words.(u) <-
+      (Seq_routing2.table_words lemma8).(u)
+      + cluster_records + own_labels
+      + (2 * Array.length reps.(u))
+  done;
+  let breakdown =
+    Seq_routing2.breakdown lemma8
+    @ [
+        ("cluster-tree-records", !tot_cluster);
+        ("cluster-member-labels", !tot_own);
+        ("color-reps", !tot_reps);
+      ]
+  in
+  let label_words = Array.make n 4 in
+  {
+    graph = g;
+    eps;
+    vic;
+    centers;
+    cluster_trees;
+    cluster_labels;
+    coloring;
+    reps;
+    group_of;
+    lemma8;
+    first_edge;
+    table_words;
+    label_words;
+    breakdown;
+  }
+
+let header_words h =
+  4
+  + (match h.phase with
+    | Direct | To_z -> 0
+    | Seek_rep _ -> 1
+    | Cluster_tree (_, lbl) -> 1 + Tree_routing.label_words lbl
+    | Lemma8 ih -> Seq_routing2.header_words ih)
+
+let rec step t ~at h =
+  let dst = h.lbl.vertex in
+  match h.phase with
+  | Direct ->
+    if at = dst then Port_model.Deliver
+    else Port_model.Forward (Vicinity.step t.vic ~at ~dst, h)
+  | Cluster_tree (root, lbl) -> (
+    let tree = Hashtbl.find t.cluster_trees root in
+    match Tree_routing.step tree ~at lbl with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+  | Seek_rep w ->
+    if at = w then
+      if w = h.lbl.p_a then
+        (* The representative happens to be the destination's center. *)
+        if at = dst then Port_model.Deliver else step t ~at { h with phase = To_z }
+      else
+        step t ~at
+          { h with
+            phase = Lemma8 (Seq_routing2.initial_header t.lemma8 ~src:w ~dst:h.lbl.p_a)
+          }
+    else Port_model.Forward (Vicinity.step t.vic ~at ~dst:w, h)
+  | Lemma8 ih -> (
+    match Seq_routing2.step t.lemma8 ~at ih with
+    | Port_model.Deliver ->
+      (* Arrived at p_A(v). *)
+      if at = dst then Port_model.Deliver else step t ~at { h with phase = To_z }
+    | Port_model.Forward (p, ih') ->
+      Port_model.Forward (p, { h with phase = Lemma8 ih' }))
+  | To_z ->
+    if at = h.lbl.z then begin
+      (* z stores the cluster-tree label of every member of C_A(z). *)
+      let labels = Hashtbl.find t.cluster_labels at in
+      let lbl = Hashtbl.find labels dst in
+      step t ~at { h with phase = Cluster_tree (at, lbl) }
+    end
+    else begin
+      match Graph.port_to t.graph at h.lbl.z with
+      | Some p -> Port_model.Forward (p, h)
+      | None -> invalid_arg "Scheme5eps.step: stored first edge missing"
+    end
+
+let initial_header t ~src lbl =
+  let v = lbl.vertex in
+  if Vicinity.mem t.vic.(src) v then { lbl; phase = Direct }
+  else
+    match Hashtbl.find_opt t.cluster_labels src with
+    | Some labels when Hashtbl.mem labels v ->
+      { lbl; phase = Cluster_tree (src, Hashtbl.find labels v) }
+    | _ ->
+      let w, _ = t.reps.(src).(lbl.group) in
+      { lbl; phase = Seek_rep w }
+
+let route t ~src ~dst =
+  let lbl = label_of t dst in
+  if src = dst then
+    Scheme_util.run_scheme t.graph ~src ~header:{ lbl; phase = Direct }
+      ~step:(fun ~at:_ _ -> Port_model.Deliver)
+      ~header_words
+  else
+    Scheme_util.run_scheme t.graph ~src
+      ~header:(initial_header t ~src lbl)
+      ~step:(fun ~at h -> step t ~at h)
+      ~header_words
+
+let instance t =
+  {
+    Scheme.name = "roditty-tov-5eps";
+    graph = t.graph;
+    route = (fun ~src ~dst -> route t ~src ~dst);
+    table_words = t.table_words;
+    label_words = t.label_words;
+  }

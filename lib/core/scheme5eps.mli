@@ -1,0 +1,46 @@
+open Cr_graph
+open Cr_routing
+
+(** Theorem 11: the [(5 + eps)]-stretch labeled routing scheme for weighted
+    graphs with [O~((1/eps) n^(1/3) log D)]-word tables — the paper's
+    headline result, breaking the [sqrt n] space barrier for stretch below 7.
+
+    Ingredients (all with [q = n^(1/3)]): vicinities [B(u, q~)]; a Lemma 4
+    center set [A] of size [O~(n^(2/3))] with clusters of size [O(n^(1/3))]
+    and their tree-routing structures (each center stores its members'
+    labels); a Lemma 6 coloring with [q] colors; an arbitrary partition [W]
+    of [A] into [q] groups of [O~(n^(1/3))] centers; and Lemma 8 routing
+    from each color class [U_i] to its center group [W_i].
+
+    Routing [u -> v]: direct inside [B(u, q~)]; inside the cluster of [u] by
+    its own tree; otherwise chase the color-[alpha(p_A(v))] representative,
+    ride Lemma 8 to [p_A(v)], hop the first edge toward [v], and finish on
+    the cluster tree of that neighbor. *)
+
+type t
+
+val preprocess :
+  ?eps:float ->
+  ?vicinity_factor:float ->
+  ?center_target:int ->
+  seed:int ->
+  Graph.t ->
+  t
+(** Builds the scheme ([eps] defaults to 0.5; [center_target] overrides the
+    Lemma 4 target, default [n^(2/3)]).
+    @raise Invalid_argument if [g] is disconnected or the coloring is
+    infeasible. *)
+
+val route : t -> src:int -> dst:int -> Port_model.outcome
+
+val instance : t -> Scheme.instance
+
+val stretch_bound : t -> float * float
+(** The proven guarantee [(5 + 3 eps, 0)]. *)
+
+val eps : t -> float
+
+val centers : t -> int array
+
+val space_breakdown : t -> (string * int) list
+(** Whole-network table space split by component. *)

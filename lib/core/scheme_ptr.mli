@@ -1,0 +1,50 @@
+open Cr_graph
+open Cr_routing
+
+(** Theorems 13 and 15: the generalized [(3 -+ 2/l + eps, 2)]-stretch
+    routing schemes for unweighted graphs, almost matching the
+    Patrascu–Thorup–Roditty distance-oracle tradeoff.
+
+    Parameterized by [l > 1] and the variant sign:
+    - [`Minus]: stretch [(3 - 2/l + eps, 2)], tables
+      [O~(l (1/eps) n^(l/(2l-1)))] (Theorem 13; [l = 3] gives the
+      [(2 1/3 + eps, 2)] row of Table 1);
+    - [`Plus]: stretch [(3 + 2/l + eps, 2)], tables
+      [O~(l (1/eps) n^(l/(2l+1)))] (Theorem 15; [l = 2] gives the
+      [(4 + eps, 2)] row).
+
+    The construction stacks [l+1] levels of vicinities [B_i(u) = B(u, q~^i)]
+    and Lemma 4 center sets [L_i] with clusters of size [O(q^i)], checks the
+    level-wise intersections [B_i(u) ∩ B_{L_(l-i)}(v)] (exact when they
+    hit), and otherwise picks the level [j] minimizing the radius/center
+    distance sum of Lemma 12/14 and rides a per-level Lemma 8 instance to
+    the destination's level-[k] center. *)
+
+type variant = [ `Minus | `Plus ]
+
+type t
+
+val preprocess :
+  ?eps:float ->
+  ?vicinity_factor:float ->
+  seed:int ->
+  variant:variant ->
+  ell:int ->
+  Graph.t ->
+  t
+(** @raise Invalid_argument if [ell < 2], the graph is disconnected or
+    weighted, or a coloring is infeasible. *)
+
+val route : t -> src:int -> dst:int -> Port_model.outcome
+
+val instance : t -> Scheme.instance
+
+val stretch_bound : t -> float * float
+(** The proven guarantee: [`Minus] gives
+    [(3 + 3 eps - (2 + eps)/l, 2)]; [`Plus] gives [(3 + 2/l + 4 eps, 2)]. *)
+
+val eps : t -> float
+
+val variant : t -> variant
+
+val ell : t -> int

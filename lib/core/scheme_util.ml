@@ -1,0 +1,47 @@
+(* Shared plumbing for the Section 4/5 schemes: parameter rounding, the
+   vicinity/coloring setup they all begin with, and color representatives. *)
+open Cr_graph
+open Cr_routing
+
+let log_src =
+  Logs.Src.create "compact-routing" ~doc:"Compact routing preprocessing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let root_exp n x = max 1 (int_of_float (Float.round (float_of_int n ** x)))
+
+(* The paper's q~ = alpha * q * log n, clamped to n. *)
+let vicinity_size ~n ~q ~factor =
+  let log2n = Float.max 1.0 (log (float_of_int n) /. log 2.0) in
+  min n (max 2 (int_of_float (ceil (factor *. float_of_int q *. log2n))))
+
+let require_connected g name =
+  if not (Bfs.is_connected g) then
+    invalid_arg (name ^ ": graph must be connected")
+
+(* Lemma 6 coloring of the vicinity family; raises on failure. *)
+let color_vicinities ~seed g vic ~colors =
+  let n = Graph.n g in
+  let sets = Array.to_list (Array.map Vicinity.members vic) in
+  match Coloring.make ~seed ~n ~colors sets with
+  | Ok c -> c
+  | Error e -> invalid_arg ("coloring failed: " ^ e)
+
+(* reps.(u).(c) = nearest member of B(u) with color c, with its distance.
+   Existence is condition (1) of Lemma 6. *)
+let color_reps vic (c : Coloring.t) =
+  Array.map
+    (fun b ->
+      Array.init c.colors (fun color ->
+          match
+            Vicinity.nearest_of b (fun w -> c.color.(w) = color)
+          with
+          | Some w -> (w, Vicinity.dist b w)
+          | None -> invalid_arg "color_reps: vicinity misses a color"))
+    vic
+
+(* Simulation wrapper shared by all schemes. *)
+let run_scheme g ~src ~header ~step ~header_words =
+  Port_model.run g ~src ~header ~step ~header_words
+    ~max_hops:((64 * Graph.n g) + 256)
+    ()

@@ -1,0 +1,209 @@
+open Cr_graph
+open Cr_routing
+open Seq_common
+
+type tail =
+  | To_target
+      (* the last hop vertex is the destination itself *)
+  | To_tree of int * Tree_routing.label
+      (* finish from the last target on T(w), w in the hitting set *)
+
+type seq = { hops : hop array; tail : tail }
+
+type t = {
+  graph : Graph.t;
+  eps : float;
+  b : int;
+  vic : Vicinity.t array;
+  hset : int list;
+  trees : (int, Tree_routing.t) Hashtbl.t;
+  seqs : (int * int, seq) Hashtbl.t;
+  table_words : int array;
+  breakdown : (string * int) list;
+}
+
+type header = {
+  dst : int;
+  hops : hop array;
+  idx : int;
+  tail : tail;
+  in_tree : bool;
+}
+
+let eps t = t.eps
+
+let hitting_set t = t.hset
+
+let table_words t = t.table_words
+
+let breakdown t = t.breakdown
+
+let tail_words = function
+  | To_target -> 0
+  | To_tree (_, lbl) -> 1 + Tree_routing.label_words lbl
+
+(* Build the Lemma 7 sequence for the pair (u, v): temporary targets on a
+   shortest path, advancing by at least s = d(u,v)/b per round, with the
+   tree escape when the next boundary step falls under the threshold. *)
+let build_seq g vic in_hset trees ~b ~src:u ~dst:v spt_v =
+  let s = spt_v.Dijkstra.dist.(u) /. float_of_int b in
+  let rec go x acc rounds =
+    if rounds > b + 2 then invalid_arg "Seq_routing: runaway sequence";
+    if Vicinity.mem vic.(x) v then
+      { hops = Array.of_list (List.rev (Via v :: acc)); tail = To_target }
+    else begin
+      let y, z = boundary spt_v vic.(x) ~x in
+      if z = v then begin
+        let acc = if y = x then acc else Via y :: acc in
+        {
+          hops = Array.of_list (List.rev (Jump (v, port_between g y v) :: acc));
+          tail = To_target;
+        }
+      end
+      else begin
+        let dxz = spt_v.Dijkstra.dist.(x) -. spt_v.Dijkstra.dist.(z) in
+        if dxz < s then begin
+          match Vicinity.nearest_of vic.(x) (fun w -> in_hset w) with
+          | None -> invalid_arg "Seq_routing: hitting set misses a vicinity"
+          | Some w ->
+            let tree = Hashtbl.find trees w in
+            {
+              hops = Array.of_list (List.rev acc);
+              tail = To_tree (w, Tree_routing.label tree v);
+            }
+        end
+        else begin
+          let acc = if y = x then acc else Via y :: acc in
+          go z (Jump (z, port_between g y z) :: acc) (rounds + 1)
+        end
+      end
+    end
+  in
+  go u [] 0
+
+let preprocess ?(eps = 0.5) ?hitting g ~vicinities ~parts ~part_of =
+  if eps <= 0.0 then invalid_arg "Seq_routing.preprocess: eps must be positive";
+  if not (Bfs.is_connected g) then
+    invalid_arg "Seq_routing.preprocess: graph must be connected";
+  let n = Graph.n g in
+  let b = max 1 (int_of_float (ceil (2.0 /. eps))) in
+  let vic = vicinities in
+  let hset =
+    match hitting with
+    | Some h -> List.sort_uniq compare h
+    | None ->
+      Hitting_set.greedy ~n (Array.to_list (Array.map Vicinity.members vic))
+  in
+  let in_hset = Array.make n false in
+  List.iter (fun w -> in_hset.(w) <- true) hset;
+  let trees = Hashtbl.create (2 * List.length hset) in
+  List.iter
+    (fun w -> Hashtbl.replace trees w (Tree_routing.of_tree g (Dijkstra.spt g w)))
+    hset;
+  (* Sanity: the part index map must agree with the parts themselves. *)
+  Array.iteri
+    (fun j part ->
+      Array.iter
+        (fun v ->
+          if part_of.(v) <> j then
+            invalid_arg "Seq_routing.preprocess: part_of disagrees with parts")
+        part)
+    parts;
+  let seqs = Hashtbl.create (4 * n) in
+  Array.iter
+    (fun part ->
+      Array.iter
+        (fun v ->
+          let spt_v = Dijkstra.spt g v in
+          Array.iter
+            (fun u ->
+              if u <> v then
+                Hashtbl.replace seqs (u, v)
+                  (build_seq g vic (fun w -> in_hset.(w)) trees ~b ~src:u ~dst:v spt_v))
+            part)
+        part)
+    parts;
+  (* Table accounting: vicinity entries, one tree-routing record per
+     hitting-set tree, and the stored sequences (with their tree labels). *)
+  let table_words = Array.make n 0 in
+  let vic_total = ref 0 and seq_total = ref 0 in
+  for u = 0 to n - 1 do
+    vic_total := !vic_total + vicinity_words vic.(u);
+    table_words.(u) <-
+      vicinity_words vic.(u) + (7 * List.length hset)
+  done;
+  Hashtbl.iter
+    (fun (u, _) (sq : seq) ->
+      let w = 1 + seq_words sq.hops + tail_words sq.tail in
+      seq_total := !seq_total + w;
+      table_words.(u) <- table_words.(u) + w)
+    seqs;
+  let breakdown =
+    [
+      ("vicinities", !vic_total);
+      ("tree-records", n * 7 * List.length hset);
+      ("sequences", !seq_total);
+    ]
+  in
+  { graph = g; eps; b; vic; hset; trees; seqs; table_words; breakdown }
+
+let initial_header t ~src ~dst =
+  match Hashtbl.find_opt t.seqs (src, dst) with
+  | Some sq -> { dst; hops = sq.hops; idx = 0; tail = sq.tail; in_tree = false }
+  | None -> raise Not_found
+
+let header_words h =
+  let remaining = ref 2 in
+  for i = h.idx to Array.length h.hops - 1 do
+    remaining := !remaining + hop_words h.hops.(i)
+  done;
+  !remaining + tail_words h.tail
+
+let header_bits t h =
+  let id_bits = graph_id_bits t.graph in
+  let port_bits = graph_port_bits t.graph in
+  let acc = ref (id_bits + 1) in
+  for i = h.idx to Array.length h.hops - 1 do
+    acc := !acc + hop_bits ~id_bits ~port_bits h.hops.(i)
+  done;
+  (match h.tail with
+  | To_target -> ()
+  | To_tree (w, lbl) ->
+    let tree = Hashtbl.find t.trees w in
+    acc := !acc + id_bits + snd (Tree_routing.encode_label tree lbl));
+  !acc
+
+let rec step t ~at h =
+  if h.in_tree then begin
+    match h.tail with
+    | To_tree (w, lbl) -> (
+      let tree = Hashtbl.find t.trees w in
+      match Tree_routing.step tree ~at lbl with
+      | `Deliver -> Port_model.Deliver
+      | `Forward p -> Port_model.Forward (p, h))
+    | To_target -> invalid_arg "Seq_routing.step: corrupt header"
+  end
+  else if h.idx >= Array.length h.hops then begin
+    match h.tail with
+    | To_target ->
+      if at = h.dst then Port_model.Deliver
+      else invalid_arg "Seq_routing.step: sequence exhausted off target"
+    | To_tree _ -> step t ~at { h with in_tree = true }
+  end
+  else begin
+    let hop = h.hops.(h.idx) in
+    let target = hop_vertex hop in
+    if at = target then step t ~at { h with idx = h.idx + 1 }
+    else
+      match hop with
+      | Via x -> Port_model.Forward (Vicinity.step t.vic ~at ~dst:x, h)
+      | Jump (_, port) -> Port_model.Forward (port, h)
+  end
+
+let route t ~src ~dst =
+  let header = initial_header t ~src ~dst in
+  Port_model.run t.graph ~src ~header
+    ~step:(fun ~at h -> step t ~at h)
+    ~header_words
+    ~max_hops:((16 * Graph.n t.graph) + 64)
+    ()

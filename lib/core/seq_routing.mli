@@ -1,0 +1,67 @@
+open Cr_graph
+open Cr_routing
+
+(** The paper's first routing technique (Lemma 7).
+
+    Given a partition [U = {U_1 .. U_q}] of [V], route between any two
+    vertices of the same part on a [(1+eps)]-stretch path. Each source
+    stores, per destination in its part, a {e sequence} of at most
+    [2 * ceil(2/eps)] temporary targets lying on a shortest path; the
+    message chases the targets through vicinity routing (Lemma 2) and
+    direct links, and — when the remaining progress would fall under the
+    threshold [d(u,v) / b] — finishes on the shortest-path tree of a nearby
+    hitting-set vertex.
+
+    Tables: [O~( (1/eps) n/q + q )] words per vertex (vicinities of size
+    [q~], one tree-routing record per hitting-set tree, and the sequences).
+    Headers: the sequence plus at most one tree label. *)
+
+type t
+
+type header
+
+val preprocess :
+  ?eps:float ->
+  ?hitting:int list ->
+  Graph.t ->
+  vicinities:Vicinity.t array ->
+  parts:int array array ->
+  part_of:int array ->
+  t
+(** [preprocess g ~vicinities ~parts ~part_of] builds all sequences.
+    [eps] defaults to 0.5. [vicinities] must be the [B(u, q~)] family the
+    caller already computed (it is shared with the enclosing scheme);
+    [hitting] overrides the greedy hitting set of the vicinity family.
+    [part_of.(v)] must be the index of the part containing [v], or [-1] for
+    vertices outside the partition (they can relay but not originate).
+    @raise Invalid_argument if [g] is disconnected. *)
+
+val initial_header : t -> src:int -> dst:int -> header
+(** Reads the sequence stored {e at [src]} for [dst]; both must belong to
+    the same part. @raise Not_found if no sequence is stored. *)
+
+val step : t -> at:int -> header -> header Port_model.decision
+(** One local forwarding decision. *)
+
+val header_words : header -> int
+
+val header_bits : t -> header -> int
+(** Exact bit size of the header under the natural encoding (hop tags,
+    vertex ids, ports, plus the encoded tree label when the escape hatch is
+    armed) — the Lemma 7 headers are O((1/eps) log n + log^2 n) bits. *)
+
+val route : t -> src:int -> dst:int -> Port_model.outcome
+(** End-to-end simulation through the port model. *)
+
+val eps : t -> float
+
+val hitting_set : t -> int list
+(** The hitting-set vertices whose global trees back the escape hatch. *)
+
+val table_words : t -> int array
+(** Per-vertex table size in words: vicinity entries + per-tree routing
+    records + stored sequences (including stored tree labels). *)
+
+val breakdown : t -> (string * int) list
+(** Aggregate (whole-network) space split into components:
+    ["vicinities"], ["tree-records"], ["sequences"]. *)

@@ -1,0 +1,191 @@
+open Cr_graph
+open Cr_routing
+open Seq_common
+
+type terminal =
+  | At_dst            (* the last hop vertex is the destination *)
+  | Relay of int      (* the last hop vertex re-injects its own sequence *)
+
+type seq = { hops : hop array; terminal : terminal }
+
+type t = {
+  graph : Graph.t;
+  eps : float;
+  b : int;
+  vic : Vicinity.t array;
+  seqs : (int * int, seq) Hashtbl.t;
+  table_words : int array;
+  max_seq_hops : int;
+  breakdown : (string * int) list;
+}
+
+type header = {
+  dst : int;
+  hops : hop array;
+  idx : int;
+  terminal : terminal;
+}
+
+let eps t = t.eps
+
+let table_words t = t.table_words
+
+let max_sequence_hops t = t.max_seq_hops
+
+let breakdown t = t.breakdown
+
+(* Build the Lemma 8 sequence for (u, w): the first two path edges, then
+   doubling-threshold subsequences walked along the shortest-path tree of
+   [w]. [relay_of x] picks a vertex of the source's part inside B(x). *)
+let build_seq g vic ~b ~d_min ~relay_of ~src:u ~dst:w spt_w =
+  let max_subsequences =
+    let d = spt_w.Dijkstra.dist.(u) in
+    8 + int_of_float (Float.max 0.0 (log (Float.max 2.0 (d /. d_min)) /. log 2.0))
+  in
+  let finish acc terminal = { hops = Array.of_list (List.rev acc); terminal } in
+  (* One subsequence from [x] with threshold [s]; at most [2b] entries. *)
+  let rec subsequence x s count acc =
+    if Vicinity.mem vic.(x) w then `Done (finish (Via w :: acc) At_dst)
+    else begin
+      let y, z = boundary spt_w vic.(x) ~x in
+      if z = w then begin
+        let acc = if y = x then acc else Via y :: acc in
+        `Done (finish (Jump (w, port_between g y w) :: acc) At_dst)
+      end
+      else begin
+        let dxz = spt_w.Dijkstra.dist.(x) -. spt_w.Dijkstra.dist.(z) in
+        if dxz < s then begin
+          match relay_of x with
+          | None -> invalid_arg "Seq_routing2: a vicinity misses the source part"
+          | Some r ->
+            if r = w then `Done (finish (Via r :: acc) At_dst)
+            else `Done (finish (Via r :: acc) (Relay r))
+        end
+        else begin
+          let acc = if y = x then acc else Via y :: acc in
+          let acc = Jump (z, port_between g y z) :: acc in
+          let count = count + 2 in
+          if count >= 2 * b then `More (z, acc)
+          else subsequence z s count acc
+        end
+      end
+    end
+  in
+  let rec subsequences x k acc =
+    if k > max_subsequences then
+      invalid_arg "Seq_routing2: runaway subsequence construction";
+    let s = float_of_int (1 lsl k) /. float_of_int b *. d_min in
+    match subsequence x s 0 acc with
+    | `Done sq -> sq
+    | `More (x', acc') -> subsequences x' (k + 1) acc'
+  in
+  (* The first two vertices of the shortest path from u to w. *)
+  let u1 = spt_w.Dijkstra.parent.(u) in
+  let acc = [ Jump (u1, port_between g u u1) ] in
+  if u1 = w then finish acc At_dst
+  else begin
+    let u2 = spt_w.Dijkstra.parent.(u1) in
+    let acc = Jump (u2, port_between g u1 u2) :: acc in
+    if u2 = w then finish acc At_dst else subsequences u2 1 acc
+  end
+
+let preprocess ?(eps = 0.5) g ~vicinities ~parts ~part_of ~dests =
+  if eps <= 0.0 then invalid_arg "Seq_routing2.preprocess: eps must be positive";
+  if not (Bfs.is_connected g) then
+    invalid_arg "Seq_routing2.preprocess: graph must be connected";
+  if Array.length parts <> Array.length dests then
+    invalid_arg "Seq_routing2.preprocess: |parts| <> |dests|";
+  let n = Graph.n g in
+  let b = 1 + max 1 (int_of_float (ceil (2.0 /. eps))) in
+  let vic = vicinities in
+  let d_min = Graph.min_edge_weight g in
+  let seqs = Hashtbl.create (4 * n) in
+  Array.iteri
+    (fun j part ->
+      let relay_of x =
+        Vicinity.nearest_of vic.(x) (fun v -> part_of.(v) = j)
+      in
+      Array.iter
+        (fun w ->
+          let spt_w = Dijkstra.spt g w in
+          Array.iter
+            (fun u ->
+              if u <> w then
+                Hashtbl.replace seqs (u, w)
+                  (build_seq g vic ~b ~d_min ~relay_of ~src:u ~dst:w spt_w))
+            part)
+        dests.(j))
+    parts;
+  let table_words = Array.make n 0 in
+  let vic_total = ref 0 and seq_total = ref 0 in
+  for u = 0 to n - 1 do
+    vic_total := !vic_total + vicinity_words vic.(u);
+    table_words.(u) <- vicinity_words vic.(u)
+  done;
+  let max_seq_hops = ref 0 in
+  Hashtbl.iter
+    (fun (u, _) (sq : seq) ->
+      max_seq_hops := max !max_seq_hops (Array.length sq.hops);
+      let w = 2 + seq_words sq.hops in
+      seq_total := !seq_total + w;
+      table_words.(u) <- table_words.(u) + w)
+    seqs;
+  {
+    graph = g;
+    eps;
+    b;
+    vic;
+    seqs;
+    table_words;
+    max_seq_hops = !max_seq_hops;
+    breakdown = [ ("vicinities", !vic_total); ("sequences", !seq_total) ];
+  }
+
+let initial_header t ~src ~dst =
+  match Hashtbl.find_opt t.seqs (src, dst) with
+  | Some sq -> { dst; hops = sq.hops; idx = 0; terminal = sq.terminal }
+  | None -> raise Not_found
+
+let header_words h =
+  let remaining = ref 2 in
+  for i = h.idx to Array.length h.hops - 1 do
+    remaining := !remaining + hop_words h.hops.(i)
+  done;
+  !remaining
+
+let header_bits t h =
+  let id_bits = graph_id_bits t.graph in
+  let port_bits = graph_port_bits t.graph in
+  let acc = ref (id_bits + 1) in
+  for i = h.idx to Array.length h.hops - 1 do
+    acc := !acc + hop_bits ~id_bits ~port_bits h.hops.(i)
+  done;
+  !acc
+
+let rec step t ~at h =
+  if h.idx >= Array.length h.hops then begin
+    match h.terminal with
+    | At_dst ->
+      if at = h.dst then Port_model.Deliver
+      else invalid_arg "Seq_routing2.step: sequence exhausted off target"
+    | Relay r ->
+      if at <> r then invalid_arg "Seq_routing2.step: relay mismatch"
+      else step t ~at (initial_header t ~src:r ~dst:h.dst)
+  end
+  else begin
+    let hop = h.hops.(h.idx) in
+    let target = hop_vertex hop in
+    if at = target then step t ~at { h with idx = h.idx + 1 }
+    else
+      match hop with
+      | Via x -> Port_model.Forward (Vicinity.step t.vic ~at ~dst:x, h)
+      | Jump (_, port) -> Port_model.Forward (port, h)
+  end
+
+let route t ~src ~dst =
+  let header = initial_header t ~src ~dst in
+  Port_model.run t.graph ~src ~header
+    ~step:(fun ~at h -> step t ~at h)
+    ~header_words
+    ~max_hops:((64 * Graph.n t.graph) + 256)
+    ()

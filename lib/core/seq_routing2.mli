@@ -1,0 +1,59 @@
+open Cr_graph
+open Cr_routing
+
+(** The paper's second routing technique (Lemma 8).
+
+    Given a partition [U = {U_1 .. U_q}] of [V] such that every vicinity
+    [B(u, q~)] contains a vertex of every part, and a partition
+    [W = {W_1 .. W_q}] of a destination set [W ⊆ V], route from any vertex
+    of [U_i] to any vertex of [W_i] on a [(1+eps)]-stretch path.
+
+    Each [u ∈ U_i] stores one sequence per destination [w ∈ W_i]: two
+    initial edge steps followed by {e subsequences} with doubling progress
+    thresholds [2^k / b] (in units of the minimum distance), capped at [2b]
+    entries each — so a sequence has [O((1/eps) log D)] entries. A sequence
+    either reaches [w] or ends at a nearby vertex of [U_i], which re-injects
+    its own stored sequence (Claim 9 guarantees strict progress), so only
+    [O~((1/eps) (log D) |W|/q + q)] words are stored per vertex. *)
+
+type t
+
+type header
+
+val preprocess :
+  ?eps:float ->
+  Graph.t ->
+  vicinities:Vicinity.t array ->
+  parts:int array array ->
+  part_of:int array ->
+  dests:int array array ->
+  t
+(** [preprocess g ~vicinities ~parts ~part_of ~dests] builds the sequences
+    for every pair in [U_i x W_i]. [dests] must have the same length as
+    [parts]. [eps] defaults to 0.5.
+    @raise Invalid_argument if [g] is disconnected, or if some vicinity
+    misses some part (the Lemma's hitting hypothesis). *)
+
+val initial_header : t -> src:int -> dst:int -> header
+(** Reads the sequence stored at [src ∈ U_i] for [dst ∈ W_i].
+    @raise Not_found if no sequence is stored for the pair. *)
+
+val step : t -> at:int -> header -> header Port_model.decision
+
+val header_words : header -> int
+
+val header_bits : t -> header -> int
+(** Exact bit size of the header under the natural encoding — the Lemma 8
+    headers are O((1/eps) log(nD)) bits. *)
+
+val route : t -> src:int -> dst:int -> Port_model.outcome
+
+val eps : t -> float
+
+val table_words : t -> int array
+
+val max_sequence_hops : t -> int
+(** Longest stored sequence, in hops — the O((1/eps) log D) quantity. *)
+
+val breakdown : t -> (string * int) list
+(** Aggregate space split: ["vicinities"], ["sequences"]. *)

@@ -1,0 +1,51 @@
+type t = { d : float array array }
+
+let compute g =
+  let n = Graph.n g in
+  let d =
+    if Graph.is_unit_weighted g then
+      Array.init n (fun s ->
+          let r = Bfs.run g s in
+          Array.map (fun h -> if h = max_int then infinity else float_of_int h) r.dist)
+    else Array.init n (fun s -> (Dijkstra.spt g s).dist)
+  in
+  { d }
+
+let dist t u v = t.d.(u).(v)
+
+let diameter t =
+  let best = ref 0.0 in
+  Array.iter
+    (Array.iter (fun x -> if x <> infinity && x > !best then best := x))
+    t.d;
+  !best
+
+let normalized_diameter t =
+  let dmin = ref infinity in
+  Array.iter
+    (Array.iter (fun x -> if x > 0.0 && x < !dmin then dmin := x))
+    t.d;
+  if !dmin = infinity then 1.0 else diameter t /. !dmin
+
+let connected t =
+  Array.for_all (Array.for_all (fun x -> x <> infinity)) t.d
+
+let check_path _t g = function
+  | [] -> None
+  | first :: rest ->
+    let rec walk u len = function
+      | [] -> Some len
+      | v :: tl -> (
+        match Graph.edge_weight g u v with
+        | None -> None
+        | Some w -> walk v (len +. w) tl)
+    in
+    walk first 0.0 rest
+
+let stretch t ~src ~dst ~length =
+  if src = dst then 1.0
+  else begin
+    let d = dist t src dst in
+    if d = infinity then invalid_arg "Apsp.stretch: unreachable pair";
+    length /. d
+  end

@@ -1,0 +1,35 @@
+(** Breadth-first search over unit-weight graphs.
+
+    Used for exact distances on unweighted graphs and as an independent
+    cross-check of {!Dijkstra} in the test suite. Distances are hop counts. *)
+
+type result = {
+  dist : int array;        (** [dist.(v)] = hops from source, or [max_int]. *)
+  parent : int array;      (** [parent.(v)] = BFS-tree parent, or [-1]. *)
+  parent_port : int array; (** port of [parent.(v)] leading to [v], or [-1]. *)
+  first_port : int array;  (** first port out of the source toward [v], [-1] at source / unreachable. *)
+  order : int array;       (** vertices in settling order, source first. *)
+}
+
+val run : Graph.t -> int -> result
+(** [run g s] is a full BFS from [s]. Neighbors are scanned in port order, so
+    parents and first ports are deterministic. *)
+
+val dist : Graph.t -> int -> int -> int option
+(** [dist g u v] is the hop distance from [u] to [v], if reachable. *)
+
+val is_connected : Graph.t -> bool
+(** Whether the graph is connected (vacuously true for [n <= 1]). *)
+
+val components : Graph.t -> int array
+(** [components g] assigns each vertex a component id in [0, #components). *)
+
+val eccentricity : Graph.t -> int -> int
+(** [eccentricity g u] is the largest hop distance from [u] to any reachable
+    vertex. *)
+
+val double_sweep : Graph.t -> int
+(** [double_sweep g] is the classic two-sweep diameter lower bound: BFS from
+    vertex 0, then from the farthest vertex found. Exact on trees; never
+    exceeds the true (hop) diameter. Cheap enough to size experiments
+    without an APSP. *)

@@ -1,0 +1,154 @@
+type tree = {
+  source : int;
+  dist : float array;
+  parent : int array;
+  parent_port : int array;
+  first_port : int array;
+  order : int array;
+}
+
+(* Core loop shared by [spt] and [restricted]. [admit v d] decides whether a
+   vertex with final distance [d] may be settled. *)
+let run_from g s ~admit =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let parent_port = Array.make n (-1) in
+  let first_port = Array.make n (-1) in
+  let order = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create n in
+  dist.(s) <- 0.0;
+  Heap.insert heap s 0.0;
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min heap with
+    | None -> continue := false
+    | Some (u, d) ->
+      if admit u d then begin
+        settled.(u) <- true;
+        order.(!count) <- u;
+        incr count;
+        Graph.iter_neighbors g u (fun ~port ~v ~w ->
+            let d' = d +. w in
+            if (not settled.(v)) && d' < dist.(v) then begin
+              dist.(v) <- d';
+              parent.(v) <- u;
+              parent_port.(v) <- port;
+              first_port.(v) <- (if u = s then port else first_port.(u));
+              Heap.insert_or_decrease heap v d'
+            end)
+      end
+      else dist.(u) <- infinity
+      (* A rejected vertex keeps [infinity] so callers can treat it as
+         outside the tree; it may be re-relaxed only through other rejected
+         vertices, which [admit] will reject again. *)
+  done;
+  let order = Array.sub order 0 !count in
+  { source = s; dist; parent; parent_port; first_port; order }
+
+let spt g s = run_from g s ~admit:(fun _ _ -> true)
+
+let path_to t v =
+  if t.dist.(v) = infinity then invalid_arg "Dijkstra.path_to: unreachable";
+  let rec up v acc = if v = t.source then v :: acc else up t.parent.(v) (v :: acc) in
+  up v []
+
+let path_from t x = List.rev (path_to t x)
+
+type truncated = {
+  src : int;
+  vertices : int array;
+  dists : float array;
+  parents : int array;
+  first_ports : int array;
+  next_dist : float option;
+}
+
+let truncated g s l =
+  let n = Graph.n g in
+  let l = max l 1 in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let first_port = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create n in
+  dist.(s) <- 0.0;
+  Heap.insert heap s 0.0;
+  let vertices = Array.make (min l n) (-1) in
+  let dists = Array.make (min l n) 0.0 in
+  let count = ref 0 in
+  let next_dist = ref None in
+  let continue = ref true in
+  while !continue do
+    if !count >= l then begin
+      (* Peek the nearest excluded vertex for the radius r_u(l). *)
+      (match Heap.pop_min heap with
+      | Some (_, d) -> next_dist := Some d
+      | None -> ());
+      continue := false
+    end
+    else
+      match Heap.pop_min heap with
+      | None -> continue := false
+      | Some (u, d) ->
+        settled.(u) <- true;
+        vertices.(!count) <- u;
+        dists.(!count) <- d;
+        incr count;
+        Graph.iter_neighbors g u (fun ~port ~v ~w ->
+            let d' = d +. w in
+            if (not settled.(v)) && d' < dist.(v) then begin
+              dist.(v) <- d';
+              parent.(v) <- u;
+              first_port.(v) <- (if u = s then port else first_port.(u));
+              Heap.insert_or_decrease heap v d'
+            end)
+  done;
+  let vertices = Array.sub vertices 0 !count in
+  let dists = Array.sub dists 0 !count in
+  let parents = Array.map (fun v -> parent.(v)) vertices in
+  let first_ports = Array.map (fun v -> first_port.(v)) vertices in
+  { src = s; vertices; dists; parents; first_ports; next_dist = !next_dist }
+
+type multi = {
+  dist_to_set : float array;
+  nearest : int array;
+  mparent : int array;
+}
+
+let multi_source g centers =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let nearest = Array.make n (-1) in
+  let mparent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create n in
+  (* Initialize centers in increasing id order so ties prefer smaller ids. *)
+  let centers = List.sort_uniq compare centers in
+  List.iter
+    (fun a ->
+      dist.(a) <- 0.0;
+      nearest.(a) <- a;
+      if not (Heap.mem heap a) then Heap.insert heap a 0.0)
+    centers;
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min heap with
+    | None -> continue := false
+    | Some (u, d) ->
+      settled.(u) <- true;
+      Graph.iter_neighbors g u (fun ~port:_ ~v ~w ->
+          let d' = d +. w in
+          if not settled.(v) then
+            if d' < dist.(v) || (d' = dist.(v) && nearest.(u) < nearest.(v)) then begin
+              dist.(v) <- d';
+              nearest.(v) <- nearest.(u);
+              mparent.(v) <- u;
+              Heap.insert_or_decrease heap v d'
+            end)
+  done;
+  { dist_to_set = dist; nearest; mparent }
+
+let restricted g w ~limit = run_from g w ~admit:(fun v d -> d < limit v)

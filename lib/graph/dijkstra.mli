@@ -1,0 +1,67 @@
+(** Shortest paths on weighted graphs (Dijkstra's algorithm).
+
+    All variants settle vertices in [(distance, vertex id)] order — the exact
+    tie-breaking rule under which the paper defines vicinities [B(u, l)] and
+    nearest centers [p_A(u)] (Section 2), and under which Property 1 holds. *)
+
+(** {1 Single source} *)
+
+type tree = {
+  source : int;
+  dist : float array;        (** [dist.(v)] = d(source, v), or [infinity]. *)
+  parent : int array;        (** parent toward the source's tree root, [-1] at source/unreachable. *)
+  parent_port : int array;   (** port of [parent.(v)] leading to [v], or [-1]. *)
+  first_port : int array;    (** first port out of the source toward [v], or [-1]. *)
+  order : int array;         (** settled vertices in [(dist, id)] order. *)
+}
+
+val spt : Graph.t -> int -> tree
+(** [spt g s] is the shortest-path tree rooted at [s], covering the connected
+    component of [s]. Among equal-length paths the tree prefers the parent
+    settled first, which makes it deterministic. *)
+
+val path_to : tree -> int -> int list
+(** [path_to t v] is the vertex sequence from [t.source] to [v] along the
+    tree, inclusive. @raise Invalid_argument if [v] is unreachable. *)
+
+val path_from : tree -> int -> int list
+(** [path_from t x] is the vertex sequence from [x] {e to the root}
+    [t.source] along the tree, inclusive — i.e. a shortest path from [x] to
+    the source. @raise Invalid_argument if [x] is unreachable. *)
+
+(** {1 Truncated search — the [B(u, l)] primitive} *)
+
+type truncated = {
+  src : int;
+  vertices : int array;      (** the [l] settled vertices in [(dist, id)] order; [vertices.(0) = src]. *)
+  dists : float array;       (** [dists.(i)] = d(src, vertices.(i)). *)
+  parents : int array;       (** tree parent of [vertices.(i)], as a vertex id. *)
+  first_ports : int array;   (** first port out of [src] toward [vertices.(i)]; [-1] for [src]. *)
+  next_dist : float option;  (** distance of the nearest settled-excluded vertex, if any remains. *)
+}
+
+val truncated : Graph.t -> int -> int -> truncated
+(** [truncated g s l] settles the [min l (component size)] closest vertices
+    of [s] under [(dist, id)] order: the paper's [B(s, l)]. *)
+
+(** {1 Multi-source — nearest centers} *)
+
+type multi = {
+  dist_to_set : float array; (** [d(v, A)], or [infinity]. *)
+  nearest : int array;       (** [p_A(v)]: nearest center, ties by smaller id; [-1] if unreachable. *)
+  mparent : int array;       (** parent toward [p_A(v)], [-1] at centers. *)
+}
+
+val multi_source : Graph.t -> int list -> multi
+(** [multi_source g centers] computes [d(v, A)] and [p_A(v)] for [A =
+    centers]. If [A] is empty every distance is [infinity]. *)
+
+(** {1 Restricted search — Thorup–Zwick clusters} *)
+
+val restricted : Graph.t -> int -> limit:(int -> float) -> tree
+(** [restricted g w ~limit] runs Dijkstra from [w] but only settles a vertex
+    [v] whose (final) distance satisfies [dist < limit v]. With [limit v =
+    d(v, A)] this computes the cluster [C_A(w) = { v | d(w,v) < d(v,A) }]
+    together with its shortest-path tree (clusters are connected under
+    shortest paths, cf. paper Section 2). Unvisited vertices have
+    [dist = infinity] in the result. *)

@@ -1,0 +1,246 @@
+let path n =
+  Graph.of_unweighted_edges ~n (List.init (max (n - 1) 0) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  Graph.of_unweighted_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  Graph.of_unweighted_edges ~n (List.init (max (n - 1) 0) (fun i -> (0, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_unweighted_edges ~n !edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_unweighted_edges ~n:(rows * cols) !edges
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus: need dims >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_unweighted_edges ~n:(rows * cols) !edges
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Generators.hypercube";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_unweighted_edges ~n !edges
+
+let balanced_tree ~branching ~depth =
+  if branching < 1 || depth < 0 then invalid_arg "Generators.balanced_tree";
+  let edges = ref [] in
+  let next = ref 1 in
+  (* Queue of (vertex, remaining depth). *)
+  let q = Queue.create () in
+  Queue.add (0, depth) q;
+  while not (Queue.is_empty q) do
+    let u, d = Queue.pop q in
+    if d > 0 then
+      for _ = 1 to branching do
+        let v = !next in
+        incr next;
+        edges := (u, v) :: !edges;
+        Queue.add (v, d - 1) q
+      done
+  done;
+  Graph.of_unweighted_edges ~n:!next !edges
+
+let gnp ~seed n p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Generators.gnp: bad probability";
+  let st = Random.State.make [| seed; 0x6e70 |] in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_unweighted_edges ~n !edges
+
+let gnm ~seed n m =
+  let max_m = n * (n - 1) / 2 in
+  if m < 0 || m > max_m then invalid_arg "Generators.gnm: bad edge count";
+  let st = Random.State.make [| seed; 0x6e6d |] in
+  let chosen = Hashtbl.create (2 * m) in
+  while Hashtbl.length chosen < m do
+    let u = Random.State.int st n and v = Random.State.int st n in
+    if u <> v then Hashtbl.replace chosen (min u v, max u v) ()
+  done;
+  Graph.of_unweighted_edges ~n (Hashtbl.fold (fun e () acc -> e :: acc) chosen [])
+
+let random_tree ~seed n =
+  if n <= 0 then invalid_arg "Generators.random_tree";
+  if n = 1 then Graph.of_unweighted_edges ~n []
+  else if n = 2 then Graph.of_unweighted_edges ~n [ (0, 1) ]
+  else begin
+    let st = Random.State.make [| seed; 0x7472 |] in
+    let prufer = Array.init (n - 2) (fun _ -> Random.State.int st n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) prufer;
+    let heap = Heap.create n in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then Heap.insert heap v (float_of_int v)
+    done;
+    let edges = ref [] in
+    Array.iter
+      (fun v ->
+        match Heap.pop_min heap with
+        | None -> assert false
+        | Some (leaf, _) ->
+          edges := (leaf, v) :: !edges;
+          deg.(v) <- deg.(v) - 1;
+          if deg.(v) = 1 then Heap.insert heap v (float_of_int v))
+      prufer;
+    (match (Heap.pop_min heap, Heap.pop_min heap) with
+    | Some (a, _), Some (b, _) -> edges := (a, b) :: !edges
+    | _ -> assert false);
+    Graph.of_unweighted_edges ~n !edges
+  end
+
+let barabasi_albert ~seed n k =
+  if k < 1 || n <= k then invalid_arg "Generators.barabasi_albert: need n > k >= 1";
+  let st = Random.State.make [| seed; 0x6261 |] in
+  let edges = ref [] in
+  (* [targets] holds one entry per edge endpoint: sampling uniformly from it
+     is degree-proportional sampling. Seed with a (k+1)-clique. *)
+  let targets = ref [] in
+  for u = 0 to k do
+    for v = u + 1 to k do
+      edges := (u, v) :: !edges;
+      targets := u :: v :: !targets
+    done
+  done;
+  let targets = ref (Array.of_list !targets) in
+  let tlen = ref (Array.length !targets) in
+  let push x =
+    if !tlen >= Array.length !targets then begin
+      let bigger = Array.make (max 16 (2 * Array.length !targets)) 0 in
+      Array.blit !targets 0 bigger 0 !tlen;
+      targets := bigger
+    end;
+    !targets.(!tlen) <- x;
+    incr tlen
+  in
+  for u = k + 1 to n - 1 do
+    let chosen = Hashtbl.create k in
+    while Hashtbl.length chosen < k do
+      let v = !targets.(Random.State.int st !tlen) in
+      if v <> u then Hashtbl.replace chosen v ()
+    done;
+    Hashtbl.iter
+      (fun v () ->
+        edges := (u, v) :: !edges;
+        push u;
+        push v)
+      chosen
+  done;
+  Graph.of_unweighted_edges ~n !edges
+
+let random_geometric ~seed n ~radius =
+  if radius <= 0.0 then invalid_arg "Generators.random_geometric: bad radius";
+  let st = Random.State.make [| seed; 0x7267 |] in
+  let xs = Array.init n (fun _ -> Random.State.float st 1.0) in
+  let ys = Array.init n (fun _ -> Random.State.float st 1.0) in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      if d <= radius && d > 0.0 then edges := (u, v, d) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let watts_strogatz ~seed n ~k ~beta =
+  if k < 1 || n <= 2 * k then invalid_arg "Generators.watts_strogatz: need n > 2k";
+  if beta < 0.0 || beta > 1.0 then invalid_arg "Generators.watts_strogatz: bad beta";
+  let st = Random.State.make [| seed; 0x7773 |] in
+  let edges = Hashtbl.create (2 * n * k) in
+  let add u v = if u <> v then Hashtbl.replace edges (min u v, max u v) () in
+  for u = 0 to n - 1 do
+    for j = 1 to k do
+      let v = (u + j) mod n in
+      if Random.State.float st 1.0 < beta then begin
+        (* Rewire the far endpoint to a uniform non-neighbor. *)
+        let rec pick tries =
+          let w = Random.State.int st n in
+          if tries > 32 || (w <> u && not (Hashtbl.mem edges (min u w, max u w)))
+          then w
+          else pick (tries + 1)
+        in
+        let w = pick 0 in
+        if w <> u then add u w else add u v
+      end
+      else add u v
+    done
+  done;
+  Graph.of_unweighted_edges ~n (Hashtbl.fold (fun e () acc -> e :: acc) edges [])
+
+let caveman ~seed ~cliques ~size ~rewire =
+  if cliques < 1 || size < 2 then invalid_arg "Generators.caveman";
+  if rewire < 0.0 || rewire > 1.0 then invalid_arg "Generators.caveman: bad rewire";
+  let st = Random.State.make [| seed; 0x6376 |] in
+  let n = cliques * size in
+  let edges = Hashtbl.create (cliques * size * size) in
+  let add u v = if u <> v then Hashtbl.replace edges (min u v, max u v) () in
+  for c = 0 to cliques - 1 do
+    let base = c * size in
+    for i = 0 to size - 1 do
+      for j = i + 1 to size - 1 do
+        if Random.State.float st 1.0 < rewire then
+          add (base + i) (Random.State.int st n)
+        else add (base + i) (base + j)
+      done
+    done;
+    (* Ring of cliques: last member links to the next clique's first. *)
+    if cliques > 1 then
+      add (base + size - 1) (((c + 1) mod cliques) * size)
+  done;
+  Graph.of_unweighted_edges ~n (Hashtbl.fold (fun e () acc -> e :: acc) edges [])
+
+let connect ~seed g =
+  let comp = Bfs.components g in
+  let k = 1 + Array.fold_left max (-1) comp in
+  if k <= 1 then g
+  else begin
+    let st = Random.State.make [| seed; 0x636e |] in
+    let members = Array.make k [] in
+    Array.iteri (fun v c -> members.(c) <- v :: members.(c)) comp;
+    let pick c =
+      let l = members.(c) in
+      List.nth l (Random.State.int st (List.length l))
+    in
+    let extra = List.init (k - 1) (fun c -> (pick c, pick (c + 1), 1.0)) in
+    Graph.of_edges ~n:(Graph.n g) (extra @ Graph.edges g)
+  end
+
+let with_random_weights ~seed ~lo ~hi g =
+  if not (0.0 < lo && lo <= hi) then invalid_arg "Generators.with_random_weights";
+  let st = Random.State.make [| seed; 0x7767 |] in
+  Graph.reweight g (fun _ _ _ -> lo +. Random.State.float st (hi -. lo))

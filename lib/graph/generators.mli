@@ -1,0 +1,77 @@
+(** Synthetic graph generators for the experimental suite.
+
+    Every randomized generator takes an explicit [seed] so experiments are
+    reproducible. Generators that may produce a disconnected graph offer a
+    [connect] post-pass that links components with random edges, since all
+    routing guarantees are stated for connected graphs. *)
+
+(** {1 Deterministic families} *)
+
+val path : int -> Graph.t
+(** [path n] is the path 0 - 1 - ... - (n-1). *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is the n-cycle (requires [n >= 3]). *)
+
+val star : int -> Graph.t
+(** [star n] has center 0 joined to [1 .. n-1]. *)
+
+val complete : int -> Graph.t
+(** [complete n] is K_n. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols] is the rows x cols 4-neighbor mesh. *)
+
+val torus : int -> int -> Graph.t
+(** [torus rows cols] is the wrap-around mesh (requires both dims >= 3). *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] is the d-dimensional hypercube on 2^d vertices. *)
+
+val balanced_tree : branching:int -> depth:int -> Graph.t
+(** Complete [branching]-ary tree of the given depth. *)
+
+(** {1 Random families} *)
+
+val gnp : seed:int -> int -> float -> Graph.t
+(** [gnp ~seed n p] is an Erdos–Renyi graph: each pair independently an edge
+    with probability [p]. *)
+
+val gnm : seed:int -> int -> int -> Graph.t
+(** [gnm ~seed n m] samples [m] distinct edges uniformly. *)
+
+val random_tree : seed:int -> int -> Graph.t
+(** Uniform random labeled tree (random Prufer sequence). *)
+
+val barabasi_albert : seed:int -> int -> int -> Graph.t
+(** [barabasi_albert ~seed n k] grows a preferential-attachment graph; each
+    new vertex attaches to [k] existing vertices (degree-proportional).
+    Produces the heavy-tailed degree distributions of social/web graphs. *)
+
+val random_geometric : seed:int -> int -> radius:float -> Graph.t
+(** [random_geometric ~seed n ~radius] drops [n] points uniformly in the
+    unit square and joins pairs within Euclidean distance [radius], with
+    the distance as edge weight. The classic wireless/sensor topology. *)
+
+val watts_strogatz : seed:int -> int -> k:int -> beta:float -> Graph.t
+(** [watts_strogatz ~seed n ~k ~beta] starts from a ring lattice where each
+    vertex connects to its [k] nearest neighbors on each side and rewires
+    each edge's far endpoint with probability [beta] — the small-world
+    model (requires [n > 2k]). *)
+
+val caveman : seed:int -> cliques:int -> size:int -> rewire:float -> Graph.t
+(** [caveman ~seed ~cliques ~size ~rewire] is a connected caveman graph:
+    [cliques] cliques of [size] vertices joined in a ring, with each
+    intra-clique edge independently rewired to a random vertex with
+    probability [rewire]. A stand-in for community-structured networks. *)
+
+(** {1 Post-processing} *)
+
+val connect : seed:int -> Graph.t -> Graph.t
+(** [connect ~seed g] adds one random unit-weight edge between consecutive
+    components until the graph is connected. *)
+
+val with_random_weights :
+  seed:int -> lo:float -> hi:float -> Graph.t -> Graph.t
+(** Replaces every edge weight by a uniform draw from [[lo, hi]]
+    (requires [0 < lo <= hi]). *)

@@ -1,0 +1,160 @@
+type t = {
+  n : int;
+  adj_v : int array array;     (* adj_v.(u).(p) = endpoint of port p of u *)
+  adj_w : float array array;   (* adj_w.(u).(p) = weight of that edge *)
+  m : int;
+  unit_weighted : bool;
+}
+
+let n g = g.n
+
+let m g = g.m
+
+let degree g u = Array.length g.adj_v.(u)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj_v
+
+let avg_degree g =
+  if g.n = 0 then 0.0 else 2.0 *. float_of_int g.m /. float_of_int g.n
+
+let endpoint g u p =
+  if p < 0 || p >= Array.length g.adj_v.(u) then
+    invalid_arg "Graph.endpoint: bad port";
+  g.adj_v.(u).(p)
+
+let port_weight g u p =
+  if p < 0 || p >= Array.length g.adj_w.(u) then
+    invalid_arg "Graph.port_weight: bad port";
+  g.adj_w.(u).(p)
+
+let port_to g u v =
+  let a = g.adj_v.(u) in
+  let rec find p = if p >= Array.length a then None else if a.(p) = v then Some p else find (p + 1) in
+  find 0
+
+let has_edge g u v = port_to g u v <> None
+
+let edge_weight g u v =
+  match port_to g u v with
+  | None -> None
+  | Some p -> Some g.adj_w.(u).(p)
+
+let neighbors g u =
+  List.init (degree g u) (fun p -> (g.adj_v.(u).(p), g.adj_w.(u).(p)))
+
+let iter_neighbors g u f =
+  let a = g.adj_v.(u) and w = g.adj_w.(u) in
+  for p = 0 to Array.length a - 1 do
+    f ~port:p ~v:a.(p) ~w:w.(p)
+  done
+
+let fold_edges f g acc =
+  let acc = ref acc in
+  for u = 0 to g.n - 1 do
+    let a = g.adj_v.(u) and w = g.adj_w.(u) in
+    for p = 0 to Array.length a - 1 do
+      if u < a.(p) then acc := f u a.(p) w.(p) !acc
+    done
+  done;
+  !acc
+
+let edges g =
+  fold_edges (fun u v w acc -> (u, v, w) :: acc) g [] |> List.sort compare
+
+let is_unit_weighted g = g.unit_weighted
+
+let min_edge_weight g =
+  if g.m = 0 then invalid_arg "Graph.min_edge_weight: no edges";
+  fold_edges (fun _ _ w acc -> Float.min w acc) g infinity
+
+let max_edge_weight g =
+  if g.m = 0 then invalid_arg "Graph.max_edge_weight: no edges";
+  fold_edges (fun _ _ w acc -> Float.max w acc) g neg_infinity
+
+let of_edges ?n:(n_opt = -1) edge_list =
+  let max_id =
+    List.fold_left (fun acc (u, v, _) -> max acc (max u v)) (-1) edge_list
+  in
+  let n = if n_opt >= 0 then n_opt else max_id + 1 in
+  if max_id >= n then invalid_arg "Graph.of_edges: vertex id exceeds n";
+  (* Deduplicate, keeping the smallest weight per unordered pair. *)
+  let tbl = Hashtbl.create (2 * List.length edge_list) in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || v < 0 then invalid_arg "Graph.of_edges: negative vertex id";
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      if not (w > 0.0) then invalid_arg "Graph.of_edges: non-positive weight";
+      let key = (min u v, max u v) in
+      match Hashtbl.find_opt tbl key with
+      | Some w' when w' <= w -> ()
+      | _ -> Hashtbl.replace tbl key w)
+    edge_list;
+  let deg = Array.make (max n 1) 0 in
+  Hashtbl.iter
+    (fun (u, v) _ ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    tbl;
+  let adj_v = Array.init n (fun u -> Array.make deg.(u) (-1)) in
+  let adj_w = Array.init n (fun u -> Array.make deg.(u) 0.0) in
+  let fill = Array.make (max n 1) 0 in
+  (* Sort edges for a deterministic port numbering. *)
+  let sorted = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) tbl [] in
+  let sorted = List.sort compare sorted in
+  let unit_weighted = ref true in
+  List.iter
+    (fun (u, v, w) ->
+      if w <> 1.0 then unit_weighted := false;
+      adj_v.(u).(fill.(u)) <- v;
+      adj_w.(u).(fill.(u)) <- w;
+      fill.(u) <- fill.(u) + 1;
+      adj_v.(v).(fill.(v)) <- u;
+      adj_w.(v).(fill.(v)) <- w;
+      fill.(v) <- fill.(v) + 1)
+    sorted;
+  { n; adj_v; adj_w; m = List.length sorted; unit_weighted = !unit_weighted }
+
+let of_unweighted_edges ?n edge_list =
+  of_edges ?n (List.map (fun (u, v) -> (u, v, 1.0)) edge_list)
+
+let reweight g f =
+  let adj_w = Array.init g.n (fun u -> Array.copy g.adj_w.(u)) in
+  let unit_weighted = ref true in
+  for u = 0 to g.n - 1 do
+    let a = g.adj_v.(u) in
+    for p = 0 to Array.length a - 1 do
+      let v = a.(p) in
+      if u < v then begin
+        let w = f u v g.adj_w.(u).(p) in
+        if not (w > 0.0) then invalid_arg "Graph.reweight: non-positive weight";
+        adj_w.(u).(p) <- w;
+        (* Mirror onto v's (unique) port back to u. *)
+        let rec mirror q =
+          if g.adj_v.(v).(q) = u then adj_w.(v).(q) <- w else mirror (q + 1)
+        in
+        mirror 0
+      end
+    done
+  done;
+  for u = 0 to g.n - 1 do
+    Array.iter (fun w -> if w <> 1.0 then unit_weighted := false) adj_w.(u)
+  done;
+  { g with adj_w; unit_weighted = !unit_weighted }
+
+let unit_weighted g = reweight g (fun _ _ _ -> 1.0)
+
+let subgraph_of_edges g kept =
+  let with_weights =
+    List.map
+      (fun (u, v) ->
+        match edge_weight g u v with
+        | Some w -> (u, v, w)
+        | None -> invalid_arg "Graph.subgraph_of_edges: edge absent")
+      kept
+  in
+  of_edges ~n:g.n with_weights
+
+let pp fmt g =
+  Format.fprintf fmt "graph(n=%d, m=%d, %s)" g.n g.m
+    (if g.unit_weighted then "unit" else "weighted")

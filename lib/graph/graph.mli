@@ -1,0 +1,100 @@
+(** Undirected graphs in the fixed-port model.
+
+    Vertices are integers in [0, n). Each vertex [u] numbers its incident
+    edges with consecutive {e ports} [0 .. degree u - 1]; routing schemes
+    forward messages by naming a port, exactly as in the fixed-port model of
+    Fraigniaud and Gavoille that the paper assumes (Section 2).
+
+    Edges carry strictly positive [float] weights. Unweighted graphs are
+    represented with all weights equal to [1.0] ({!is_unit_weighted}). *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : ?n:int -> (int * int * float) list -> t
+(** [of_edges ~n edges] builds a graph from an undirected edge list.
+    Self-loops are rejected, duplicate edges are deduplicated keeping the
+    smallest weight. [n] defaults to [1 + max vertex id].
+    @raise Invalid_argument on a self-loop, a non-positive weight, or a
+    negative vertex id. *)
+
+val of_unweighted_edges : ?n:int -> (int * int) list -> t
+(** [of_unweighted_edges ~n edges] is [of_edges] with all weights [1.0]. *)
+
+(** {1 Basic accessors} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+(** [degree g u] is the number of ports of [u]. *)
+
+val max_degree : t -> int
+(** Largest degree (0 for an edgeless graph). *)
+
+val avg_degree : t -> float
+(** [2m / n] (0 when [n = 0]). *)
+
+val endpoint : t -> int -> int -> int
+(** [endpoint g u p] is the neighbor of [u] reached through port [p].
+    @raise Invalid_argument if [p] is not a valid port of [u]. *)
+
+val port_weight : t -> int -> int -> float
+(** [port_weight g u p] is the weight of the edge behind port [p] of [u]. *)
+
+val port_to : t -> int -> int -> int option
+(** [port_to g u v] is the port of [u] whose endpoint is [v], if the edge
+    [(u, v)] exists. The standard routing model assumes a vertex can resolve
+    a neighbor to the connecting link (paper, footnote 2). *)
+
+val has_edge : t -> int -> int -> bool
+
+val edge_weight : t -> int -> int -> float option
+
+val neighbors : t -> int -> (int * float) list
+(** [neighbors g u] is the list of (neighbor, weight) pairs in port order. *)
+
+val iter_neighbors : t -> int -> (port:int -> v:int -> w:float -> unit) -> unit
+(** [iter_neighbors g u f] applies [f] to each incident edge of [u] in port
+    order. This is the hot-path accessor: it performs no allocation. *)
+
+val fold_edges : (int -> int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_edges f g acc] folds over each undirected edge once, with [u < v]. *)
+
+val edges : t -> (int * int * float) list
+(** All undirected edges, each once, with [u < v], sorted. *)
+
+val is_unit_weighted : t -> bool
+(** [true] iff every edge has weight exactly [1.0]. *)
+
+val min_edge_weight : t -> float
+(** Minimum edge weight. Equals the minimum pairwise distance
+    [min_{u <> v} d(u,v)] of the graph, which the paper uses to normalize
+    weighted graphs (Lemma 8).
+    @raise Invalid_argument on an edgeless graph. *)
+
+val max_edge_weight : t -> float
+(** Maximum edge weight. @raise Invalid_argument on an edgeless graph. *)
+
+(** {1 Transformation} *)
+
+val reweight : t -> (int -> int -> float -> float) -> t
+(** [reweight g f] replaces the weight of each edge [(u, v, w)] (with
+    [u < v]) by [f u v w]. Port numbering is preserved. *)
+
+val unit_weighted : t -> t
+(** [unit_weighted g] is [g] with every weight replaced by [1.0]. *)
+
+val subgraph_of_edges : t -> (int * int) list -> t
+(** [subgraph_of_edges g kept] is the subgraph of [g] on the same vertex set
+    containing exactly the listed edges (weights copied from [g]).
+    @raise Invalid_argument if a listed edge is absent from [g]. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a short summary [graph(n=.., m=.., weighted|unit)]. *)

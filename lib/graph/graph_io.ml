@@ -1,0 +1,44 @@
+let to_string g =
+  let buf = Buffer.create (16 * (Graph.m g + 1)) in
+  Buffer.add_string buf (Printf.sprintf "p %d %d\n" (Graph.n g) (Graph.m g));
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string buf (Printf.sprintf "e %d %d %.17g\n" u v w))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let n = ref (-1) in
+  let edges = ref [] in
+  let parse_line idx line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' then ()
+    else
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | [ "p"; n_s; _m_s ] -> (
+        match int_of_string_opt n_s with
+        | Some v when !n < 0 -> n := v
+        | Some _ -> failwith (Printf.sprintf "Graph_io: duplicate header at line %d" (idx + 1))
+        | None -> failwith (Printf.sprintf "Graph_io: bad header at line %d" (idx + 1)))
+      | [ "e"; u_s; v_s; w_s ] -> (
+        match (int_of_string_opt u_s, int_of_string_opt v_s, float_of_string_opt w_s) with
+        | Some u, Some v, Some w -> edges := (u, v, w) :: !edges
+        | _ -> failwith (Printf.sprintf "Graph_io: bad edge at line %d" (idx + 1)))
+      | _ -> failwith (Printf.sprintf "Graph_io: unrecognized line %d" (idx + 1))
+  in
+  List.iteri parse_line lines;
+  if !n < 0 then failwith "Graph_io: missing header";
+  try Graph.of_edges ~n:!n !edges
+  with Invalid_argument msg -> failwith ("Graph_io: " ^ msg)
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,17 @@
+(** Plain-text edge-list serialization.
+
+    Format: a header line [p <n> <m>] followed by [m] lines [e <u> <v> <w>].
+    Lines starting with [c] are comments. This is a weighted variant of the
+    DIMACS challenge format, so externally produced graphs can be fed to the
+    CLI tools. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Failure on a malformed document. *)
+
+val save : Graph.t -> string -> unit
+(** [save g path] writes [to_string g] to [path]. *)
+
+val load : string -> Graph.t
+(** [load path] parses the file at [path]. @raise Failure on parse errors. *)

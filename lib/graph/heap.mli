@@ -1,0 +1,40 @@
+(** Indexed binary min-heap over integer keys in [0, capacity).
+
+    Each key carries a [float] priority. Supports the decrease-key operation
+    needed by Dijkstra's algorithm. Ties between equal priorities are broken
+    by the smaller key, so heap extraction order is deterministic — this is
+    load-bearing for the [(distance, id)] tie-breaking of vertex vicinities
+    (paper Section 2). *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is an empty heap accepting keys in [0, capacity). *)
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val mem : t -> int -> bool
+(** [mem h k] is [true] iff key [k] is currently in the heap. *)
+
+val priority : t -> int -> float
+(** [priority h k] is the current priority of [k].
+    @raise Invalid_argument if [k] is not in the heap. *)
+
+val insert : t -> int -> float -> unit
+(** [insert h k p] inserts key [k] with priority [p].
+    @raise Invalid_argument if [k] is already present or out of range. *)
+
+val decrease : t -> int -> float -> unit
+(** [decrease h k p] lowers the priority of [k] to [p].
+    @raise Invalid_argument if [k] is absent or [p] is larger than the
+    current priority. *)
+
+val insert_or_decrease : t -> int -> float -> unit
+(** [insert_or_decrease h k p] inserts [k], or lowers its priority if [p] is
+    smaller than the current one; otherwise does nothing. *)
+
+val pop_min : t -> (int * float) option
+(** [pop_min h] removes and returns the (key, priority) pair with the least
+    priority, breaking priority ties by the smaller key. *)

@@ -1,0 +1,19 @@
+(** Multiplicative graph spanners.
+
+    The paper's introduction frames routing schemes against the classical
+    [(2k-1)]-spanner size/stretch tradeoff (Althofer et al., Baswana–Sen);
+    these constructions back the spanner ablation benchmark. *)
+
+val greedy : Graph.t -> k:int -> Graph.t
+(** [greedy g ~k] is the greedy [(2k-1)]-spanner: edges are scanned by
+    nondecreasing weight and kept iff the spanner-so-far has no path of
+    length [<= (2k-1) * w] between the endpoints. Guarantees stretch
+    [2k-1] and, on unit weights, size [O(n^(1+1/k))] under the girth bound. *)
+
+val baswana_sen : seed:int -> Graph.t -> k:int -> Graph.t
+(** [baswana_sen ~seed g ~k] is the randomized clustering [(2k-1)]-spanner of
+    Baswana and Sen (expected size [O(k n^(1+1/k))], near-linear time). *)
+
+val max_stretch : Graph.t -> Graph.t -> float
+(** [max_stretch g h] is the largest [d_H(u,v) / d_G(u,v)] over connected
+    pairs — exact (all-pairs) verification, for tests and benches. *)

@@ -1,0 +1,85 @@
+type writer = {
+  mutable buf : Bytes.t;
+  mutable len_bits : int;
+}
+
+let writer () = { buf = Bytes.make 16 '\000'; len_bits = 0 }
+
+let ensure w extra_bits =
+  let needed = (w.len_bits + extra_bits + 7) / 8 in
+  if needed > Bytes.length w.buf then begin
+    let bigger = Bytes.make (max needed (2 * Bytes.length w.buf)) '\000' in
+    Bytes.blit w.buf 0 bigger 0 (Bytes.length w.buf);
+    w.buf <- bigger
+  end
+
+let push_bit w b =
+  ensure w 1;
+  if b then begin
+    let byte = w.len_bits / 8 and off = w.len_bits mod 8 in
+    Bytes.set w.buf byte
+      (Char.chr (Char.code (Bytes.get w.buf byte) lor (0x80 lsr off)))
+  end;
+  w.len_bits <- w.len_bits + 1
+
+let push w ~bits v =
+  if bits < 1 || bits > 62 then invalid_arg "Bits.push: bad width";
+  if v < 0 || (bits < 62 && v lsr bits <> 0) then
+    invalid_arg "Bits.push: value out of range";
+  for i = bits - 1 downto 0 do
+    push_bit w ((v lsr i) land 1 = 1)
+  done
+
+let push_gamma w v =
+  if v < 0 then invalid_arg "Bits.push_gamma: negative";
+  let x = v + 1 in
+  let nbits =
+    let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+    go x 0
+  in
+  (* nbits - 1 zeros, then x in nbits bits (leading 1 included). *)
+  for _ = 1 to nbits - 1 do
+    push_bit w false
+  done;
+  push w ~bits:nbits x
+
+let length w = w.len_bits
+
+let contents w = Bytes.sub w.buf 0 ((w.len_bits + 7) / 8)
+
+type reader = {
+  data : Bytes.t;
+  mutable pos : int;
+}
+
+let reader data = { data; pos = 0 }
+
+let pull_bit r =
+  let byte = r.pos / 8 and off = r.pos mod 8 in
+  if byte >= Bytes.length r.data then invalid_arg "Bits.pull: past end";
+  r.pos <- r.pos + 1;
+  Char.code (Bytes.get r.data byte) land (0x80 lsr off) <> 0
+
+let pull r ~bits =
+  if bits < 1 || bits > 62 then invalid_arg "Bits.pull: bad width";
+  let v = ref 0 in
+  for _ = 1 to bits do
+    v := (!v lsl 1) lor (if pull_bit r then 1 else 0)
+  done;
+  !v
+
+let pull_gamma r =
+  let zeros = ref 0 in
+  while not (pull_bit r) do
+    incr zeros
+  done;
+  (* We consumed the leading 1; read the remaining [zeros] bits of x. *)
+  let rest = if !zeros = 0 then 0 else pull r ~bits:!zeros in
+  ((1 lsl !zeros) lor rest) - 1
+
+let bits_for k =
+  if k <= 1 then 1
+  else begin
+    let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+    go (k - 1) 0
+  end

@@ -1,0 +1,37 @@
+(** Bit-level encoding, used to measure label and header sizes in actual
+    bits (the paper states label bounds like [o(log^2 n)] bits; the rest of
+    the library accounts in words, and this module grounds the conversion
+    with real, round-trippable encodings). *)
+
+type writer
+
+val writer : unit -> writer
+
+val push : writer -> bits:int -> int -> unit
+(** [push w ~bits v] appends [v] as a [bits]-wide big-endian field.
+    @raise Invalid_argument if [v] is out of range or [bits] is not in
+    [1, 62]. *)
+
+val push_gamma : writer -> int -> unit
+(** [push_gamma w v] appends [v >= 0] in Elias gamma code (of [v+1]):
+    [2 floor(log2 (v+1)) + 1] bits — self-delimiting, for unbounded
+    fields like entry counts. *)
+
+val length : writer -> int
+(** Number of bits written so far. *)
+
+val contents : writer -> bytes
+(** The written bits, zero-padded to a whole number of bytes. *)
+
+type reader
+
+val reader : bytes -> reader
+
+val pull : reader -> bits:int -> int
+(** Reads the next [bits]-wide field. @raise Invalid_argument past the end. *)
+
+val pull_gamma : reader -> int
+
+val bits_for : int -> int
+(** [bits_for k] is the width needed to store values in [0, k) —
+    [ceil(log2 k)], at least 1. *)

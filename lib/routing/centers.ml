@@ -1,0 +1,89 @@
+open Cr_graph
+
+type t = {
+  centers : int array;
+  is_center : bool array;
+  dist_to_a : float array;
+  p_a : int array;
+}
+
+let of_centers g center_list =
+  let n = Graph.n g in
+  let centers = Array.of_list (List.sort_uniq compare center_list) in
+  let is_center = Array.make n false in
+  Array.iter (fun c -> is_center.(c) <- true) centers;
+  if Array.length centers = 0 then
+    {
+      centers;
+      is_center;
+      dist_to_a = Array.make n infinity;
+      p_a = Array.make n (-1);
+    }
+  else begin
+    let m = Dijkstra.multi_source g (Array.to_list centers) in
+    { centers; is_center; dist_to_a = m.dist_to_set; p_a = m.nearest }
+  end
+
+let cluster g t w =
+  Dijkstra.restricted g w ~limit:(fun v -> t.dist_to_a.(v))
+
+let cluster_size g t w = Array.length (cluster g t w).order
+
+let max_cluster_size g t =
+  let worst = ref 0 in
+  for w = 0 to Graph.n g - 1 do
+    worst := max !worst (cluster_size g t w)
+  done;
+  !worst
+
+let sample ~seed g ~target =
+  let n = Graph.n g in
+  let target = max 1 target in
+  if target >= n then of_centers g (List.init n Fun.id)
+  else begin
+    let st = Random.State.make [| seed; 0x6c34 |] in
+    let bound = 4 * n / target in
+    let a = Hashtbl.create (2 * target) in
+    let rec refine w iter =
+      let t = of_centers g (Hashtbl.fold (fun v () acc -> v :: acc) a []) in
+      let oversized =
+        List.filter (fun v -> cluster_size g t v > bound) w
+      in
+      if oversized = [] then t
+      else if iter > 4 + (4 * int_of_float (log (float_of_int (max n 2)))) then begin
+        (* Safety valve: absorb the stragglers outright. *)
+        List.iter (fun v -> Hashtbl.replace a v ()) oversized;
+        of_centers g (Hashtbl.fold (fun v () acc -> v :: acc) a [])
+      end
+      else begin
+        let p = float_of_int target /. float_of_int (List.length oversized) in
+        let hit = ref false in
+        List.iter
+          (fun v ->
+            if Random.State.float st 1.0 < p then begin
+              Hashtbl.replace a v ();
+              hit := true
+            end)
+          oversized;
+        (* Guarantee progress even when the coin never lands. *)
+        if not !hit then
+          Hashtbl.replace a (List.nth oversized (Random.State.int st (List.length oversized))) ();
+        refine oversized (iter + 1)
+      end
+    in
+    let t = refine (List.init n Fun.id) 0 in
+    (* A vacuous bound (4n/target >= n) can leave A empty; the schemes need
+       p_A everywhere, and adding a center only shrinks clusters. *)
+    let t = if Array.length t.centers = 0 then of_centers g [ 0 ] else t in
+    assert (max_cluster_size g t <= bound);
+    t
+  end
+
+let bunches g t =
+  let n = Graph.n g in
+  let acc = Array.make n [] in
+  for w = 0 to n - 1 do
+    let c = cluster g t w in
+    Array.iter (fun v -> acc.(v) <- w :: acc.(v)) c.order
+  done;
+  Array.map (fun l -> Array.of_list (List.rev l)) acc

@@ -1,0 +1,40 @@
+open Cr_graph
+
+(** Center sets, bunches and clusters (Thorup–Zwick; paper Lemma 4).
+
+    For a center set [A]: [p_A(v)] is the nearest center (ties by smaller
+    id), the {e bunch} [B_A(v) = { w | d(w,v) < d(v,A) }], and the
+    {e cluster} [C_A(w) = { v | d(w,v) < d(v,A) }]. [w ∈ B_A(v)] iff
+    [v ∈ C_A(w)]; clusters are connected under shortest paths, so each has a
+    shortest-path tree rooted at its center. *)
+
+type t = {
+  centers : int array;      (** the set [A], sorted *)
+  is_center : bool array;
+  dist_to_a : float array;  (** [d(v, A)]; [infinity] if [A] is empty *)
+  p_a : int array;          (** [p_A(v)], or [-1] *)
+}
+
+val of_centers : Graph.t -> int list -> t
+(** Computes distances/nearest centers for a given [A] (one multi-source
+    Dijkstra). *)
+
+val sample : seed:int -> Graph.t -> target:int -> t
+(** [sample ~seed g ~target] is Lemma 4: a set [A] of expected size
+    [O(target * log n)] such that every cluster satisfies
+    [|C_A(w)| <= 4 n / target]. Iterated sampling with resampling of the
+    vertices whose clusters are still too large; the bound is {e verified}
+    before returning. *)
+
+val cluster : Graph.t -> t -> int -> Dijkstra.tree
+(** [cluster g t w] is the shortest-path tree of [C_A(w)] rooted at [w]
+    (restricted Dijkstra). The tree's [order] lists the cluster members;
+    the cluster of a center is empty. *)
+
+val cluster_size : Graph.t -> t -> int -> int
+
+val bunches : Graph.t -> t -> int array array
+(** [bunches g t] is [B_A(v)] for every [v], obtained by inverting all
+    clusters (total work proportional to the total cluster size). *)
+
+val max_cluster_size : Graph.t -> t -> int

@@ -1,0 +1,95 @@
+type t = {
+  colors : int;
+  color : int array;
+  classes : int array array;
+}
+
+let build_classes ~colors color =
+  let buckets = Array.make colors [] in
+  Array.iteri (fun v c -> buckets.(c) <- v :: buckets.(c)) color;
+  Array.map (fun l -> Array.of_list (List.rev l)) buckets
+
+let check_sets color ~colors sets =
+  (* Returns the list of (set index, missing color). *)
+  let missing = ref [] in
+  List.iteri
+    (fun i s ->
+      let seen = Array.make colors false in
+      Array.iter (fun v -> seen.(color.(v)) <- true) s;
+      Array.iteri (fun c ok -> if not ok then missing := (i, c) :: !missing) seen)
+    sets;
+  !missing
+
+let check_balance color ~colors ~n ~balance =
+  let bound = balance *. float_of_int n /. float_of_int colors in
+  let counts = Array.make colors 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) color;
+  Array.for_all (fun c -> float_of_int c <= bound +. 1.0) counts
+
+let verify t sets ~balance =
+  let n = Array.length t.color in
+  match check_sets t.color ~colors:t.colors sets with
+  | (i, c) :: _ ->
+    Error (Printf.sprintf "set %d misses color %d" i c)
+  | [] ->
+    if check_balance t.color ~colors:t.colors ~n ~balance then Ok ()
+    else Error "unbalanced color classes"
+
+(* Greedy repair: for each set missing color [c], recolor the member whose
+   current color is the most redundant within that set. May invalidate other
+   sets, so it runs in rounds until a fixed point or the round limit. *)
+let repair color ~colors sets =
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun s ->
+        let count = Array.make colors 0 in
+        Array.iter (fun v -> count.(color.(v)) <- count.(color.(v)) + 1) s;
+        for c = 0 to colors - 1 do
+          if count.(c) = 0 then begin
+            (* Donate from the most over-represented color in this set. *)
+            let donor_color = ref 0 in
+            for c' = 1 to colors - 1 do
+              if count.(c') > count.(!donor_color) then donor_color := c'
+            done;
+            if count.(!donor_color) >= 2 then begin
+              let v =
+                Array.to_list s
+                |> List.find (fun v -> color.(v) = !donor_color)
+              in
+              color.(v) <- c;
+              count.(!donor_color) <- count.(!donor_color) - 1;
+              count.(c) <- 1;
+              changed := true
+            end
+          end
+        done)
+      sets
+  done
+
+let make ~seed ?(balance = 4.0) ?(max_attempts = 32) ~n ~colors sets =
+  if colors < 1 || colors > n then invalid_arg "Coloring.make: bad color count";
+  match List.find_opt (fun s -> Array.length s < colors) sets with
+  | Some s ->
+    Error
+      (Printf.sprintf "a set of size %d cannot contain all %d colors"
+         (Array.length s) colors)
+  | None ->
+    let rec attempt i =
+      if i >= max_attempts then Error "coloring failed to converge"
+      else begin
+        let st = Random.State.make [| seed; i; 0x636f |] in
+        let color = Array.init n (fun _ -> Random.State.int st colors) in
+        if check_sets color ~colors sets <> [] then repair color ~colors sets;
+        if check_sets color ~colors sets = []
+           && check_balance color ~colors ~n ~balance
+        then Ok { colors; color; classes = build_classes ~colors color }
+        else attempt (i + 1)
+      end
+    in
+    attempt 0
+
+let class_of t c = t.classes.(c)

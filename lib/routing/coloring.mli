@@ -1,0 +1,36 @@
+(** The coloring of Abraham et al. (paper Lemma 6).
+
+    Given vertex sets [S_1 .. S_k] (in our schemes: the vicinities
+    [B(u, q~)]), color the universe with [q] colors such that
+    (1) every set contains every color, and
+    (2) every color class has [O(n/q)] vertices.
+
+    We color uniformly at random and {e verify} both conditions, retrying
+    with fresh randomness and finally running a greedy repair pass; a
+    returned coloring always satisfies condition (1) exactly and condition
+    (2) within the stated factor. *)
+
+type t = {
+  colors : int;          (** number of colors [q] *)
+  color : int array;     (** [color.(v)] in [0, q) *)
+  classes : int array array; (** [classes.(c)] = vertices of color [c] *)
+}
+
+val make :
+  seed:int ->
+  ?balance:float ->
+  ?max_attempts:int ->
+  n:int ->
+  colors:int ->
+  int array list ->
+  (t, string) result
+(** [make ~seed ~n ~colors sets] colors [0, n). [balance] (default 4.0)
+    bounds each class size by [balance * n / colors]. Fails (with a
+    diagnostic) only if some set is smaller than [colors] — then condition
+    (1) is unsatisfiable — or repair cannot converge. *)
+
+val class_of : t -> int -> int array
+(** [class_of t c] is the color class [U_c]. *)
+
+val verify : t -> int array list -> balance:float -> (unit, string) result
+(** Re-checks both Lemma 6 conditions; used by tests. *)

@@ -1,0 +1,65 @@
+let check_nonempty sets =
+  List.iter
+    (fun s -> if Array.length s = 0 then invalid_arg "Hitting_set: empty set")
+    sets
+
+let greedy ~n sets =
+  check_nonempty sets;
+  let sets = Array.of_list sets in
+  let k = Array.length sets in
+  (* occurs.(v) = indices of sets containing v. *)
+  let occurs = Array.make n [] in
+  Array.iteri
+    (fun i s -> Array.iter (fun v -> occurs.(v) <- i :: occurs.(v)) s)
+    sets;
+  let unhit_count = Array.make n 0 in
+  Array.iteri (fun v l -> unhit_count.(v) <- List.length l) occurs;
+  let hit = Array.make k false in
+  let remaining = ref k in
+  let result = ref [] in
+  while !remaining > 0 do
+    (* Element covering the most unhit sets; ties by smaller id. *)
+    let best = ref (-1) in
+    for v = n - 1 downto 0 do
+      if unhit_count.(v) >= 1 && (!best = -1 || unhit_count.(v) >= unhit_count.(!best))
+      then best := v
+    done;
+    let v = !best in
+    assert (v >= 0);
+    result := v :: !result;
+    List.iter
+      (fun i ->
+        if not hit.(i) then begin
+          hit.(i) <- true;
+          decr remaining;
+          Array.iter (fun u -> unhit_count.(u) <- unhit_count.(u) - 1) sets.(i)
+        end)
+      occurs.(v)
+  done;
+  List.sort_uniq compare !result
+
+let sampled ~seed ~n sets =
+  check_nonempty sets;
+  let st = Random.State.make [| seed; 0x6873 |] in
+  let sets_arr = Array.of_list sets in
+  let k = Array.length sets_arr in
+  let chosen = Hashtbl.create 16 in
+  let hits v = Hashtbl.mem chosen v in
+  let s_min =
+    Array.fold_left (fun acc s -> min acc (Array.length s)) max_int sets_arr
+  in
+  (* Expected-size global sample: (n/s) * (ln k + 2) draws. *)
+  let draws =
+    int_of_float
+      (ceil (float_of_int n /. float_of_int s_min *. (log (float_of_int (max k 2)) +. 2.0)))
+  in
+  for _ = 1 to max draws 1 do
+    Hashtbl.replace chosen (Random.State.int st n) ()
+  done;
+  (* Patch any set the sample missed with one of its own members. *)
+  Array.iter
+    (fun s ->
+      if not (Array.exists hits s) then
+        Hashtbl.replace chosen s.(Random.State.int st (Array.length s)) ())
+    sets_arr;
+  Hashtbl.fold (fun v () acc -> v :: acc) chosen [] |> List.sort compare

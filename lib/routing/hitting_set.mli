@@ -1,0 +1,17 @@
+(** Hitting sets (paper Lemma 5, after Aingworth et al. / Dor et al.).
+
+    Given sets [S_1 .. S_k] over the universe [0, n), each of size at least
+    [s], produce a set [H] with [H ∩ S_i <> ∅] for all [i] and
+    [|H| = O((n / s) log k)]. *)
+
+val greedy : n:int -> int array list -> int list
+(** [greedy ~n sets] is the deterministic greedy hitting set: repeatedly add
+    the element contained in the most not-yet-hit sets. Achieves the
+    [ln k + 1] approximation of the optimum, hence the Lemma 5 bound.
+    @raise Invalid_argument if some set is empty. *)
+
+val sampled : seed:int -> n:int -> int array list -> int list
+(** [sampled ~seed ~n sets] draws random elements until every set is hit
+    (each set's own members are drawn for sets the global sample missed, so
+    the result is always a valid hitting set). Matches the whp randomized
+    construction the paper cites. *)

@@ -1,0 +1,56 @@
+open Cr_graph
+
+type 'h decision =
+  | Deliver
+  | Forward of int * 'h
+
+type outcome = {
+  delivered : bool;
+  final : int;
+  path : int list;
+  length : float;
+  hops : int;
+  header_words_peak : int;
+}
+
+type hop_record = {
+  at : int;
+  port : int;
+  header_words : int;
+}
+
+let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ()) () =
+  let max_hops =
+    match max_hops with Some h -> h | None -> (4 * Graph.n g) + 16
+  in
+  let rec go at hdr rev_path length hops peak =
+    let words = header_words hdr in
+    let peak = max peak words in
+    if hops > max_hops then
+      {
+        delivered = false;
+        final = at;
+        path = List.rev rev_path;
+        length;
+        hops;
+        header_words_peak = peak;
+      }
+    else
+      match step ~at hdr with
+      | Deliver ->
+        on_hop { at; port = -1; header_words = words };
+        {
+          delivered = true;
+          final = at;
+          path = List.rev rev_path;
+          length;
+          hops;
+          header_words_peak = peak;
+        }
+      | Forward (port, hdr') ->
+        on_hop { at; port; header_words = words };
+        let v = Graph.endpoint g at port in
+        let w = Graph.port_weight g at port in
+        go v hdr' (v :: rev_path) (length +. w) (hops + 1) peak
+  in
+  go src header [ src ] 0.0 0 0

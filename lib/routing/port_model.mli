@@ -1,0 +1,48 @@
+open Cr_graph
+
+(** The fixed-port network simulator.
+
+    A routing scheme is exercised as a {e local step function}: at the vertex
+    currently holding the message, the step function sees only that vertex's
+    identity and the message header, and must either deliver or name an
+    outgoing port. The simulator owns the topology: it resolves ports to
+    neighbors, accumulates the traversed length, and aborts runaway routes.
+    A scheme therefore cannot teleport or follow non-edges — if its local
+    tables are wrong the simulated message goes astray and the tests see it. *)
+
+type 'h decision =
+  | Deliver
+  | Forward of int * 'h
+      (** [Forward (port, header)]: send through [port] with a (possibly
+          rewritten) header. *)
+
+type outcome = {
+  delivered : bool;      (** the step function said [Deliver] at some vertex *)
+  final : int;           (** vertex where the simulation stopped *)
+  path : int list;       (** vertices visited, source first *)
+  length : float;        (** total weight of traversed edges *)
+  hops : int;            (** number of edges traversed *)
+  header_words_peak : int;  (** max header size seen, in O(log n)-bit words *)
+}
+
+type hop_record = {
+  at : int;            (** vertex holding the message *)
+  port : int;          (** port it forwarded through ([-1] on deliver) *)
+  header_words : int;  (** header size at this hop *)
+}
+
+val run :
+  Graph.t ->
+  src:int ->
+  header:'h ->
+  step:(at:int -> 'h -> 'h decision) ->
+  header_words:('h -> int) ->
+  ?max_hops:int ->
+  ?on_hop:(hop_record -> unit) ->
+  unit ->
+  outcome
+(** [run g ~src ~header ~step ~header_words ()] injects a message at [src]
+    and applies [step] until it delivers or [max_hops] (default [4 * n + 16])
+    edges have been traversed. [on_hop] observes each local decision (used
+    by the CLI's trace mode).
+    @raise Invalid_argument if [step] names an invalid port. *)

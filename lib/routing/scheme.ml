@@ -1,0 +1,95 @@
+open Cr_graph
+
+type instance = {
+  name : string;
+  graph : Graph.t;
+  route : src:int -> dst:int -> Port_model.outcome;
+  table_words : int array;
+  label_words : int array;
+}
+
+let max_table_words i = Array.fold_left max 0 i.table_words
+
+let avg_table_words i =
+  let n = Array.length i.table_words in
+  if n = 0 then 0.0
+  else float_of_int (Array.fold_left ( + ) 0 i.table_words) /. float_of_int n
+
+let max_label_words i = Array.fold_left max 0 i.label_words
+
+type eval = {
+  samples : (float * float) array;
+  failures : int;
+  header_words_peak : int;
+}
+
+let sample_pairs ~seed ~n ~count =
+  let all = n * (n - 1) in
+  if count >= all then begin
+    let acc = ref [] in
+    for u = n - 1 downto 0 do
+      for v = n - 1 downto 0 do
+        if u <> v then acc := (u, v) :: !acc
+      done
+    done;
+    !acc
+  end
+  else begin
+    let st = Random.State.make [| seed; 0x7072 |] in
+    let seen = Hashtbl.create (2 * count) in
+    while Hashtbl.length seen < count do
+      let u = Random.State.int st n and v = Random.State.int st n in
+      if u <> v then Hashtbl.replace seen (u, v) ()
+    done;
+    Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort compare
+  end
+
+let evaluate inst apsp pairs =
+  let samples = ref [] in
+  let failures = ref 0 in
+  let peak = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      let d = Apsp.dist apsp u v in
+      if d <> infinity && d > 0.0 then begin
+        let o = inst.route ~src:u ~dst:v in
+        peak := max !peak o.Port_model.header_words_peak;
+        if o.Port_model.delivered && o.Port_model.final = v then
+          samples := (d, o.Port_model.length) :: !samples
+        else incr failures
+      end)
+    pairs;
+  {
+    samples = Array.of_list (List.rev !samples);
+    failures = !failures;
+    header_words_peak = !peak;
+  }
+
+let max_stretch e =
+  Array.fold_left (fun acc (d, l) -> Float.max acc (l /. d)) 1.0 e.samples
+
+let avg_stretch e =
+  let k = Array.length e.samples in
+  if k = 0 then 1.0
+  else
+    Array.fold_left (fun acc (d, l) -> acc +. (l /. d)) 0.0 e.samples
+    /. float_of_int k
+
+let percentile_stretch e p =
+  let k = Array.length e.samples in
+  if k = 0 then 1.0
+  else begin
+    let s = Array.map (fun (d, l) -> l /. d) e.samples in
+    Array.sort compare s;
+    let idx = int_of_float (p *. float_of_int (k - 1)) in
+    s.(max 0 (min (k - 1) idx))
+  end
+
+let max_affine_excess e ~alpha ~beta =
+  Array.fold_left
+    (fun acc (d, l) -> Float.max acc (l -. ((alpha *. d) +. beta)))
+    neg_infinity e.samples
+
+let within e ~alpha ~beta =
+  e.failures = 0
+  && (Array.length e.samples = 0 || max_affine_excess e ~alpha ~beta <= 1e-9)

@@ -1,0 +1,58 @@
+open Cr_graph
+
+(** Uniform view of a compact routing scheme, as consumed by the tests, the
+    benchmark harness and the examples.
+
+    Space convention: all sizes are counted in {e words} of O(log n) bits —
+    a vertex id, a port, a distance, or a DFS number each cost one word.
+    This matches how the paper states table sizes (entries of O(log n) bits)
+    and is robust to machine word width. *)
+
+type instance = {
+  name : string;
+  graph : Graph.t;
+  route : src:int -> dst:int -> Port_model.outcome;
+      (** Simulates one message through the fixed-port simulator. *)
+  table_words : int array;
+      (** [table_words.(v)] = routing-table size of vertex [v], in words. *)
+  label_words : int array;
+      (** [label_words.(v)] = size of [v]'s routing label, in words. *)
+}
+
+val max_table_words : instance -> int
+
+val avg_table_words : instance -> float
+
+val max_label_words : instance -> int
+
+(** {1 Stretch evaluation} *)
+
+type eval = {
+  samples : (float * float) array;
+      (** per routed pair: (true distance, routed length); only delivered
+          pairs with positive distance appear *)
+  failures : int;  (** pairs that were not delivered at their destination *)
+  header_words_peak : int;
+}
+
+val sample_pairs : seed:int -> n:int -> count:int -> (int * int) list
+(** [sample_pairs ~seed ~n ~count] draws [count] ordered pairs of distinct
+    vertices (all [n (n-1)] pairs if [count] is at least that many). *)
+
+val evaluate : instance -> Apsp.t -> (int * int) list -> eval
+(** Routes every pair through the simulator and records (distance, length). *)
+
+val max_stretch : eval -> float
+(** Largest multiplicative stretch [length / distance] (1.0 if no samples). *)
+
+val avg_stretch : eval -> float
+
+val percentile_stretch : eval -> float -> float
+(** [percentile_stretch e 0.99] is the 99th-percentile stretch. *)
+
+val max_affine_excess : eval -> alpha:float -> beta:float -> float
+(** Largest [length - (alpha * distance + beta)] — nonpositive iff every
+    routed path satisfies the [(alpha, beta)]-stretch guarantee. *)
+
+val within : eval -> alpha:float -> beta:float -> bool
+(** No failures and [max_affine_excess <= 1e-9]. *)

@@ -1,0 +1,98 @@
+open Cr_graph
+
+type t = {
+  source : int;
+  members : int array;
+  dists : float array;
+  index : (int, int) Hashtbl.t; (* member -> position in [members] *)
+  first_ports : int array;      (* position-indexed *)
+  radius : float;
+}
+
+let of_truncated (tr : Dijkstra.truncated) =
+  let k = Array.length tr.vertices in
+  let index = Hashtbl.create (2 * k) in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) tr.vertices;
+  let max_dist = if k = 0 then 0.0 else tr.dists.(k - 1) in
+  (* r_u(l): the largest distance r such that every vertex at distance
+     exactly r is settled. If the nearest excluded vertex is at [nd] then
+     distances >= nd are incomplete; distance nd itself may be split. *)
+  let radius =
+    match tr.next_dist with
+    | None -> max_dist
+    | Some nd ->
+      if nd > max_dist then max_dist
+      else begin
+        (* nd = max_dist: that distance class is split between settled and
+           unsettled vertices; back off to the largest settled distance
+           strictly below it. *)
+        let r = ref 0.0 in
+        Array.iter (fun d -> if d < nd && d > !r then r := d) tr.dists;
+        !r
+      end
+  in
+  {
+    source = tr.src;
+    members = tr.vertices;
+    dists = tr.dists;
+    index;
+    first_ports = tr.first_ports;
+    radius;
+  }
+
+let compute g u l = of_truncated (Dijkstra.truncated g u l)
+
+let compute_all g l = Array.init (Graph.n g) (fun u -> compute g u l)
+
+let source b = b.source
+
+let size b = Array.length b.members
+
+let mem b v = Hashtbl.mem b.index v
+
+let position b v =
+  match Hashtbl.find_opt b.index v with
+  | Some i -> i
+  | None -> raise Not_found
+
+let dist b v = b.dists.(position b v)
+
+let first_port b v =
+  let i = position b v in
+  if b.members.(i) = b.source then invalid_arg "Vicinity.first_port: source";
+  b.first_ports.(i)
+
+let radius b = b.radius
+
+let members b = b.members
+
+let max_dist b =
+  let k = Array.length b.dists in
+  if k = 0 then 0.0 else b.dists.(k - 1)
+
+let rank b v = Hashtbl.find_opt b.index v
+
+let prefix_radius b l' =
+  let k = Array.length b.dists in
+  if l' >= k then b.radius
+  else if l' <= 0 then 0.0
+  else begin
+    (* The nearest excluded vertex of the prefix is member l'. *)
+    let nd = b.dists.(l') in
+    let r = ref 0.0 in
+    for i = 0 to l' - 1 do
+      if b.dists.(i) < nd && b.dists.(i) > !r then r := b.dists.(i)
+    done;
+    !r
+  end
+
+let nearest_of b pred =
+  (* Members are already in (dist, id) order. *)
+  let rec scan i =
+    if i >= Array.length b.members then None
+    else if pred b.members.(i) then Some b.members.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let step vicinities ~at ~dst = first_port vicinities.(at) dst

@@ -1,0 +1,67 @@
+open Cr_graph
+
+(** Vertex vicinities [B(u, l)] — the [l] closest vertices of [u] under
+    [(distance, id)] tie-breaking — together with the radius [r_u(l)] and the
+    Lemma 2 shortest-path routing rule.
+
+    Property 1 (Awerbuch et al.): if [v] is in [B(u, l)] and [w] lies on a
+    shortest path between [u] and [v], then [v] is in [B(w, l)]. It holds
+    under exactly this tie-breaking, which is why Lemma 2 routing — every
+    vertex forwarding along its own stored first edge — stays on a shortest
+    path and always finds the next entry. *)
+
+type t
+
+val compute : Graph.t -> int -> int -> t
+(** [compute g u l] is the vicinity [B(u, l)] (clamped to the component). *)
+
+val compute_all : Graph.t -> int -> t array
+(** [compute_all g l] is [B(u, l)] for every vertex, indexed by vertex. *)
+
+val source : t -> int
+
+val size : t -> int
+
+val mem : t -> int -> bool
+
+val dist : t -> int -> float
+(** [dist b v] is d(source, v). @raise Not_found if [v] is not a member. *)
+
+val first_port : t -> int -> int
+(** [first_port b v] is the first port on a shortest path from the source to
+    member [v]. @raise Not_found if absent; @raise Invalid_argument on the
+    source itself. *)
+
+val radius : t -> float
+(** [radius b] is [r_u(l)]: the largest distance [r] such that {e every}
+    vertex at distance exactly [r] from the source is a member. On an
+    unweighted graph every member satisfies [d <= radius + 1]
+    (paper Section 2). *)
+
+val members : t -> int array
+(** Members in [(dist, id)] order; [members.(0)] is the source. *)
+
+val max_dist : t -> float
+(** Distance of the farthest member. *)
+
+val rank : t -> int -> int option
+(** [rank b v] is [v]'s position in the [(dist, id)] order (0 for the
+    source), if a member. Because vicinities are nested — [B(u, l')] is a
+    prefix of [B(u, l)] for [l' <= l] — [rank b v < l'] decides membership
+    in the smaller vicinity, which the generalized schemes of Section 5 use
+    to store only their largest vicinity. *)
+
+val prefix_radius : t -> int -> float
+(** [prefix_radius b l'] is [r_u(l')] for a prefix size [l' <= size b]
+    (clamped), computed without re-running the search. *)
+
+val nearest_of : t -> (int -> bool) -> int option
+(** [nearest_of b pred] is the member closest to the source satisfying
+    [pred] (ties by id), e.g. "nearest vertex of color c" or "some vertex of
+    the hitting set". *)
+
+val step : t array -> at:int -> dst:int -> int
+(** Lemma 2: the port that [at] uses to forward a message addressed to
+    [dst], assuming [dst] is in [B(at, l)]. The caller routes by repeating
+    [step] at each intermediate vertex; Property 1 guarantees membership is
+    preserved along the way. @raise Not_found if [dst] is not in [B(at, l)]. *)

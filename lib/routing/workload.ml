@@ -1,0 +1,68 @@
+open Cr_graph
+
+let all_connected_pairs apsp n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let d = Apsp.dist apsp u v in
+        if d < infinity then acc := ((u, v), d) :: !acc
+      end
+    done
+  done;
+  !acc
+
+let stratified apsp ~seed ~n ~buckets ~per_bucket =
+  if buckets < 1 then invalid_arg "Workload.stratified: need buckets >= 1";
+  let pairs = all_connected_pairs apsp n in
+  let sorted =
+    List.sort (fun (_, d1) (_, d2) -> compare d1 d2) pairs |> Array.of_list
+  in
+  let total = Array.length sorted in
+  let st = Random.State.make [| seed; 0x776b |] in
+  Array.init buckets (fun b ->
+      let lo_idx = b * total / buckets in
+      let hi_idx = min total ((b + 1) * total / buckets) in
+      let size = hi_idx - lo_idx in
+      if size <= 0 then ((0.0, 0.0), [])
+      else begin
+        let lo = snd sorted.(lo_idx) and hi = snd sorted.(hi_idx - 1) in
+        let chosen = Hashtbl.create (2 * per_bucket) in
+        let budget = min per_bucket size in
+        (* Sample without replacement from the bucket's index range. *)
+        let guard = ref 0 in
+        while Hashtbl.length chosen < budget && !guard < 50 * budget do
+          incr guard;
+          Hashtbl.replace chosen (lo_idx + Random.State.int st size) ()
+        done;
+        let picked =
+          Hashtbl.fold (fun i () acc -> fst sorted.(i) :: acc) chosen []
+        in
+        ((lo, hi), picked)
+      end)
+
+let farthest apsp ~n ~count =
+  let pairs = all_connected_pairs apsp n in
+  let sorted = List.sort (fun (_, d1) (_, d2) -> compare d2 d1) pairs in
+  List.filteri (fun i _ -> i < count) sorted |> List.map fst
+
+let within_distance apsp ~seed ~n ~lo ~hi ~count =
+  let eligible =
+    all_connected_pairs apsp n
+    |> List.filter (fun (_, d) -> d >= lo && d <= hi)
+    |> List.map fst
+    |> Array.of_list
+  in
+  let k = Array.length eligible in
+  if k = 0 then []
+  else begin
+    let st = Random.State.make [| seed; 0x7764 |] in
+    let chosen = Hashtbl.create (2 * count) in
+    let budget = min count k in
+    let guard = ref 0 in
+    while Hashtbl.length chosen < budget && !guard < 50 * budget do
+      incr guard;
+      Hashtbl.replace chosen eligible.(Random.State.int st k) ()
+    done;
+    Hashtbl.fold (fun p () acc -> p :: acc) chosen []
+  end

@@ -1,0 +1,25 @@
+open Cr_graph
+
+(** Source/destination workloads for evaluating routing schemes.
+
+    Uniform pair sampling (see {!Scheme.sample_pairs}) under-represents the
+    far pairs where stretch accumulates; these helpers build
+    distance-aware workloads from an exact APSP oracle. *)
+
+val stratified :
+  Apsp.t -> seed:int -> n:int -> buckets:int -> per_bucket:int ->
+  ((float * float) * (int * int) list) array
+(** [stratified apsp ~seed ~n ~buckets ~per_bucket] splits the connected
+    ordered pairs into [buckets] equal-population distance ranges and
+    samples up to [per_bucket] pairs from each. Returns, per bucket, the
+    distance range [(lo, hi)] and the sampled pairs (source <> target). *)
+
+val farthest : Apsp.t -> n:int -> count:int -> (int * int) list
+(** [farthest apsp ~n ~count] is the [count] most distant connected ordered
+    pairs — the worst-case probes. *)
+
+val within_distance :
+  Apsp.t -> seed:int -> n:int -> lo:float -> hi:float -> count:int ->
+  (int * int) list
+(** Random connected pairs whose distance lies in [[lo, hi]] (fewer if the
+    range is thin). *)

@@ -1,0 +1,174 @@
+(* Baselines: full tables, Thorup-Zwick (4k-5) routing, TZ (2k-1) oracle,
+   Patrascu-Roditty (2,1) oracle. *)
+open Util
+open Cr_graph
+open Cr_routing
+open Cr_baselines
+
+let check_scheme g (inst : Scheme.instance) (alpha, beta) =
+  let apsp = Apsp.compute g in
+  let n = Graph.n g in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let o = inst.Scheme.route ~src:u ~dst:v in
+        if not (o.Port_model.delivered && o.Port_model.final = v) then ok := false
+        else begin
+          let d = Apsp.dist apsp u v in
+          if o.Port_model.length > (alpha *. d) +. beta +. 1e-9 then ok := false
+        end
+      end
+    done
+  done;
+  !ok
+
+(* --- Full tables --- *)
+
+let test_full_tables_exact () =
+  List.iter
+    (fun (name, g) ->
+      let t = Full_tables.preprocess g in
+      checkb name true (check_scheme g (Full_tables.instance t) (1.0, 0.0)))
+    (graph_zoo () @ weighted_zoo ())
+
+let test_full_tables_space () =
+  let g = Generators.grid 5 5 in
+  let inst = Full_tables.instance (Full_tables.preprocess g) in
+  checki "n-1 entries" 24 (Scheme.max_table_words inst)
+
+(* --- TZ routing --- *)
+
+let test_tz_zoo_k2 () =
+  List.iter
+    (fun (name, g) ->
+      let t = Tz_routing.preprocess ~seed:301 g ~k:2 in
+      checkb name true (check_scheme g (Tz_routing.instance t) (Tz_routing.stretch_bound t)))
+    (graph_zoo ())
+
+let test_tz_zoo_k3_weighted () =
+  List.iter
+    (fun (name, g) ->
+      let t = Tz_routing.preprocess ~seed:303 g ~k:3 in
+      checkb name true (check_scheme g (Tz_routing.instance t) (Tz_routing.stretch_bound t)))
+    (weighted_zoo ())
+
+let test_tz_k4 () =
+  let g = Generators.connect ~seed:13 (Generators.gnp ~seed:305 70 0.06) in
+  let t = Tz_routing.preprocess ~seed:307 g ~k:4 in
+  checkb "k=4 stretch 11" true
+    (check_scheme g (Tz_routing.instance t) (Tz_routing.stretch_bound t))
+
+let test_tz_rejects_k1 () =
+  checkb "k=1 rejected" true
+    (try ignore (Tz_routing.preprocess ~seed:1 (Generators.path 4) ~k:1); false
+     with Invalid_argument _ -> true)
+
+let prop_tz_random =
+  qcheck ~count:12 "TZ (4k-5) on random weighted graphs"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      let* k = int_range 2 4 in
+      return (g, seed, k))
+    (fun (g, seed, k) ->
+      let t = Tz_routing.preprocess ~seed g ~k in
+      check_scheme g (Tz_routing.instance t) (Tz_routing.stretch_bound t))
+
+let test_tz_space_decreases_with_k () =
+  let g = Generators.connect ~seed:17 (Generators.gnp ~seed:309 300 0.025) in
+  let s2 = Scheme.avg_table_words (Tz_routing.instance (Tz_routing.preprocess ~seed:1 g ~k:2)) in
+  let s4 = Scheme.avg_table_words (Tz_routing.instance (Tz_routing.preprocess ~seed:1 g ~k:4)) in
+  checkb "k=4 smaller tables than k=2" true (s4 < s2)
+
+(* --- TZ oracle --- *)
+
+let check_oracle g query (alpha, beta) =
+  let apsp = Apsp.compute g in
+  let n = Graph.n g in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let d = Apsp.dist apsp u v in
+      let e = query u v in
+      if e < d -. 1e-9 then ok := false;
+      if e > (alpha *. d) +. beta +. 1e-9 then ok := false
+    done
+  done;
+  !ok
+
+let test_tz_oracle_k1_exact () =
+  let g = Generators.torus 4 4 in
+  let t = Tz_oracle.preprocess ~seed:311 g ~k:1 in
+  checkb "exact" true (check_oracle g (Tz_oracle.query t) (1.0, 0.0))
+
+let test_tz_oracle_zoo () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          let t = Tz_oracle.preprocess ~seed:313 g ~k in
+          checkb
+            (Printf.sprintf "%s k=%d" name k)
+            true
+            (check_oracle g (Tz_oracle.query t) (Tz_oracle.stretch t, 0.0)))
+        [ 2; 3 ])
+    (weighted_zoo ())
+
+let prop_tz_oracle_random =
+  qcheck ~count:12 "TZ oracle on random graphs"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      let* k = int_range 1 4 in
+      return (g, seed, k))
+    (fun (g, seed, k) ->
+      let t = Tz_oracle.preprocess ~seed g ~k in
+      check_oracle g (Tz_oracle.query t) (Tz_oracle.stretch t, 0.0))
+
+(* --- PR oracle --- *)
+
+let test_pr_oracle_zoo () =
+  List.iter
+    (fun (name, g) ->
+      let t = Pr_oracle.preprocess g in
+      checkb name true (check_oracle g (Pr_oracle.query t) (2.0, 1.0)))
+    (graph_zoo ())
+
+let test_pr_oracle_rejects_weighted () =
+  let g = Generators.with_random_weights ~seed:1 ~lo:0.5 ~hi:2.0 (Generators.grid 3 3) in
+  checkb "weighted rejected" true
+    (try ignore (Pr_oracle.preprocess g); false
+     with Invalid_argument _ -> true)
+
+let prop_pr_oracle_random =
+  qcheck ~count:20 "PR (2,1) oracle on random unweighted graphs"
+    arb_connected_graph (fun g ->
+      let t = Pr_oracle.preprocess g in
+      check_oracle g (Pr_oracle.query t) (2.0, 1.0))
+
+let test_pr_oracle_space_between () =
+  (* Total space should sit between the TZ k=2 oracle (n^1.5) and n^2. *)
+  let g = Generators.connect ~seed:19 (Generators.gnp ~seed:315 400 0.02) in
+  let pr = Pr_oracle.preprocess g in
+  let n = Graph.n g in
+  checkb "below n^2" true (Pr_oracle.total_words pr < n * n)
+
+let suite =
+  [
+    case "full tables are exact" test_full_tables_exact;
+    case "full tables store n-1 entries" test_full_tables_space;
+    case "TZ k=2 (stretch 3) zoo" test_tz_zoo_k2;
+    case "TZ k=3 (stretch 7) weighted zoo" test_tz_zoo_k3_weighted;
+    case "TZ k=4 (stretch 11)" test_tz_k4;
+    case "TZ rejects k=1" test_tz_rejects_k1;
+    prop_tz_random;
+    case "TZ tables shrink as k grows" test_tz_space_decreases_with_k;
+    case "TZ oracle k=1 is exact" test_tz_oracle_k1_exact;
+    case "TZ oracle weighted zoo" test_tz_oracle_zoo;
+    prop_tz_oracle_random;
+    case "PR (2,1) oracle zoo" test_pr_oracle_zoo;
+    case "PR oracle rejects weighted" test_pr_oracle_rejects_weighted;
+    prop_pr_oracle_random;
+    case "PR oracle space sanity" test_pr_oracle_space_between;
+  ]

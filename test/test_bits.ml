@@ -1,0 +1,211 @@
+(* Bit-level encodings and the Lemma 3 label-size measurement. *)
+open Util
+open Cr_graph
+open Cr_routing
+
+let test_push_pull_fixed () =
+  let w = Bits.writer () in
+  Bits.push w ~bits:5 19;
+  Bits.push w ~bits:1 1;
+  Bits.push w ~bits:12 3000;
+  checki "length" 18 (Bits.length w);
+  let r = Bits.reader (Bits.contents w) in
+  checki "first" 19 (Bits.pull r ~bits:5);
+  checki "second" 1 (Bits.pull r ~bits:1);
+  checki "third" 3000 (Bits.pull r ~bits:12)
+
+let test_out_of_range () =
+  let w = Bits.writer () in
+  checkb "too wide value" true
+    (try Bits.push w ~bits:3 8; false with Invalid_argument _ -> true);
+  checkb "bad width" true
+    (try Bits.push w ~bits:0 0; false with Invalid_argument _ -> true);
+  checkb "negative gamma" true
+    (try Bits.push_gamma w (-1); false with Invalid_argument _ -> true)
+
+let test_gamma_sizes () =
+  (* gamma(v) uses 2*floor(log2(v+1)) + 1 bits. *)
+  List.iter
+    (fun (v, expect) ->
+      let w = Bits.writer () in
+      Bits.push_gamma w v;
+      checki (Printf.sprintf "gamma %d" v) expect (Bits.length w))
+    [ (0, 1); (1, 3); (2, 3); (3, 5); (6, 5); (7, 7) ]
+
+let test_pull_past_end () =
+  let r = Bits.reader (Bytes.make 1 '\255') in
+  ignore (Bits.pull r ~bits:8);
+  checkb "raises" true
+    (try ignore (Bits.pull r ~bits:1); false with Invalid_argument _ -> true)
+
+let test_bits_for () =
+  checki "1" 1 (Bits.bits_for 1);
+  checki "2" 1 (Bits.bits_for 2);
+  checki "3" 2 (Bits.bits_for 3);
+  checki "256" 8 (Bits.bits_for 256);
+  checki "257" 9 (Bits.bits_for 257)
+
+let prop_roundtrip_sequences =
+  qcheck ~count:150 "fixed+gamma fields round-trip"
+    QCheck2.Gen.(
+      list_size (int_range 0 40)
+        (let* tag = bool in
+         let* v = int_range 0 100_000 in
+         return (tag, v)))
+    (fun fields ->
+      let w = Bits.writer () in
+      List.iter
+        (fun (gamma, v) ->
+          if gamma then Bits.push_gamma w v else Bits.push w ~bits:17 v)
+        fields;
+      let r = Bits.reader (Bits.contents w) in
+      List.for_all
+        (fun (gamma, v) ->
+          (if gamma then Bits.pull_gamma r else Bits.pull r ~bits:17) = v)
+        fields)
+
+(* --- Tree label encoding --- *)
+
+let prop_label_roundtrip =
+  qcheck ~count:30 "tree labels round-trip through the bit encoding"
+    arb_weighted_connected_graph (fun g ->
+      let t = Tree_routing.of_tree g (Dijkstra.spt g 0) in
+      Array.for_all
+        (fun v ->
+          let l = Tree_routing.label t v in
+          let data, _ = Tree_routing.encode_label t l in
+          Tree_routing.decode_label t data = l)
+        (Tree_routing.members t))
+
+let test_label_bits_lemma3_bound () =
+  (* Lemma 3: o(log^2 n)-bit labels. Measure the worst encoded label on
+     random trees and compare against c * log2(n)^2. *)
+  List.iter
+    (fun n ->
+      let g = Generators.random_tree ~seed:(n + 1) n in
+      let t = Tree_routing.of_tree g (Dijkstra.spt g 0) in
+      let worst =
+        Array.fold_left
+          (fun acc v -> max acc (Tree_routing.label_bits t v))
+          0 (Tree_routing.members t)
+      in
+      let log2n = log (float_of_int n) /. log 2.0 in
+      checkb
+        (Printf.sprintf "n=%d worst=%d" n worst)
+        true
+        (float_of_int worst <= 4.0 *. log2n *. log2n))
+    [ 64; 256; 1024 ]
+
+let test_label_bits_smaller_than_words () =
+  (* The bit encoding should beat the naive words * 64 accounting. *)
+  let g = Generators.barabasi_albert ~seed:9 300 2 in
+  let t = Tree_routing.of_tree g (Dijkstra.spt g 0) in
+  Array.iter
+    (fun v ->
+      let l = Tree_routing.label t v in
+      checkb "bits < words*64" true
+        (Tree_routing.label_bits t v <= 64 * Tree_routing.label_words l))
+    (Tree_routing.members t)
+
+let test_tz_label_bits () =
+  (* The TZ label claim: o(k log^2 n) bits. Measure against c k log2(n)^2. *)
+  List.iter
+    (fun (n, k) ->
+      let g =
+        Generators.connect ~seed:n
+          (Generators.gnp ~seed:n n (Float.min 1.0 (5.0 /. float_of_int n)))
+      in
+      let t = Cr_baselines.Tz_routing.preprocess ~seed:3 g ~k in
+      let worst = ref 0 in
+      for v = 0 to n - 1 do
+        worst := max !worst (Cr_baselines.Tz_routing.label_bits t v)
+      done;
+      let log2n = log (float_of_int n) /. log 2.0 in
+      checkb
+        (Printf.sprintf "n=%d k=%d worst=%d" n k !worst)
+        true
+        (float_of_int !worst <= 4.0 *. float_of_int k *. log2n *. log2n))
+    [ (128, 2); (128, 3); (512, 3) ]
+
+let test_header_bits_bounds () =
+  (* Initial Lemma 7/8 headers measured in bits against their claims:
+     O((1/eps) log n + log^2 n) and O((1/eps) log (nD)). *)
+  let g =
+    Generators.with_random_weights ~seed:13 ~lo:1.0 ~hi:4.0
+      (Generators.torus 10 10)
+  in
+  let n = Cr_graph.Graph.n g in
+  let q = 6 and l = 12 in
+  let vic = Vicinity.compute_all g l in
+  let sets = Array.to_list (Array.map Vicinity.members vic) in
+  match Coloring.make ~seed:15 ~n ~colors:q sets with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+    let eps = 0.25 in
+    let b7 = ceil (2.0 /. eps) in
+    let log2 x = log x /. log 2.0 in
+    let log2n = log2 (float_of_int n) in
+    let t7 =
+      Cr_core.Seq_routing.preprocess ~eps g ~vicinities:vic ~parts:c.classes
+        ~part_of:c.color
+    in
+    let bound7 = ((2.0 *. b7) +. 2.0) *. (2.0 +. log2n) +. (4.0 *. log2n *. log2n) in
+    Array.iter
+      (fun part ->
+        Array.iter
+          (fun u ->
+            Array.iter
+              (fun v ->
+                if u <> v then begin
+                  let h = Cr_core.Seq_routing.initial_header t7 ~src:u ~dst:v in
+                  let bits = Cr_core.Seq_routing.header_bits t7 h in
+                  checkb "lemma7 header bits" true (float_of_int bits <= bound7)
+                end)
+              part)
+          part)
+      c.classes;
+    let dests = Array.make q [] in
+    List.iteri
+      (fun i w -> if i mod 4 = 0 then dests.(i mod q) <- w :: dests.(i mod q))
+      (List.init n Fun.id);
+    let dests = Array.map Array.of_list dests in
+    let t8 =
+      Cr_core.Seq_routing2.preprocess ~eps g ~vicinities:vic ~parts:c.classes
+        ~part_of:c.color ~dests
+    in
+    let apsp = Apsp.compute g in
+    let d_ratio = Apsp.normalized_diameter apsp in
+    let b8 = b7 +. 1.0 in
+    let bound8 =
+      (2.0 *. b8 *. (2.0 +. log2 (d_ratio *. float_of_int n)) +. 4.0)
+      *. (2.0 +. log2n)
+    in
+    Array.iteri
+      (fun j part ->
+        Array.iter
+          (fun u ->
+            Array.iter
+              (fun w ->
+                if u <> w then begin
+                  let h = Cr_core.Seq_routing2.initial_header t8 ~src:u ~dst:w in
+                  let bits = Cr_core.Seq_routing2.header_bits t8 h in
+                  checkb "lemma8 header bits" true (float_of_int bits <= bound8)
+                end)
+              dests.(j))
+          part)
+      c.classes
+
+let suite =
+  [
+    case "fixed-width push/pull" test_push_pull_fixed;
+    case "TZ label bits within o(k log^2 n)" test_tz_label_bits;
+    case "Lemma 7/8 header bits within their claims" test_header_bits_bounds;
+    case "range validation" test_out_of_range;
+    case "gamma code sizes" test_gamma_sizes;
+    case "reading past the end raises" test_pull_past_end;
+    case "bits_for" test_bits_for;
+    prop_roundtrip_sequences;
+    prop_label_roundtrip;
+    case "Lemma 3 label bits within o(log^2 n)" test_label_bits_lemma3_bound;
+    case "bit encoding beats word accounting" test_label_bits_smaller_than_words;
+  ]

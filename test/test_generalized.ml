@@ -1,0 +1,161 @@
+(* Section 5: Theorems 13/15 (generalized (3 -+ 2/l + eps, 2)) and
+   Theorem 16 ((4k-7+eps)). *)
+open Util
+open Cr_graph
+open Cr_routing
+open Cr_core
+
+let check_scheme g (inst : Scheme.instance) (alpha, beta) =
+  let apsp = Apsp.compute g in
+  let n = Graph.n g in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let o = inst.Scheme.route ~src:u ~dst:v in
+        if not (o.Port_model.delivered && o.Port_model.final = v) then ok := false
+        else begin
+          let d = Apsp.dist apsp u v in
+          if o.Port_model.length > (alpha *. d) +. beta +. 1e-9 then ok := false
+        end
+      end
+    done
+  done;
+  !ok
+
+let eps = 0.5
+
+(* --- Theorems 13 & 15 --- *)
+
+let run_ptr variant ell seed g =
+  let t = Scheme_ptr.preprocess ~eps ~seed ~variant ~ell g in
+  check_scheme g (Scheme_ptr.instance t) (Scheme_ptr.stretch_bound t)
+
+let test_ptr_minus_zoo () =
+  List.iter
+    (fun (name, g) -> checkb name true (run_ptr `Minus 2 401 g))
+    (graph_zoo ())
+
+let test_ptr_plus_zoo () =
+  List.iter
+    (fun (name, g) -> checkb name true (run_ptr `Plus 2 403 g))
+    (graph_zoo ())
+
+let test_ptr_ell3 () =
+  let g = Generators.connect ~seed:21 (Generators.gnp ~seed:405 50 0.1) in
+  checkb "minus l=3" true (run_ptr `Minus 3 407 g);
+  checkb "plus l=3" true (run_ptr `Plus 3 409 g)
+
+let test_ptr_ell4 () =
+  (* Deep hierarchies degenerate gracefully at small n (q -> 1). *)
+  let g = Generators.connect ~seed:45 (Generators.gnp ~seed:415 64 0.08) in
+  checkb "minus l=4" true (run_ptr `Minus 4 417 g);
+  checkb "plus l=4" true (run_ptr `Plus 4 419 g)
+
+let test_ptr_accessors () =
+  let g = Generators.torus 5 5 in
+  let t = Scheme_ptr.preprocess ~eps:0.25 ~seed:451 ~variant:`Plus ~ell:2 g in
+  checkb "variant" true (Scheme_ptr.variant t = `Plus);
+  checki "ell" 2 (Scheme_ptr.ell t);
+  checkf "eps" 0.25 (Scheme_ptr.eps t)
+
+let test_ptr_rejects_bad_input () =
+  let g = Generators.path 8 in
+  checkb "ell=1 rejected" true
+    (try ignore (Scheme_ptr.preprocess ~seed:1 ~variant:`Minus ~ell:1 g); false
+     with Invalid_argument _ -> true);
+  let gw = Generators.with_random_weights ~seed:1 ~lo:0.5 ~hi:2.0 g in
+  checkb "weighted rejected" true
+    (try ignore (Scheme_ptr.preprocess ~seed:1 ~variant:`Minus ~ell:2 gw); false
+     with Invalid_argument _ -> true)
+
+let test_ptr_minus_beats_plus_stretch () =
+  (* The minus variant promises strictly better stretch at higher space. *)
+  let g = Generators.connect ~seed:23 (Generators.gnp ~seed:411 60 0.08) in
+  let tm = Scheme_ptr.preprocess ~eps ~seed:413 ~variant:`Minus ~ell:2 g in
+  let tp = Scheme_ptr.preprocess ~eps ~seed:413 ~variant:`Plus ~ell:2 g in
+  let am, _ = Scheme_ptr.stretch_bound tm and ap, _ = Scheme_ptr.stretch_bound tp in
+  checkb "minus bound < plus bound" true (am < ap);
+  let im = Scheme_ptr.instance tm and ip = Scheme_ptr.instance tp in
+  checkb "minus uses more space" true
+    (Scheme.avg_table_words im > Scheme.avg_table_words ip)
+
+let prop_ptr_random =
+  qcheck ~count:8 "Theorems 13/15 on random graphs"
+    QCheck2.Gen.(
+      let* g = arb_connected_graph in
+      let* seed = int_range 0 300 in
+      let* variant = oneofl [ `Minus; `Plus ] in
+      let* ell = int_range 2 3 in
+      return (g, seed, variant, ell))
+    (fun (g, seed, variant, ell) -> run_ptr variant ell seed g)
+
+(* --- Theorem 16 --- *)
+
+let run_4km7 k seed g =
+  let t = Scheme4km7.preprocess ~eps ~seed g ~k in
+  check_scheme g (Scheme4km7.instance t) (Scheme4km7.stretch_bound t)
+
+let test_4km7_zoo_k3 () =
+  List.iter
+    (fun (name, g) -> checkb name true (run_4km7 3 421 g))
+    (weighted_zoo ())
+
+let test_4km7_unweighted_k3 () =
+  List.iter
+    (fun (name, g) -> checkb name true (run_4km7 3 423 g))
+    (graph_zoo ())
+
+let test_4km7_k4 () =
+  let g =
+    Generators.with_random_weights ~seed:25 ~lo:0.5 ~hi:5.0
+      (Generators.connect ~seed:27 (Generators.gnp ~seed:425 60 0.08))
+  in
+  checkb "k=4 (stretch 9+eps)" true (run_4km7 4 427 g)
+
+let test_4km7_rejects_k2 () =
+  checkb "k=2 rejected" true
+    (try ignore (Scheme4km7.preprocess ~seed:1 (Generators.path 6) ~k:2); false
+     with Invalid_argument _ -> true)
+
+let test_4km7_beats_tz_bound () =
+  (* At k=3: 4k-7 = 5 < 7 = 4k-5: measure that the realized worst stretch
+     also improves on a graph where TZ k=3 is loose. *)
+  let g =
+    Generators.with_random_weights ~seed:29 ~lo:1.0 ~hi:8.0
+      (Generators.torus 6 6)
+  in
+  let t16 = Scheme4km7.preprocess ~eps:0.25 ~seed:429 g ~k:3 in
+  let a16, _ = Scheme4km7.stretch_bound t16 in
+  let tz = Cr_baselines.Tz_routing.preprocess ~seed:429 g ~k:3 in
+  let atz, _ = Cr_baselines.Tz_routing.stretch_bound tz in
+  checkb "bound improves" true (a16 < atz);
+  checkb "still correct" true
+    (check_scheme g (Scheme4km7.instance t16) (a16, 0.0))
+
+let prop_4km7_random =
+  qcheck ~count:8 "Theorem 16 on random weighted graphs"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 300 in
+      let* k = int_range 3 4 in
+      return (g, seed, k))
+    (fun (g, seed, k) -> run_4km7 k seed g)
+
+let suite =
+  [
+    case "Thm13 (minus, l=2) zoo" test_ptr_minus_zoo;
+    case "Thm15 (plus, l=2) zoo" test_ptr_plus_zoo;
+    case "Thm13/15 with l=3" test_ptr_ell3;
+    case "Thm13/15 with l=4 (degenerate q)" test_ptr_ell4;
+    case "Scheme_ptr accessors" test_ptr_accessors;
+    case "Thm13/15 input validation" test_ptr_rejects_bad_input;
+    case "minus trades space for stretch vs plus" test_ptr_minus_beats_plus_stretch;
+    prop_ptr_random;
+    case "Thm16 k=3 weighted zoo" test_4km7_zoo_k3;
+    case "Thm16 k=3 unweighted zoo" test_4km7_unweighted_k3;
+    case "Thm16 k=4" test_4km7_k4;
+    case "Thm16 rejects k=2" test_4km7_rejects_k2;
+    case "Thm16 bound beats TZ at same k" test_4km7_beats_tz_bound;
+    prop_4km7_random;
+  ]

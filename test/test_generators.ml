@@ -1,0 +1,156 @@
+open Util
+open Cr_graph
+
+let test_path () =
+  let g = Generators.path 6 in
+  checki "n" 6 (Graph.n g);
+  checki "m" 5 (Graph.m g);
+  checkb "connected" true (Bfs.is_connected g);
+  checki "endpoint degree" 1 (Graph.degree g 0);
+  checki "inner degree" 2 (Graph.degree g 3)
+
+let test_cycle () =
+  let g = Generators.cycle 7 in
+  checki "m" 7 (Graph.m g);
+  for v = 0 to 6 do
+    checki "degree 2" 2 (Graph.degree g v)
+  done
+
+let test_star () =
+  let g = Generators.star 9 in
+  checki "center degree" 8 (Graph.degree g 0);
+  checki "leaf degree" 1 (Graph.degree g 5)
+
+let test_complete () =
+  let g = Generators.complete 7 in
+  checki "m" 21 (Graph.m g)
+
+let test_grid () =
+  let g = Generators.grid 4 6 in
+  checki "n" 24 (Graph.n g);
+  checki "m" ((3 * 6) + (4 * 5)) (Graph.m g);
+  checkb "connected" true (Bfs.is_connected g);
+  (* Corner has degree 2, inner vertex degree 4. *)
+  checki "corner" 2 (Graph.degree g 0);
+  checki "inner" 4 (Graph.degree g 7)
+
+let test_torus () =
+  let g = Generators.torus 4 5 in
+  checki "m" (2 * 20) (Graph.m g);
+  for v = 0 to 19 do
+    checki "regular degree 4" 4 (Graph.degree g v)
+  done
+
+let test_hypercube () =
+  let g = Generators.hypercube 4 in
+  checki "n" 16 (Graph.n g);
+  checki "m" (16 * 4 / 2) (Graph.m g);
+  checkb "bfs distance = hamming" true
+    (Bfs.dist g 0 15 = Some 4)
+
+let test_balanced_tree () =
+  let g = Generators.balanced_tree ~branching:2 ~depth:3 in
+  checki "n" 15 (Graph.n g);
+  checki "m" 14 (Graph.m g);
+  checkb "connected" true (Bfs.is_connected g)
+
+let test_gnp_deterministic () =
+  let a = Generators.gnp ~seed:42 30 0.2 and b = Generators.gnp ~seed:42 30 0.2 in
+  checkb "same seed same graph" true (Graph.edges a = Graph.edges b);
+  let c = Generators.gnp ~seed:43 30 0.2 in
+  checkb "different seed different graph" true (Graph.edges a <> Graph.edges c)
+
+let test_gnm_edge_count () =
+  let g = Generators.gnm ~seed:1 25 60 in
+  checki "exact m" 60 (Graph.m g)
+
+let test_random_tree () =
+  for seed = 0 to 6 do
+    let g = Generators.random_tree ~seed 40 in
+    checki "tree edges" 39 (Graph.m g);
+    checkb "connected" true (Bfs.is_connected g)
+  done
+
+let test_barabasi_albert () =
+  let g = Generators.barabasi_albert ~seed:2 100 3 in
+  checki "n" 100 (Graph.n g);
+  checkb "connected" true (Bfs.is_connected g);
+  (* Seed clique (k+1 choose 2) + k edges per later vertex. *)
+  checki "m" (6 + (3 * 96)) (Graph.m g)
+
+let test_caveman () =
+  let g = Generators.caveman ~seed:4 ~cliques:4 ~size:5 ~rewire:0.0 in
+  checki "n" 20 (Graph.n g);
+  checkb "connected" true (Bfs.is_connected g)
+
+let test_random_geometric () =
+  let g = Generators.random_geometric ~seed:21 80 ~radius:0.25 in
+  checki "n" 80 (Graph.n g);
+  (* Edge weights are the Euclidean distances: all within the radius. *)
+  Graph.fold_edges
+    (fun _ _ w () -> checkb "weight <= radius" true (w <= 0.25 +. 1e-12))
+    g ();
+  (* Determinism. *)
+  let g' = Generators.random_geometric ~seed:21 80 ~radius:0.25 in
+  checkb "deterministic" true (Graph.edges g = Graph.edges g')
+
+let test_watts_strogatz () =
+  let g = Generators.watts_strogatz ~seed:23 60 ~k:3 ~beta:0.0 in
+  checki "n" 60 (Graph.n g);
+  (* beta = 0: the pure ring lattice, regular of degree 2k. *)
+  for v = 0 to 59 do
+    checki "regular" 6 (Graph.degree g v)
+  done;
+  checki "m" (60 * 3) (Graph.m g);
+  let g' = Generators.watts_strogatz ~seed:25 60 ~k:3 ~beta:0.3 in
+  checkb "rewiring changes the lattice" true (Graph.edges g <> Graph.edges g');
+  checkb "bad params rejected" true
+    (try ignore (Generators.watts_strogatz ~seed:1 6 ~k:3 ~beta:0.1); false
+     with Invalid_argument _ -> true)
+
+let test_connect () =
+  let g = Graph.of_edges ~n:6 [ (0, 1, 1.0); (2, 3, 1.0); (4, 5, 1.0) ] in
+  checkb "initially disconnected" false (Bfs.is_connected g);
+  let g' = Generators.connect ~seed:9 g in
+  checkb "connected after" true (Bfs.is_connected g');
+  checki "adds k-1 edges" (Graph.m g + 2) (Graph.m g')
+
+let test_random_weights () =
+  let g = Generators.with_random_weights ~seed:3 ~lo:1.0 ~hi:5.0 (Generators.grid 3 3) in
+  checkb "not unit" false (Graph.is_unit_weighted g);
+  Graph.fold_edges
+    (fun _ _ w () ->
+      checkb "weight in range" true (w >= 1.0 && w <= 5.0))
+    g ()
+
+let prop_connect_always_connects =
+  qcheck ~count:60 "connect yields a connected graph"
+    QCheck2.Gen.(
+      let* n = int_range 2 40 in
+      let* seed = int_range 0 5_000 in
+      return (n, seed))
+    (fun (n, seed) ->
+      let g = Generators.gnp ~seed n (1.0 /. float_of_int n) in
+      Bfs.is_connected (Generators.connect ~seed g))
+
+let suite =
+  [
+    case "path" test_path;
+    case "cycle" test_cycle;
+    case "star" test_star;
+    case "complete" test_complete;
+    case "grid" test_grid;
+    case "torus" test_torus;
+    case "hypercube" test_hypercube;
+    case "balanced tree" test_balanced_tree;
+    case "gnp determinism" test_gnp_deterministic;
+    case "gnm exact edge count" test_gnm_edge_count;
+    case "random tree is a tree" test_random_tree;
+    case "barabasi-albert" test_barabasi_albert;
+    case "caveman" test_caveman;
+    case "random geometric" test_random_geometric;
+    case "watts-strogatz" test_watts_strogatz;
+    case "connect links components" test_connect;
+    case "random weights in range" test_random_weights;
+    prop_connect_always_connects;
+  ]

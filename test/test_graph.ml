@@ -1,0 +1,118 @@
+open Util
+open Cr_graph
+
+let triangle () = Graph.of_edges [ (0, 1, 1.0); (1, 2, 2.0); (0, 2, 4.0) ]
+
+let test_counts () =
+  let g = triangle () in
+  checki "n" 3 (Graph.n g);
+  checki "m" 3 (Graph.m g);
+  checki "deg 0" 2 (Graph.degree g 0)
+
+let test_degree_stats () =
+  let g = Generators.star 9 in
+  checki "max degree at hub" 8 (Graph.max_degree g);
+  checkf "avg degree" (2.0 *. 8.0 /. 9.0) (Graph.avg_degree g);
+  checki "edgeless" 0 (Graph.max_degree (Graph.of_edges ~n:3 []))
+
+let test_ports_symmetric () =
+  let g = triangle () in
+  for u = 0 to 2 do
+    for p = 0 to Graph.degree g u - 1 do
+      let v = Graph.endpoint g u p in
+      match Graph.port_to g v u with
+      | None -> Alcotest.fail "missing reverse port"
+      | Some q ->
+        checki "reverse endpoint" u (Graph.endpoint g v q);
+        checkf "same weight" (Graph.port_weight g u p) (Graph.port_weight g v q)
+    done
+  done
+
+let test_edge_weight () =
+  let g = triangle () in
+  checkb "edge 0-1" true (Graph.edge_weight g 0 1 = Some 1.0);
+  checkb "edge 1-0 same" true (Graph.edge_weight g 1 0 = Some 1.0);
+  checkb "no self edge" true (Graph.edge_weight g 0 0 = None)
+
+let test_dedup_keeps_lightest () =
+  let g = Graph.of_edges [ (0, 1, 3.0); (1, 0, 1.5); (0, 1, 2.0) ] in
+  checki "single edge" 1 (Graph.m g);
+  checkb "lightest kept" true (Graph.edge_weight g 0 1 = Some 1.5)
+
+let test_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop")
+    (fun () -> ignore (Graph.of_edges [ (1, 1, 1.0) ]))
+
+let test_rejects_bad_weight () =
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Graph.of_edges: non-positive weight") (fun () ->
+      ignore (Graph.of_edges [ (0, 1, 0.0) ]))
+
+let test_isolated_vertices () =
+  let g = Graph.of_edges ~n:5 [ (0, 1, 1.0) ] in
+  checki "n respected" 5 (Graph.n g);
+  checki "deg of isolated" 0 (Graph.degree g 4)
+
+let test_unit_weighted_flag () =
+  checkb "unit" true (Graph.is_unit_weighted (Generators.path 4));
+  checkb "not unit" false (Graph.is_unit_weighted (triangle ()))
+
+let test_min_max_weight () =
+  let g = triangle () in
+  checkf "min" 1.0 (Graph.min_edge_weight g);
+  checkf "max" 4.0 (Graph.max_edge_weight g)
+
+let test_reweight () =
+  let g = triangle () in
+  let g' = Graph.reweight g (fun _ _ w -> w *. 2.0) in
+  checkb "doubled" true (Graph.edge_weight g' 1 2 = Some 4.0);
+  (* Mirrored on both port directions. *)
+  (match Graph.port_to g' 2 1 with
+  | Some p -> checkf "mirrored" 4.0 (Graph.port_weight g' 2 p)
+  | None -> Alcotest.fail "port vanished");
+  checkb "original untouched" true (Graph.edge_weight g 1 2 = Some 2.0)
+
+let test_subgraph () =
+  let g = triangle () in
+  let h = Graph.subgraph_of_edges g [ (0, 1); (1, 2) ] in
+  checki "two edges" 2 (Graph.m h);
+  checkb "0-2 gone" false (Graph.has_edge h 0 2);
+  checkb "weight copied" true (Graph.edge_weight h 1 2 = Some 2.0)
+
+let test_edges_sorted () =
+  let g = triangle () in
+  checkb "canonical edge list" true
+    (Graph.edges g = [ (0, 1, 1.0); (0, 2, 4.0); (1, 2, 2.0) ])
+
+let prop_fold_edges_counts =
+  qcheck ~count:60 "fold_edges visits each edge once" arb_connected_graph
+    (fun g ->
+      let count = Graph.fold_edges (fun _ _ _ acc -> acc + 1) g 0 in
+      count = Graph.m g)
+
+let prop_degree_sum =
+  qcheck ~count:60 "sum of degrees = 2m" arb_connected_graph (fun g ->
+      let s = ref 0 in
+      for u = 0 to Graph.n g - 1 do
+        s := !s + Graph.degree g u
+      done;
+      !s = 2 * Graph.m g)
+
+let suite =
+  [
+    case "vertex and edge counts" test_counts;
+    case "degree statistics" test_degree_stats;
+    case "ports are symmetric" test_ports_symmetric;
+    case "edge_weight lookups" test_edge_weight;
+    case "duplicate edges keep lightest" test_dedup_keeps_lightest;
+    case "self-loops rejected" test_rejects_self_loop;
+    case "non-positive weights rejected" test_rejects_bad_weight;
+    case "isolated vertices allowed" test_isolated_vertices;
+    case "unit-weight detection" test_unit_weighted_flag;
+    case "min/max edge weight" test_min_max_weight;
+    case "reweight mirrors both ports" test_reweight;
+    case "subgraph extraction" test_subgraph;
+    case "edges are canonical" test_edges_sorted;
+    prop_fold_edges_counts;
+    prop_degree_sum;
+  ]

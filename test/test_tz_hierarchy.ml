@@ -1,0 +1,158 @@
+(* Invariants of the Thorup-Zwick hierarchy that the (4k-5) scheme and
+   Theorem 16 lean on. *)
+open Util
+open Cr_graph
+open Cr_baselines
+
+let build_random ~seed ~k g = Tz_hierarchy.build ~seed g ~k
+
+let prop_nested_sets =
+  qcheck ~count:25 "A_0 ⊇ A_1 ⊇ ... ⊇ A_(k-1), A_0 = V, A_(k-1) nonempty"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      let* k = int_range 2 5 in
+      return (g, seed, k))
+    (fun (g, seed, k) ->
+      let h = build_random ~seed ~k g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if not h.Tz_hierarchy.in_set.(0).(v) then ok := false;
+        for i = 1 to k - 1 do
+          if h.Tz_hierarchy.in_set.(i).(v) && not h.Tz_hierarchy.in_set.(i - 1).(v)
+          then ok := false
+        done
+      done;
+      !ok && Array.exists Fun.id h.Tz_hierarchy.in_set.(k - 1))
+
+let prop_levels_and_distances =
+  qcheck ~count:25 "level is the top set; d_i nondecreasing in i; d_0 = 0"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let k = 3 in
+      let h = build_random ~seed ~k g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let lvl = h.Tz_hierarchy.level.(v) in
+        if not h.Tz_hierarchy.in_set.(lvl).(v) then ok := false;
+        if lvl + 1 <= k - 1 && h.Tz_hierarchy.in_set.(lvl + 1).(v) then ok := false;
+        if h.Tz_hierarchy.dist.(0).(v) <> 0.0 then ok := false;
+        for i = 0 to k - 1 do
+          if h.Tz_hierarchy.dist.(i).(v) > h.Tz_hierarchy.dist.(i + 1).(v) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let prop_pivot_tie_rule =
+  qcheck ~count:25 "pivots: in A_i, at distance d_i, tie rule applied"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let k = 3 in
+      let h = build_random ~seed ~k g in
+      let apsp = Apsp.compute g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        for i = 0 to k - 1 do
+          let p = h.Tz_hierarchy.p.(i).(v) in
+          if not h.Tz_hierarchy.in_set.(i).(p) then ok := false;
+          if abs_float (Apsp.dist apsp v p -. h.Tz_hierarchy.dist.(i).(v)) > 1e-9
+          then ok := false;
+          (* The TZ tie rule: equal level distances share the pivot. *)
+          if i < k - 1
+             && h.Tz_hierarchy.dist.(i).(v) = h.Tz_hierarchy.dist.(i + 1).(v)
+             && p <> h.Tz_hierarchy.p.(i + 1).(v)
+          then ok := false
+        done
+      done;
+      !ok)
+
+let prop_pivot_cluster_membership =
+  qcheck ~count:25 "v ∈ C(p_i(v)) for every level (label well-definedness)"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let k = 3 in
+      let h = build_random ~seed ~k g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        for i = 0 to k - 1 do
+          let p = h.Tz_hierarchy.p.(i).(v) in
+          let c = Tz_hierarchy.cluster g h p in
+          if not (Array.mem v c.Dijkstra.order) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_bunch_duality =
+  qcheck ~count:20 "bunches list exactly the clusters containing v"
+    QCheck2.Gen.(
+      let* g = arb_connected_graph in
+      let* seed = int_range 0 500 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let h = build_random ~seed ~k:3 g in
+      let n = Graph.n g in
+      let b = Tz_hierarchy.bunches g h in
+      let ok = ref true in
+      for w = 0 to n - 1 do
+        let c = Tz_hierarchy.cluster g h w in
+        Array.iter
+          (fun v -> if not (List.mem_assoc w b.(v)) then ok := false)
+          c.Dijkstra.order
+      done;
+      (* Total sizes match. *)
+      let bunch_total = Array.fold_left (fun a l -> a + List.length l) 0 b in
+      let cluster_total = ref 0 in
+      for w = 0 to n - 1 do
+        cluster_total :=
+          !cluster_total + Array.length (Tz_hierarchy.cluster g h w).Dijkstra.order
+      done;
+      !ok && bunch_total = !cluster_total)
+
+let test_level0_clusters_bounded () =
+  (* The 4k-5 refinement: level-0 clusters respect the Lemma 4 bound. *)
+  let g = Generators.connect ~seed:3 (Generators.gnp ~seed:701 120 0.05) in
+  let k = 3 in
+  let h = Tz_hierarchy.build ~seed:703 g ~k in
+  let n = Graph.n g in
+  let target =
+    max 1 (int_of_float (Float.round (float_of_int n ** (1.0 -. (1.0 /. 3.0)))))
+  in
+  let bound = 4 * n / target in
+  let ok = ref true in
+  for w = 0 to n - 1 do
+    if h.Tz_hierarchy.level.(w) = 0 then begin
+      let c = Tz_hierarchy.cluster g h w in
+      if Array.length c.Dijkstra.order > bound then ok := false
+    end
+  done;
+  checkb "bounded" true !ok
+
+let test_rejects_small_k () =
+  checkb "k=1 rejected" true
+    (try ignore (Tz_hierarchy.build ~seed:1 (Generators.path 4) ~k:1); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    prop_nested_sets;
+    prop_levels_and_distances;
+    prop_pivot_tie_rule;
+    prop_pivot_cluster_membership;
+    prop_bunch_duality;
+    case "level-0 clusters obey Lemma 4" test_level0_clusters_bounded;
+    case "k < 2 rejected" test_rejects_small_k;
+  ]

@@ -1,0 +1,143 @@
+open Util
+open Cr_graph
+open Cr_routing
+
+let test_members_ordered () =
+  let g = Generators.path 10 in
+  let b = Vicinity.compute g 5 5 in
+  checki "size" 5 (Vicinity.size b);
+  checki "source first" 5 (Vicinity.members b).(0);
+  (* Closest 5 of vertex 5 on a path: 5 (0), then 4 and 6 (dist 1), then 3
+     and 7 (dist 2) — ties broken by id. *)
+  checkb "tie-broken order" true (Vicinity.members b = [| 5; 4; 6; 3; 7 |])
+
+let test_radius_unweighted () =
+  let g = Generators.path 10 in
+  (* B(5, 4) = {5,4,6,3}: distance 2 is split (3 in, 7 out), so r = 1. *)
+  let b = Vicinity.compute g 5 4 in
+  checkf "split distance backs off" 1.0 (Vicinity.radius b);
+  let b5 = Vicinity.compute g 5 5 in
+  checkf "complete distance" 2.0 (Vicinity.radius b5)
+
+let test_radius_whole_graph () =
+  let g = Generators.cycle 5 in
+  let b = Vicinity.compute g 0 100 in
+  checki "clamped" 5 (Vicinity.size b);
+  checkf "radius = max dist" 2.0 (Vicinity.radius b)
+
+let test_dist_and_mem () =
+  let g = Generators.grid 3 3 in
+  let b = Vicinity.compute g 0 4 in
+  checkb "source member" true (Vicinity.mem b 0);
+  checkf "self distance" 0.0 (Vicinity.dist b 0);
+  checkb "far corner absent" false (Vicinity.mem b 8)
+
+let test_nearest_of () =
+  let g = Generators.path 10 in
+  let b = Vicinity.compute g 5 7 in
+  checkb "nearest even > source" true (Vicinity.nearest_of b (fun v -> v > 5 && v mod 2 = 0) = Some 6);
+  checkb "no match" true (Vicinity.nearest_of b (fun v -> v > 100) = None)
+
+let unweighted_radius_plus_one g =
+  (* Paper Section 2: on unweighted graphs d(u,w) <= r_u(l) + 1 for all
+     w in B(u,l). *)
+  let n = Graph.n g in
+  let ok = ref true in
+  List.iter
+    (fun l ->
+      for u = 0 to n - 1 do
+        let b = Vicinity.compute g u l in
+        Array.iter
+          (fun w ->
+            if Vicinity.dist b w > Vicinity.radius b +. 1.0 then ok := false)
+          (Vicinity.members b)
+      done)
+    [ 2; 4; n ];
+  !ok
+
+let prop_radius_bound =
+  qcheck ~count:60 "unweighted: member distance <= r_u + 1" arb_connected_graph
+    unweighted_radius_plus_one
+
+let property_1 g l =
+  (* If v in B(u,l) and w on a shortest path u-v then v in B(w,l). *)
+  let n = Graph.n g in
+  let apsp = Apsp.compute g in
+  let vic = Vicinity.compute_all g l in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        for w = 0 to n - 1 do
+          let on_sp =
+            Apsp.dist apsp u w +. Apsp.dist apsp w v
+            <= Apsp.dist apsp u v +. 1e-9
+          in
+          if on_sp && not (Vicinity.mem vic.(w) v) then ok := false
+        done)
+      (Vicinity.members vic.(u))
+  done;
+  !ok
+
+let prop_property_1 =
+  qcheck ~count:25 "Property 1 (vicinity inheritance on shortest paths)"
+    QCheck2.Gen.(
+      let* g = arb_connected_graph in
+      let* l = int_range 1 8 in
+      return (g, l))
+    (fun (g, l) -> property_1 g l)
+
+let prop_property_1_weighted =
+  qcheck ~count:25 "Property 1 on weighted graphs"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* l = int_range 1 8 in
+      return (g, l))
+    (fun (g, l) -> property_1 g l)
+
+let lemma2_route g l =
+  (* Route u -> v for v in B(u,l) by repeated Vicinity.step; must follow a
+     shortest path. *)
+  let apsp = Apsp.compute g in
+  let vic = Vicinity.compute_all g l in
+  let ok = ref true in
+  for u = 0 to Graph.n g - 1 do
+    Array.iter
+      (fun v ->
+        if v <> u then begin
+          let o =
+            Port_model.run g ~src:u ~header:v
+              ~step:(fun ~at dst ->
+                if at = dst then Port_model.Deliver
+                else Port_model.Forward (Vicinity.step vic ~at ~dst, dst))
+              ~header_words:(fun _ -> 1)
+              ()
+          in
+          if not (o.Port_model.delivered && o.Port_model.final = v) then ok := false;
+          if abs_float (o.Port_model.length -. Apsp.dist apsp u v) > 1e-9 then
+            ok := false
+        end)
+      (Vicinity.members vic.(u))
+  done;
+  !ok
+
+let prop_lemma2 =
+  qcheck ~count:25 "Lemma 2: vicinity routing follows shortest paths"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* l = int_range 1 10 in
+      return (g, l))
+    (fun (g, l) -> lemma2_route g l)
+
+let suite =
+  [
+    case "members in (dist,id) order" test_members_ordered;
+    case "radius backs off on split distance" test_radius_unweighted;
+    case "radius with whole component" test_radius_whole_graph;
+    case "membership and distances" test_dist_and_mem;
+    case "nearest_of scans in order" test_nearest_of;
+    prop_radius_bound;
+    prop_property_1;
+    prop_property_1_weighted;
+    prop_lemma2;
+  ]

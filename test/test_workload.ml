@@ -1,0 +1,92 @@
+open Util
+open Cr_graph
+open Cr_routing
+
+let test_stratified_partitions () =
+  let g = Generators.torus 5 5 in
+  let apsp = Apsp.compute g in
+  let strata = Workload.stratified apsp ~seed:3 ~n:25 ~buckets:4 ~per_bucket:30 in
+  checki "bucket count" 4 (Array.length strata);
+  (* Ranges are nondecreasing and pairs respect them. *)
+  let prev_hi = ref 0.0 in
+  Array.iter
+    (fun ((lo, hi), pairs) ->
+      checkb "lo <= hi" true (lo <= hi);
+      checkb "ranges ordered" true (lo >= !prev_hi -. 1e-9 || pairs = []);
+      prev_hi := hi;
+      List.iter
+        (fun (u, v) ->
+          let d = Apsp.dist apsp u v in
+          checkb "pair in range" true (d >= lo -. 1e-9 && d <= hi +. 1e-9);
+          checkb "distinct" true (u <> v))
+        pairs)
+    strata
+
+let test_stratified_budget () =
+  let g = Generators.cycle 12 in
+  let apsp = Apsp.compute g in
+  let strata = Workload.stratified apsp ~seed:5 ~n:12 ~buckets:3 ~per_bucket:5 in
+  Array.iter
+    (fun (_, pairs) -> checkb "per-bucket budget" true (List.length pairs <= 5))
+    strata
+
+let test_farthest () =
+  let g = Generators.path 10 in
+  let apsp = Apsp.compute g in
+  let far = Workload.farthest apsp ~n:10 ~count:2 in
+  (* The two most distant ordered pairs on a path are its two endpoints in
+     both directions. *)
+  checkb "endpoints" true
+    (List.sort compare far = [ (0, 9); (9, 0) ])
+
+let test_within_distance () =
+  let g = Generators.path 10 in
+  let apsp = Apsp.compute g in
+  let pairs = Workload.within_distance apsp ~seed:7 ~n:10 ~lo:3.0 ~hi:4.0 ~count:50 in
+  checkb "nonempty" true (pairs <> []);
+  List.iter
+    (fun (u, v) ->
+      let d = Apsp.dist apsp u v in
+      checkb "in range" true (d >= 3.0 && d <= 4.0))
+    pairs;
+  checkb "empty range" true
+    (Workload.within_distance apsp ~seed:7 ~n:10 ~lo:100.0 ~hi:200.0 ~count:5 = [])
+
+let prop_stratified_covers_all_distances =
+  qcheck ~count:20 "strata jointly span the distance range"
+    arb_weighted_connected_graph (fun g ->
+      let n = Graph.n g in
+      let apsp = Apsp.compute g in
+      let strata = Workload.stratified apsp ~seed:11 ~n ~buckets:3 ~per_bucket:10 in
+      (* The first nonempty bucket starts at the minimum distance and the
+         last nonempty one ends at the diameter (tiny graphs can leave
+         some buckets empty). *)
+      let nonempty =
+        Array.to_list strata
+        |> List.filter (fun ((lo, hi), _) -> not (lo = 0.0 && hi = 0.0))
+      in
+      match nonempty with
+      | [] -> true
+      | first :: _ ->
+        let (lo0, _), _ = first in
+        let (_, hi_last), _ = List.nth nonempty (List.length nonempty - 1) in
+      let dmin = ref infinity and dmax = ref 0.0 in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let d = Apsp.dist apsp u v in
+            if d < !dmin then dmin := d;
+            if d > !dmax then dmax := d
+          end
+        done
+      done;
+      abs_float (lo0 -. !dmin) < 1e-9 && abs_float (hi_last -. !dmax) < 1e-9)
+
+let suite =
+  [
+    case "stratified buckets respect ranges" test_stratified_partitions;
+    case "stratified per-bucket budget" test_stratified_budget;
+    case "farthest pairs" test_farthest;
+    case "within_distance filtering" test_within_distance;
+    prop_stratified_covers_all_distances;
+  ]
