@@ -35,11 +35,24 @@ let csv_close () = Hashtbl.iter (fun _ oc -> close_out oc) csv_channels
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
 
+(* Wall time via the monotonic-enough system clock; [Sys.time] alone would
+   report CPU seconds, which reads misleadingly low on I/O waits and —
+   worse — {e sums across cores} once preprocessing fans out over domains,
+   making parallel runs look slower. Both are reported: wall is what a user
+   waits for, cpu/wall is a crude utilization check. *)
 let timed name f =
-  let t0 = Sys.time () in
+  let w0 = Unix.gettimeofday () in
+  let c0 = Sys.time () in
   let r = f () in
-  Printf.printf "  (%s: %.1fs)\n%!" name (Sys.time () -. t0);
+  Printf.printf "  (%s: %.1fs wall, %.1fs cpu)\n%!" name
+    (Unix.gettimeofday () -. w0)
+    (Sys.time () -. c0);
   r
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Graph suite                                                         *)
@@ -91,6 +104,72 @@ let eval_instance apsp (inst : Scheme.instance) =
   let n = Cr_graph.Graph.n inst.Scheme.graph in
   let pairs = Scheme.sample_pairs ~seed:7 ~n ~count:pair_budget in
   Scheme.evaluate inst apsp pairs
+
+(* ------------------------------------------------------------------ *)
+(* Construction: serial vs parallel preprocessing                      *)
+(* ------------------------------------------------------------------ *)
+
+let section_construction () =
+  banner "[construction] Preprocessing wall time: 1 domain vs CR_DOMAINS";
+  let par_domains = Pool.domains (Pool.default ()) in
+  let g = er_graph ~seed:77 () in
+  Printf.printf
+    "Each scheme is built twice on erdos-renyi n=%d: once with the default\n\
+     pool forced to a single domain, once with %d domain(s). Outputs must be\n\
+     identical — same routed samples, tables and labels — because the pool\n\
+     writes per-source results into fixed slots regardless of scheduling.\n\n"
+    suite_n par_domains;
+  Printf.printf "%-16s %10s %10s %8s %10s\n" "scheme" "serial-s" "par-s"
+    "speedup" "identical";
+  Printf.printf "%s\n" (String.make 60 '-');
+  let total_serial = ref 0.0 and total_par = ref 0.0 and all_same = ref true in
+  let row name build check_same =
+    Pool.set_default_domains 1;
+    let serial, ts = wall build in
+    Pool.set_default_domains par_domains;
+    let par, tp = wall build in
+    let same = check_same serial par in
+    total_serial := !total_serial +. ts;
+    total_par := !total_par +. tp;
+    if not same then all_same := false;
+    Printf.printf "%-16s %10.2f %10.2f %8.2f %10s\n%!" name ts tp
+      (ts /. Float.max tp 1e-9)
+      (string_of_bool same);
+    csv "construction"
+      ~header:[ "scheme"; "domains"; "serial_wall_s"; "parallel_wall_s"; "identical" ]
+      [ name; string_of_int par_domains; Printf.sprintf "%.4f" ts;
+        Printf.sprintf "%.4f" tp; string_of_bool same ]
+  in
+  row "apsp"
+    (fun () -> Apsp.compute g)
+    (fun a b ->
+      let n = Graph.n g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Apsp.dist a u v <> Apsp.dist b u v then ok := false
+        done
+      done;
+      !ok);
+  let apsp = Apsp.compute g in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      row e.Catalog.id
+        (fun () -> fst (e.Catalog.build ~seed:31 ~eps:0.5 g))
+        (fun i1 i2 ->
+          i1.Scheme.table_words = i2.Scheme.table_words
+          && i1.Scheme.label_words = i2.Scheme.label_words
+          && eval_instance apsp i1 = eval_instance apsp i2))
+    Catalog.all;
+  Printf.printf "%s\n" (String.make 60 '-');
+  Printf.printf "%-16s %10.2f %10.2f %8.2f %10s\n" "total" !total_serial
+    !total_par
+    (!total_serial /. Float.max !total_par 1e-9)
+    (string_of_bool !all_same);
+  if par_domains = 1 then
+    Printf.printf
+      "\n(only one domain available — set CR_DOMAINS or run on a multicore\n\
+       machine to see the parallel speedup)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -699,23 +778,28 @@ let section_bechamel () =
     (List.sort compare rows)
 
 let () =
-  Printf.printf "compact-routing benchmark harness%s\n"
-    (if quick then " (quick mode)" else "");
-  timed "table1" section_table1;
-  timed "families" section_families;
-  timed "oracles" section_oracles;
-  timed "space-scaling" section_space_scaling;
-  timed "space-breakdown" section_space_breakdown;
-  timed "eps-sweep" section_eps_sweep;
-  timed "stretch-by-distance" section_stretch_by_distance;
-  timed "lemma7" section_lemma7;
-  timed "lemma8" section_lemma8;
-  timed "ell-sweep" section_ell_sweep;
-  timed "k-sweep" section_k_sweep;
-  timed "label-bits" section_label_bits;
-  timed "spanner" section_spanner;
-  timed "bechamel" section_bechamel;
-  csv_close ();
+  Printf.printf "compact-routing benchmark harness%s (%d domain(s))\n"
+    (if quick then " (quick mode)" else "")
+    (Pool.domains (Pool.default ()));
+  (* [Fun.protect] so the CSV channels are flushed and closed even when a
+     scheme raises mid-run — a crash used to silently truncate every
+     CR_BENCH_CSV file buffered so far. *)
+  Fun.protect ~finally:csv_close (fun () ->
+      timed "construction" section_construction;
+      timed "table1" section_table1;
+      timed "families" section_families;
+      timed "oracles" section_oracles;
+      timed "space-scaling" section_space_scaling;
+      timed "space-breakdown" section_space_breakdown;
+      timed "eps-sweep" section_eps_sweep;
+      timed "stretch-by-distance" section_stretch_by_distance;
+      timed "lemma7" section_lemma7;
+      timed "lemma8" section_lemma8;
+      timed "ell-sweep" section_ell_sweep;
+      timed "k-sweep" section_k_sweep;
+      timed "label-bits" section_label_bits;
+      timed "spanner" section_spanner;
+      timed "bechamel" section_bechamel);
   (match csv_dir with
   | Some dir -> Printf.printf "\nCSV mirrors written under %s/\n" dir
   | None -> ());

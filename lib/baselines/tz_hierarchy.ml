@@ -9,7 +9,7 @@ type t = {
   p : int array array;
 }
 
-let build ~seed ?a1_target g ~k =
+let build ~seed ?a1_target ?pool g ~k =
   if k < 2 then invalid_arg "Tz_hierarchy.build: need k >= 2";
   if not (Bfs.is_connected g) then
     invalid_arg "Tz_hierarchy.build: graph must be connected";
@@ -50,18 +50,23 @@ let build ~seed ?a1_target g ~k =
   for i = 1 to k - 1 do
     Array.iteri (fun v m -> if m then level.(v) <- i) in_set.(i)
   done;
-  (* Distances and nearest centers per level. *)
+  (* Distances and nearest centers per level: the k multi-source searches
+     are independent of one another, so they fan out over the pool. *)
   let dist = Array.make (k + 1) [||] in
   let p = Array.make k [||] in
   dist.(k) <- Array.make n infinity;
+  let pool = match pool with Some pl -> pl | None -> Pool.default () in
+  let per_level =
+    Pool.map pool ~n:k (fun i ->
+        let members =
+          Array.to_list (Array.mapi (fun v m -> if m then v else -1) in_set.(i))
+          |> List.filter (fun v -> v >= 0)
+        in
+        Dijkstra.multi_source g members)
+  in
   for i = 0 to k - 1 do
-    let members =
-      Array.to_list (Array.mapi (fun v m -> if m then v else -1) in_set.(i))
-      |> List.filter (fun v -> v >= 0)
-    in
-    let m = Dijkstra.multi_source g members in
-    dist.(i) <- m.Dijkstra.dist_to_set;
-    p.(i) <- m.Dijkstra.nearest
+    dist.(i) <- per_level.(i).Dijkstra.dist_to_set;
+    p.(i) <- per_level.(i).Dijkstra.nearest
   done;
   (* TZ tie rule, applied top-down. *)
   for i = k - 2 downto 0 do
@@ -75,13 +80,24 @@ let cluster g t w =
   let lim = t.dist.(t.level.(w) + 1) in
   Dijkstra.restricted g w ~limit:(fun v -> lim.(v))
 
-let bunches g t =
+let with_cluster ws g t w f =
+  let lim = t.dist.(t.level.(w) + 1) in
+  Dijkstra.with_restricted ws g w ~limit:(fun v -> lim.(v)) f
+
+let bunches ?pool g t =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let n = Graph.n g in
+  (* Per-w cluster members with their distances in parallel, then the
+     serial inversion in increasing w, matching the serial bunch order. *)
+  let members =
+    Pool.map_local pool ~n
+      ~local:(fun () -> Dijkstra.workspace n)
+      (fun ws w ->
+        with_cluster ws g t w (fun c ->
+            Array.map (fun v -> (v, c.Dijkstra.dist.(v))) c.Dijkstra.order))
+  in
   let acc = Array.make n [] in
   for w = 0 to n - 1 do
-    let c = cluster g t w in
-    Array.iter
-      (fun v -> acc.(v) <- (w, c.Dijkstra.dist.(v)) :: acc.(v))
-      c.Dijkstra.order
+    Array.iter (fun (v, d) -> acc.(v) <- (w, d) :: acc.(v)) members.(w)
   done;
   Array.map List.rev acc

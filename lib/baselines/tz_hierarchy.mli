@@ -16,17 +16,25 @@ type t = {
   p : int array array;        (** [p.(i).(v) = p_i(v)] under the tie rule. *)
 }
 
-val build : seed:int -> ?a1_target:int -> Graph.t -> k:int -> t
+val build : seed:int -> ?a1_target:int -> ?pool:Cr_routing.Pool.t -> Graph.t -> k:int -> t
 (** [build ~seed g ~k] samples the hierarchy: [A_1] by Lemma 4 (target
     [a1_target], default [n^(1-1/k)]) so level-0 clusters are
     [O(n^(1/k))]-sized — the (4k-5) refinement — and each further level by
-    independent [n^(-1/k)] sampling, forcing [A_{k-1}] nonempty.
+    independent [n^(-1/k)] sampling, forcing [A_{k-1}] nonempty. The
+    per-level distance searches run on [pool]; all random sampling stays
+    on the calling domain, so the result is independent of the pool width.
     @raise Invalid_argument if [k < 2] or [g] is disconnected. *)
 
 val cluster : Graph.t -> t -> int -> Dijkstra.tree
 (** [cluster g t w] is the TZ cluster of [w] at [w]'s own level:
     [{ v | d(w,v) < d(v, A_{level(w)+1}) }], with its shortest-path tree. *)
 
-val bunches : Graph.t -> t -> (int * float) list array
+val with_cluster :
+  Dijkstra.workspace -> Graph.t -> t -> int -> (Dijkstra.tree -> 'a) -> 'a
+(** [with_cluster ws g t w f] is [cluster g t w] computed in [ws]; the tree
+    borrows the workspace arrays exactly as in [Dijkstra.with_restricted]. *)
+
+val bunches : ?pool:Cr_routing.Pool.t -> Graph.t -> t -> (int * float) list array
 (** [bunches g t].(v) lists [(w, d(w,v))] for every [w] with [v ∈ C(w)] —
-    the TZ bunch of [v], with distances. *)
+    the TZ bunch of [v], with distances. Cluster searches fan out over
+    [pool]; the result is identical to a serial run. *)

@@ -35,32 +35,41 @@ let label_of t v =
           | None -> assert false (* v ∈ C(p_i(v)) so the tree exists *));
   }
 
-let preprocess ?a1_target ~seed g ~k =
+let preprocess ?a1_target ?pool ~seed g ~k =
   let n = Graph.n g in
-  let h = Tz_hierarchy.build ~seed ?a1_target g ~k in
-  let trees = Array.make n None in
-  let members_of = Array.make n [||] in
-  for w = 0 to n - 1 do
-    let c = Tz_hierarchy.cluster g h w in
-    members_of.(w) <- c.Dijkstra.order;
-    if Array.length c.Dijkstra.order > 0 then
-      trees.(w) <- Some (Tree_routing.of_tree g c)
-  done;
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let h = Tz_hierarchy.build ~seed ?a1_target ~pool g ~k in
+  (* Cluster searches and tree construction per root, fanned out with one
+     workspace per domain; [order] is the only borrowed-tree field a caller
+     may retain, and [Tree_routing.of_tree] copies everything else. *)
+  let trees_and_members =
+    Pool.map_local pool ~n
+      ~local:(fun () -> Dijkstra.workspace n)
+      (fun ws w ->
+        Tz_hierarchy.with_cluster ws g h w (fun c ->
+            let members = c.Dijkstra.order in
+            if Array.length members = 0 then (None, members)
+            else (Some (Tree_routing.of_tree g c), members)))
+  in
+  let trees = Array.map fst trees_and_members in
+  let members_of = Array.map snd trees_and_members in
   let in_bunch = Array.init n (fun _ -> Hashtbl.create 8) in
   for w = 0 to n - 1 do
     Array.iter (fun v -> Hashtbl.replace in_bunch.(v) w ()) members_of.(w)
   done;
-  let home_labels = Array.init n (fun _ -> Hashtbl.create 1) in
-  for u = 0 to n - 1 do
-    if not h.Tz_hierarchy.in_set.(1).(u) then begin
-      match trees.(u) with
-      | None -> ()
-      | Some tr ->
-        Array.iter
-          (fun v -> Hashtbl.replace home_labels.(u) v (Tree_routing.label tr v))
-          members_of.(u)
-    end
-  done;
+  (* Home labels are per-vertex private tables over read-only trees. *)
+  let home_labels =
+    Pool.map pool ~n (fun u ->
+        let tbl = Hashtbl.create 1 in
+        (if not h.Tz_hierarchy.in_set.(1).(u) then
+           match trees.(u) with
+           | None -> ()
+           | Some tr ->
+             Array.iter
+               (fun v -> Hashtbl.replace tbl v (Tree_routing.label tr v))
+               members_of.(u));
+        tbl)
+  in
   let table_words = Array.make n 0 in
   for u = 0 to n - 1 do
     let bunch_words = 8 * Hashtbl.length in_bunch.(u) in

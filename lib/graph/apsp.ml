@@ -1,13 +1,19 @@
 type t = { d : float array array }
 
-let compute g =
+let compute ?pool g =
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
   let n = Graph.n g in
   let d =
     if Graph.is_unit_weighted g then
-      Array.init n (fun s ->
+      Parallel.map pool ~n (fun s ->
           let r = Bfs.run g s in
-          Array.map (fun h -> if h = max_int then infinity else float_of_int h) r.dist)
-    else Array.init n (fun s -> (Dijkstra.spt g s).dist)
+          Array.map
+            (fun h -> if h = max_int then infinity else float_of_int h)
+            r.dist)
+    else
+      Parallel.map_local pool ~n
+        ~local:(fun () -> Dijkstra.workspace n)
+        (fun ws s -> Dijkstra.with_spt ws g s (fun t -> Array.copy t.dist))
   in
   { d }
 

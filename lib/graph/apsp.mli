@@ -6,9 +6,11 @@
 
 type t
 
-val compute : Graph.t -> t
+val compute : ?pool:Parallel.t -> Graph.t -> t
 (** [compute g] runs a single-source search from every vertex (BFS when the
-    graph is unit-weighted, Dijkstra otherwise). *)
+    graph is unit-weighted, Dijkstra otherwise), fanned out over [pool]
+    (default {!Parallel.default}); the result is identical to a serial
+    run. *)
 
 val dist : t -> int -> int -> float
 (** [dist t u v] is d(u, v), or [infinity] when disconnected. *)

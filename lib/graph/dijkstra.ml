@@ -7,17 +7,79 @@ type tree = {
   order : int array;
 }
 
-(* Core loop shared by [spt] and [restricted]. [admit v d] decides whether a
-   vertex with final distance [d] may be settled. *)
-let run_from g s ~admit =
-  let n = Graph.n g in
-  let dist = Array.make n infinity in
-  let parent = Array.make n (-1) in
-  let parent_port = Array.make n (-1) in
-  let first_port = Array.make n (-1) in
-  let order = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Heap.create n in
+(* ------------------------------------------------------------------ *)
+(* Reusable workspace                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* All per-search scratch state, allocated once and reused across calls.
+   [stamp]/[gen] track which vertices the current search has written, so a
+   reset costs O(touched), not O(n): a workspace running n truncated
+   searches of size l does O(n l) reset work instead of O(n^2). *)
+type workspace = {
+  ws_dist : float array;
+  ws_parent : int array;
+  ws_parent_port : int array;
+  ws_first_port : int array;
+  ws_order : int array;
+  ws_settled : bool array;
+  ws_heap : Heap.t;
+  ws_stamp : int array;      (* stamp.(v) = gen iff v touched this search *)
+  ws_touched : int array;
+  mutable ws_ntouched : int;
+  mutable ws_gen : int;
+}
+
+let workspace n =
+  if n < 0 then invalid_arg "Dijkstra.workspace";
+  {
+    ws_dist = Array.make n infinity;
+    ws_parent = Array.make n (-1);
+    ws_parent_port = Array.make n (-1);
+    ws_first_port = Array.make n (-1);
+    ws_order = Array.make n (-1);
+    ws_settled = Array.make n false;
+    ws_heap = Heap.create n;
+    ws_stamp = Array.make n 0;
+    ws_touched = Array.make n (-1);
+    ws_ntouched = 0;
+    ws_gen = 0;
+  }
+
+let workspace_capacity ws = Array.length ws.ws_dist
+
+let touch ws v =
+  if ws.ws_stamp.(v) <> ws.ws_gen then begin
+    ws.ws_stamp.(v) <- ws.ws_gen;
+    ws.ws_touched.(ws.ws_ntouched) <- v;
+    ws.ws_ntouched <- ws.ws_ntouched + 1
+  end
+
+let reset ws =
+  for i = 0 to ws.ws_ntouched - 1 do
+    let v = ws.ws_touched.(i) in
+    ws.ws_dist.(v) <- infinity;
+    ws.ws_parent.(v) <- -1;
+    ws.ws_parent_port.(v) <- -1;
+    ws.ws_first_port.(v) <- -1;
+    ws.ws_settled.(v) <- false
+  done;
+  ws.ws_ntouched <- 0;
+  Heap.clear ws.ws_heap
+
+(* Core loop shared by all single-source variants. [admit v d] decides
+   whether a vertex with final distance [d] may be settled; returns the
+   number of settled vertices (a prefix of [ws_order]). The caller must
+   [reset] the workspace when done with the scratch arrays. *)
+let run_core ws g s ~admit =
+  ws.ws_gen <- ws.ws_gen + 1;
+  let dist = ws.ws_dist
+  and parent = ws.ws_parent
+  and parent_port = ws.ws_parent_port
+  and first_port = ws.ws_first_port
+  and order = ws.ws_order
+  and settled = ws.ws_settled
+  and heap = ws.ws_heap in
+  touch ws s;
   dist.(s) <- 0.0;
   Heap.insert heap s 0.0;
   let count = ref 0 in
@@ -33,6 +95,7 @@ let run_from g s ~admit =
         Graph.iter_neighbors g u (fun ~port ~v ~w ->
             let d' = d +. w in
             if (not settled.(v)) && d' < dist.(v) then begin
+              touch ws v;
               dist.(v) <- d';
               parent.(v) <- u;
               parent_port.(v) <- port;
@@ -45,10 +108,41 @@ let run_from g s ~admit =
          outside the tree; it may be re-relaxed only through other rejected
          vertices, which [admit] will reject again. *)
   done;
-  let order = Array.sub order 0 !count in
-  { source = s; dist; parent; parent_port; first_port; order }
+  !count
 
-let spt g s = run_from g s ~admit:(fun _ _ -> true)
+(* A borrowed view over the workspace arrays; only [order] is fresh. *)
+let borrowed_tree ws s count =
+  {
+    source = s;
+    dist = ws.ws_dist;
+    parent = ws.ws_parent;
+    parent_port = ws.ws_parent_port;
+    first_port = ws.ws_first_port;
+    order = Array.sub ws.ws_order 0 count;
+  }
+
+let with_tree ws g s ~admit f =
+  let count = run_core ws g s ~admit in
+  Fun.protect
+    ~finally:(fun () -> reset ws)
+    (fun () -> f (borrowed_tree ws s count))
+
+let with_spt ws g s f = with_tree ws g s ~admit:(fun _ _ -> true) f
+
+let with_restricted ws g w ~limit f =
+  with_tree ws g w ~admit:(fun v d -> d < limit v) f
+
+(* The allocating entry points run in a throwaway workspace and hand its
+   arrays to the caller directly — same cost profile as before workspaces
+   existed, and the returned tree owns its arrays. *)
+let owned_run g s ~admit =
+  let ws = workspace (Graph.n g) in
+  let count = run_core ws g s ~admit in
+  borrowed_tree ws s count
+
+let spt g s = owned_run g s ~admit:(fun _ _ -> true)
+
+let restricted g w ~limit = owned_run g w ~admit:(fun v d -> d < limit v)
 
 let path_to t v =
   if t.dist.(v) = infinity then invalid_arg "Dijkstra.path_to: unreachable";
@@ -56,6 +150,10 @@ let path_to t v =
   up v []
 
 let path_from t x = List.rev (path_to t x)
+
+(* ------------------------------------------------------------------ *)
+(* Truncated search                                                    *)
+(* ------------------------------------------------------------------ *)
 
 type truncated = {
   src : int;
@@ -66,51 +164,65 @@ type truncated = {
   next_dist : float option;
 }
 
-let truncated g s l =
-  let n = Graph.n g in
+let truncated_ws ws g s l =
   let l = max l 1 in
-  let dist = Array.make n infinity in
-  let parent = Array.make n (-1) in
-  let first_port = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Heap.create n in
+  ws.ws_gen <- ws.ws_gen + 1;
+  let dist = ws.ws_dist
+  and parent = ws.ws_parent
+  and first_port = ws.ws_first_port
+  and order = ws.ws_order
+  and settled = ws.ws_settled
+  and heap = ws.ws_heap in
+  touch ws s;
   dist.(s) <- 0.0;
   Heap.insert heap s 0.0;
-  let vertices = Array.make (min l n) (-1) in
-  let dists = Array.make (min l n) 0.0 in
   let count = ref 0 in
-  let next_dist = ref None in
   let continue = ref true in
-  while !continue do
-    if !count >= l then begin
-      (* Peek the nearest excluded vertex for the radius r_u(l). *)
-      (match Heap.pop_min heap with
-      | Some (_, d) -> next_dist := Some d
-      | None -> ());
-      continue := false
-    end
-    else
-      match Heap.pop_min heap with
-      | None -> continue := false
-      | Some (u, d) ->
-        settled.(u) <- true;
-        vertices.(!count) <- u;
-        dists.(!count) <- d;
-        incr count;
-        Graph.iter_neighbors g u (fun ~port ~v ~w ->
-            let d' = d +. w in
-            if (not settled.(v)) && d' < dist.(v) then begin
-              dist.(v) <- d';
-              parent.(v) <- u;
-              first_port.(v) <- (if u = s then port else first_port.(u));
-              Heap.insert_or_decrease heap v d'
-            end)
+  while !continue && !count < l do
+    match Heap.pop_min heap with
+    | None -> continue := false
+    | Some (u, d) ->
+      settled.(u) <- true;
+      order.(!count) <- u;
+      incr count;
+      Graph.iter_neighbors g u (fun ~port ~v ~w ->
+          let d' = d +. w in
+          if (not settled.(v)) && d' < dist.(v) then begin
+            touch ws v;
+            dist.(v) <- d';
+            parent.(v) <- u;
+            first_port.(v) <- (if u = s then port else first_port.(u));
+            Heap.insert_or_decrease heap v d'
+          end)
   done;
-  let vertices = Array.sub vertices 0 !count in
-  let dists = Array.sub dists 0 !count in
-  let parents = Array.map (fun v -> parent.(v)) vertices in
-  let first_ports = Array.map (fun v -> first_port.(v)) vertices in
-  { src = s; vertices; dists; parents; first_ports; next_dist = !next_dist }
+  (* The nearest vertex of the component left out of B(s, l), if any: a
+     non-destructive peek — the heap min's tentative distance is final by
+     the usual Dijkstra invariant. [None] iff every vertex reachable from
+     [s] was settled (the component has at most [l] vertices), which is
+     distinct from "the heap happened to empty": the heap can only be empty
+     here when the frontier is exhausted. *)
+  let next_dist =
+    match Heap.peek_min heap with Some (_, d) -> Some d | None -> None
+  in
+  let k = !count in
+  let vertices = Array.sub order 0 k in
+  let dists = Array.make k 0.0 in
+  let parents = Array.make k (-1) in
+  let first_ports = Array.make k (-1) in
+  for i = 0 to k - 1 do
+    let v = vertices.(i) in
+    dists.(i) <- dist.(v);
+    parents.(i) <- parent.(v);
+    first_ports.(i) <- first_port.(v)
+  done;
+  reset ws;
+  { src = s; vertices; dists; parents; first_ports; next_dist }
+
+let truncated g s l = truncated_ws (workspace (Graph.n g)) g s l
+
+(* ------------------------------------------------------------------ *)
+(* Multi-source                                                        *)
+(* ------------------------------------------------------------------ *)
 
 type multi = {
   dist_to_set : float array;
@@ -150,5 +262,3 @@ let multi_source g centers =
             end)
   done;
   { dist_to_set = dist; nearest; mparent }
-
-let restricted g w ~limit = run_from g w ~admit:(fun v d -> d < limit v)

@@ -18,7 +18,8 @@ type tree = {
 val spt : Graph.t -> int -> tree
 (** [spt g s] is the shortest-path tree rooted at [s], covering the connected
     component of [s]. Among equal-length paths the tree prefers the parent
-    settled first, which makes it deterministic. *)
+    settled first, which makes it deterministic. The returned tree owns its
+    arrays. *)
 
 val path_to : tree -> int -> int list
 (** [path_to t v] is the vertex sequence from [t.source] to [v] along the
@@ -29,6 +30,39 @@ val path_from : tree -> int -> int list
     [t.source] along the tree, inclusive — i.e. a shortest path from [x] to
     the source. @raise Invalid_argument if [x] is unreachable. *)
 
+(** {1 Reusable workspaces}
+
+    A search from one source needs five [n]-sized scratch arrays plus a
+    heap; allocating them per source makes an all-sources sweep cost O(n^2)
+    allocation. A {!workspace} allocates the scratch once; each search
+    resets only the vertices it actually touched, so n truncated searches
+    of size l cost O(n l) maintenance, and the per-call allocation in the
+    construction hot paths drops to the (small) returned results.
+
+    Workspaces are single-owner: one search at a time, and not shared
+    across domains — the parallel preprocessing pool gives each domain its
+    own (see [Cr_routing.Pool]). *)
+
+type workspace
+
+val workspace : int -> workspace
+(** [workspace n] is a fresh workspace for graphs with at most [n]
+    vertices. @raise Invalid_argument if [n < 0]. *)
+
+val workspace_capacity : workspace -> int
+
+val with_spt : workspace -> Graph.t -> int -> (tree -> 'a) -> 'a
+(** [with_spt ws g s f] computes the same tree as [spt g s] without
+    allocating scratch, and applies [f] to it. The tree {e borrows} the
+    workspace arrays: it is valid only during [f], and [f] must copy
+    whatever it needs to keep ([order] alone is fresh and may be
+    retained). The workspace is reset afterwards, also when [f] raises. *)
+
+val with_restricted :
+  workspace -> Graph.t -> int -> limit:(int -> float) -> (tree -> 'a) -> 'a
+(** [with_restricted ws g w ~limit f]: as {!restricted}, borrowed like
+    {!with_spt}. *)
+
 (** {1 Truncated search — the [B(u, l)] primitive} *)
 
 type truncated = {
@@ -37,12 +71,25 @@ type truncated = {
   dists : float array;       (** [dists.(i)] = d(src, vertices.(i)). *)
   parents : int array;       (** tree parent of [vertices.(i)], as a vertex id. *)
   first_ports : int array;   (** first port out of [src] toward [vertices.(i)]; [-1] for [src]. *)
-  next_dist : float option;  (** distance of the nearest settled-excluded vertex, if any remains. *)
+  next_dist : float option;
+      (** Distance of the nearest vertex excluded from [B(src, l)]:
+          [Some d] means the [(l+1)]-th closest vertex (under [(dist, id)]
+          order) exists and its exact distance is [d] — in particular
+          [d >= dists.(l-1)], with equality exactly when the distance class
+          at the truncation boundary is split between settled and excluded
+          vertices. [None] iff {e every} vertex reachable from [src] was
+          settled (the component has at most [l] vertices), i.e. nothing
+          was excluded — not merely "the search frontier emptied". *)
 }
 
 val truncated : Graph.t -> int -> int -> truncated
 (** [truncated g s l] settles the [min l (component size)] closest vertices
-    of [s] under [(dist, id)] order: the paper's [B(s, l)]. *)
+    of [s] under [(dist, id)] order: the paper's [B(s, l)]. [l] is clamped
+    to at least 1. The result owns its arrays. *)
+
+val truncated_ws : workspace -> Graph.t -> int -> int -> truncated
+(** [truncated_ws ws g s l] is [truncated g s l] computed in [ws]: no
+    [n]-sized allocation, only the l-sized result (safe to retain). *)
 
 (** {1 Multi-source — nearest centers} *)
 

@@ -78,6 +78,14 @@ let insert_or_decrease h k p =
     if p < priority h k then decrease h k p
   end else insert h k p
 
+let peek_min h = if h.len = 0 then None else Some (h.keys.(0), h.prio.(0))
+
+let clear h =
+  for i = 0 to h.len - 1 do
+    h.pos.(h.keys.(i)) <- -1
+  done;
+  h.len <- 0
+
 let pop_min h =
   if h.len = 0 then None
   else begin

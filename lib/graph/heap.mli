@@ -35,6 +35,14 @@ val insert_or_decrease : t -> int -> float -> unit
 (** [insert_or_decrease h k p] inserts [k], or lowers its priority if [p] is
     smaller than the current one; otherwise does nothing. *)
 
+val peek_min : t -> (int * float) option
+(** [peek_min h] is the pair [pop_min] would return, without removing it. *)
+
+val clear : t -> unit
+(** [clear h] empties the heap in time proportional to its current size,
+    leaving the capacity intact. Lets a search that stopped early (e.g. a
+    truncated Dijkstra) hand the heap back to a reusable workspace. *)
+
 val pop_min : t -> (int * float) option
 (** [pop_min h] removes and returns the (key, priority) pair with the least
     priority, breaking priority ties by the smaller key. *)

@@ -1,0 +1,97 @@
+type t = { domains : int }
+
+let max_domains = 64
+
+let env_domains () =
+  match Sys.getenv_opt "CR_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> Some (min d max_domains)
+    | _ -> None)
+
+let create ?domains () =
+  let d =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Parallel.create: need at least one domain";
+      d
+    | None -> (
+      match env_domains () with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ())
+  in
+  { domains = max 1 (min d max_domains) }
+
+let domains p = p.domains
+
+(* The shared default pool. Read-mostly; [set_default_domains] is a bench /
+   test knob, not a concurrency feature. *)
+let default_pool : t option Atomic.t = Atomic.make None
+
+let default () =
+  match Atomic.get default_pool with
+  | Some p -> p
+  | None ->
+    let p = create () in
+    Atomic.set default_pool (Some p);
+    p
+
+let set_default_domains d = Atomic.set default_pool (Some (create ~domains:d ()))
+
+(* Chunked fan-out over [0, n): helper domains plus the calling domain pull
+   fixed-size index chunks off a shared counter until the range is
+   exhausted. Which domain runs which chunk is scheduling-dependent, but
+   every index is processed exactly once and all visible output goes
+   through [f] writing to per-index slots, so results never depend on the
+   schedule. *)
+let iter_local pool ~n ~local f =
+  if n > 0 then begin
+    let d = min pool.domains n in
+    if d <= 1 then begin
+      let l = local () in
+      for i = 0 to n - 1 do
+        f l i
+      done
+    end
+    else begin
+      let chunk = max 1 (1 + ((n - 1) / (8 * d))) in
+      let next = Atomic.make 0 in
+      let worker () =
+        let l = local () in
+        let continue = ref true in
+        while !continue do
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo >= n then continue := false
+          else
+            for i = lo to min n (lo + chunk) - 1 do
+              f l i
+            done
+        done
+      in
+      let helpers = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+      let failure = ref None in
+      let record e bt = if !failure = None then failure := Some (e, bt) in
+      (try worker () with e -> record e (Printexc.get_raw_backtrace ()));
+      Array.iter
+        (fun h ->
+          try Domain.join h
+          with e -> record e (Printexc.get_raw_backtrace ()))
+        helpers;
+      match !failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let iter pool ~n f = iter_local pool ~n ~local:(fun () -> ()) (fun () i -> f i)
+
+let map_local pool ~n ~local f =
+  if n <= 0 then [||]
+  else begin
+    let out = Array.make n None in
+    iter_local pool ~n ~local (fun l i -> out.(i) <- Some (f l i));
+    Array.map (function Some x -> x | None -> assert false) out
+  end
+
+let map pool ~n f = map_local pool ~n ~local:(fun () -> ()) (fun () i -> f i)

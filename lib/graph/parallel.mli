@@ -1,0 +1,59 @@
+(** Deterministic domain pool for the preprocessing hot paths.
+
+    Every construction sweep in this repository — per-source shortest-path
+    trees, truncated vicinity searches, restricted cluster searches — is
+    embarrassingly parallel over source vertices. This module fans such a
+    sweep out over OCaml 5 domains with {e chunked} index distribution:
+    workers (the calling domain plus [domains - 1] spawned helpers) pull
+    contiguous index chunks off a shared atomic counter and write each
+    result into the slot of a pre-sized array.
+
+    {b Determinism.} Which domain computes which index depends on
+    scheduling, but each index is computed exactly once by a pure function
+    of the index and written to its own slot, so the produced arrays are
+    bit-identical to a serial run — nothing downstream can observe the
+    schedule. Callers must not close over shared mutable state in [f]
+    except per-index output slots; per-worker mutable scratch belongs in
+    [local].
+
+    The default pool size comes from the [CR_DOMAINS] environment variable
+    (clamped to [1 .. 64]; unset or invalid falls back to
+    [Domain.recommended_domain_count ()]). With one domain no helper is
+    spawned and the sweep runs inline. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] is a pool of the given width, clamped to
+    [1 .. 64]. Without [~domains], reads [CR_DOMAINS], falling back to
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Worker count, including the calling domain. *)
+
+val default : unit -> t
+(** The process-wide pool used by preprocessing entry points when no
+    explicit pool is passed. Created lazily from [CR_DOMAINS]. *)
+
+val set_default_domains : int -> unit
+(** Replace the default pool with one of the given width — a bench / test
+    knob for comparing serial and parallel construction in one process. *)
+
+val iter : t -> n:int -> (int -> unit) -> unit
+(** [iter p ~n f] runs [f i] for every [i] in [0, n), fanned out over the
+    pool. [f] must be safe to call concurrently for distinct indices. If
+    any [f] raises, one such exception is re-raised after all workers have
+    stopped. *)
+
+val iter_local : t -> n:int -> local:(unit -> 'w) -> ('w -> int -> unit) -> unit
+(** [iter_local p ~n ~local f]: as {!iter}, but each worker first creates
+    private scratch with [local ()] (e.g. a [Dijkstra.workspace]) and
+    passes it to every [f] call it executes. *)
+
+val map : t -> n:int -> (int -> 'a) -> 'a array
+(** [map p ~n f] is [Array.init n f] computed in parallel; element [i] is
+    [f i] regardless of scheduling. *)
+
+val map_local : t -> n:int -> local:(unit -> 'w) -> ('w -> int -> 'a) -> 'a array
+(** {!map} with per-worker scratch, as in {!iter_local}. *)

@@ -29,12 +29,20 @@ let cluster g t w =
 
 let cluster_size g t w = Array.length (cluster g t w).order
 
-let max_cluster_size g t =
-  let worst = ref 0 in
-  for w = 0 to Graph.n g - 1 do
-    worst := max !worst (cluster_size g t w)
-  done;
-  !worst
+(* [dist_to_a] is only read inside the restricted searches, so sweeping
+   many sources in parallel is safe; each domain reuses one workspace. *)
+let cluster_sizes ?pool g t sources =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  Pool.map_local pool ~n:(Array.length sources)
+    ~local:(fun () -> Dijkstra.workspace (Graph.n g))
+    (fun ws i ->
+      Dijkstra.with_restricted ws g sources.(i)
+        ~limit:(fun v -> t.dist_to_a.(v))
+        (fun c -> Array.length c.Dijkstra.order))
+
+let max_cluster_size ?pool g t =
+  let sources = Array.init (Graph.n g) Fun.id in
+  Array.fold_left max 0 (cluster_sizes ?pool g t sources)
 
 let sample ~seed g ~target =
   let n = Graph.n g in
@@ -46,8 +54,10 @@ let sample ~seed g ~target =
     let a = Hashtbl.create (2 * target) in
     let rec refine w iter =
       let t = of_centers g (Hashtbl.fold (fun v () acc -> v :: acc) a []) in
+      let candidates = Array.of_list w in
+      let sizes = cluster_sizes g t candidates in
       let oversized =
-        List.filter (fun v -> cluster_size g t v > bound) w
+        List.filteri (fun i _ -> sizes.(i) > bound) (Array.to_list candidates)
       in
       if oversized = [] then t
       else if iter > 4 + (4 * int_of_float (log (float_of_int (max n 2)))) then begin
@@ -79,11 +89,22 @@ let sample ~seed g ~target =
     t
   end
 
-let bunches g t =
+let bunches ?pool g t =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let n = Graph.n g in
+  (* Cluster membership lists in parallel (the searches), then the serial
+     inversion — iterating w in increasing order keeps each bunch sorted
+     exactly as the serial code produced it. *)
+  let members =
+    Pool.map_local pool ~n
+      ~local:(fun () -> Dijkstra.workspace n)
+      (fun ws w ->
+        Dijkstra.with_restricted ws g w
+          ~limit:(fun v -> t.dist_to_a.(v))
+          (fun c -> c.Dijkstra.order))
+  in
   let acc = Array.make n [] in
   for w = 0 to n - 1 do
-    let c = cluster g t w in
-    Array.iter (fun v -> acc.(v) <- w :: acc.(v)) c.order
+    Array.iter (fun v -> acc.(v) <- w :: acc.(v)) members.(w)
   done;
   Array.map (fun l -> Array.of_list (List.rev l)) acc

@@ -33,8 +33,15 @@ val cluster : Graph.t -> t -> int -> Dijkstra.tree
 
 val cluster_size : Graph.t -> t -> int -> int
 
-val bunches : Graph.t -> t -> int array array
-(** [bunches g t] is [B_A(v)] for every [v], obtained by inverting all
-    clusters (total work proportional to the total cluster size). *)
+val cluster_sizes : ?pool:Pool.t -> Graph.t -> t -> int array -> int array
+(** [cluster_sizes g t sources] is [|C_A(w)|] for each listed [w], the
+    restricted searches fanned out over [pool] (default {!Pool.default})
+    with one reusable workspace per domain. *)
 
-val max_cluster_size : Graph.t -> t -> int
+val bunches : ?pool:Pool.t -> Graph.t -> t -> int array array
+(** [bunches g t] is [B_A(v)] for every [v], obtained by inverting all
+    clusters (total work proportional to the total cluster size; the
+    cluster searches run on [pool], the inversion is serial and the result
+    is identical to a serial run). *)
+
+val max_cluster_size : ?pool:Pool.t -> Graph.t -> t -> int

@@ -9,16 +9,24 @@ let build_classes ~colors color =
   Array.iteri (fun v c -> buckets.(c) <- v :: buckets.(c)) color;
   Array.map (fun l -> Array.of_list (List.rev l)) buckets
 
-let check_sets color ~colors sets =
-  (* Returns the list of (set index, missing color). *)
-  let missing = ref [] in
-  List.iteri
-    (fun i s ->
-      let seen = Array.make colors false in
-      Array.iter (fun v -> seen.(color.(v)) <- true) s;
-      Array.iteri (fun c ok -> if not ok then missing := (i, c) :: !missing) seen)
-    sets;
-  !missing
+let check_sets ?pool color ~colors sets =
+  (* Returns the list of (set index, missing color). Each set is scanned
+     independently (reads only [color]), so the scans fan out over the
+     pool; the per-set results are then folded in set order, reproducing
+     the serial accumulation exactly. *)
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let sets = Array.of_list sets in
+  let missing_of =
+    Pool.map pool ~n:(Array.length sets) (fun i ->
+        let seen = Array.make colors false in
+        Array.iter (fun v -> seen.(color.(v)) <- true) sets.(i);
+        let m = ref [] in
+        Array.iteri (fun c ok -> if not ok then m := (i, c) :: !m) seen;
+        List.rev !m)
+  in
+  Array.fold_left
+    (fun acc per_set -> List.fold_left (fun acc x -> x :: acc) acc per_set)
+    [] missing_of
 
 let check_balance color ~colors ~n ~balance =
   let bound = balance *. float_of_int n /. float_of_int colors in

@@ -1,0 +1,1 @@
+include Cr_graph.Parallel

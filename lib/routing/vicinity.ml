@@ -9,27 +9,34 @@ type t = {
   radius : float;
 }
 
+(* r_u(l) for the prefix [dists.(0 .. k-1)] whose nearest excluded vertex
+   sits at distance [nd] (Lemma 7 / Section 2 definition): the largest
+   distance r such that {e every} vertex at distance exactly r is settled.
+   Distance classes strictly below [nd] are complete by the settling order;
+   the class at [nd] itself is split — the excluded vertex ties it — so the
+   radius backs off to the largest settled distance strictly below [nd].
+   Distances are compared exactly: a tie at the truncation boundary means
+   bit-equal path lengths, which is what the (dist, id) settling order
+   itself uses. Monotone in k: since dists is sorted, the backoff is the
+   last settled distance < nd, and with no settled distance below [nd]
+   (k = 0, or every member tied at [nd]) the radius is 0 — only the empty
+   ball is complete. *)
+let radius_below dists k nd =
+  let rec scan i = if i < 0 then 0.0 else if dists.(i) < nd then dists.(i) else scan (i - 1) in
+  scan (k - 1)
+
 let of_truncated (tr : Dijkstra.truncated) =
   let k = Array.length tr.vertices in
   let index = Hashtbl.create (2 * k) in
   Array.iteri (fun i v -> Hashtbl.replace index v i) tr.vertices;
   let max_dist = if k = 0 then 0.0 else tr.dists.(k - 1) in
-  (* r_u(l): the largest distance r such that every vertex at distance
-     exactly r is settled. If the nearest excluded vertex is at [nd] then
-     distances >= nd are incomplete; distance nd itself may be split. *)
   let radius =
     match tr.next_dist with
-    | None -> max_dist
-    | Some nd ->
-      if nd > max_dist then max_dist
-      else begin
-        (* nd = max_dist: that distance class is split between settled and
-           unsettled vertices; back off to the largest settled distance
-           strictly below it. *)
-        let r = ref 0.0 in
-        Array.iter (fun d -> if d < nd && d > !r then r := d) tr.dists;
-        !r
-      end
+    | None ->
+      (* Nothing reachable was excluded: every realized distance class is
+         complete and the radius is the farthest member's distance. *)
+      max_dist
+    | Some nd -> if nd > max_dist then max_dist else radius_below tr.dists k nd
   in
   {
     source = tr.src;
@@ -42,7 +49,12 @@ let of_truncated (tr : Dijkstra.truncated) =
 
 let compute g u l = of_truncated (Dijkstra.truncated g u l)
 
-let compute_all g l = Array.init (Graph.n g) (fun u -> compute g u l)
+let compute_all ?pool g l =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let n = Graph.n g in
+  Pool.map_local pool ~n
+    ~local:(fun () -> Dijkstra.workspace n)
+    (fun ws u -> of_truncated (Dijkstra.truncated_ws ws g u l))
 
 let source b = b.source
 
@@ -76,15 +88,9 @@ let prefix_radius b l' =
   let k = Array.length b.dists in
   if l' >= k then b.radius
   else if l' <= 0 then 0.0
-  else begin
+  else
     (* The nearest excluded vertex of the prefix is member l'. *)
-    let nd = b.dists.(l') in
-    let r = ref 0.0 in
-    for i = 0 to l' - 1 do
-      if b.dists.(i) < nd && b.dists.(i) > !r then r := b.dists.(i)
-    done;
-    !r
-  end
+    radius_below b.dists l' b.dists.(l')
 
 let nearest_of b pred =
   (* Members are already in (dist, id) order. *)

@@ -15,8 +15,11 @@ type t
 val compute : Graph.t -> int -> int -> t
 (** [compute g u l] is the vicinity [B(u, l)] (clamped to the component). *)
 
-val compute_all : Graph.t -> int -> t array
-(** [compute_all g l] is [B(u, l)] for every vertex, indexed by vertex. *)
+val compute_all : ?pool:Pool.t -> Graph.t -> int -> t array
+(** [compute_all g l] is [B(u, l)] for every vertex, indexed by vertex.
+    The per-source truncated searches run on [pool] (default
+    {!Pool.default}) with one reusable [Dijkstra.workspace] per domain;
+    the result is identical to computing each vicinity serially. *)
 
 val source : t -> int
 

@@ -23,6 +23,26 @@ let test_out_of_range () =
   checkb "negative gamma" true
     (try Bits.push_gamma w (-1); false with Invalid_argument _ -> true)
 
+let test_width_62_boundary () =
+  (* 62 is the widest legal field (OCaml ints are 63-bit); the full-width
+     range check must not shift by 62 into the sign bit. *)
+  let w = Bits.writer () in
+  Bits.push w ~bits:62 max_int;
+  Bits.push w ~bits:62 0;
+  Bits.push w ~bits:62 1;
+  checki "length" 186 (Bits.length w);
+  let r = Bits.reader (Bits.contents w) in
+  checki "max_int round-trips at width 62" max_int (Bits.pull r ~bits:62);
+  checki "zero" 0 (Bits.pull r ~bits:62);
+  checki "one" 1 (Bits.pull r ~bits:62);
+  checkb "width 63 rejected on push" true
+    (try Bits.push w ~bits:63 0; false with Invalid_argument _ -> true);
+  checkb "width 63 rejected on pull" true
+    (try
+       ignore (Bits.pull (Bits.reader (Bytes.make 8 '\000')) ~bits:63);
+       false
+     with Invalid_argument _ -> true)
+
 let test_gamma_sizes () =
   (* gamma(v) uses 2*floor(log2(v+1)) + 1 bits. *)
   List.iter
@@ -201,6 +221,7 @@ let suite =
     case "TZ label bits within o(k log^2 n)" test_tz_label_bits;
     case "Lemma 7/8 header bits within their claims" test_header_bits_bounds;
     case "range validation" test_out_of_range;
+    case "62-bit width boundary" test_width_62_boundary;
     case "gamma code sizes" test_gamma_sizes;
     case "reading past the end raises" test_pull_past_end;
     case "bits_for" test_bits_for;

@@ -23,4 +23,5 @@ let () =
       ("workload", Test_workload.suite);
       ("tz-hierarchy", Test_tz_hierarchy.suite);
       ("bits", Test_bits.suite);
+      ("parallel", Test_parallel.suite);
     ]

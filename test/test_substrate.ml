@@ -205,6 +205,29 @@ let test_simulator_aborts_loops () =
   checkb "not delivered" false o.Port_model.delivered;
   checkb "bounded hops" true (o.Port_model.hops <= (4 * 4) + 17)
 
+let test_simulator_max_hops_boundary () =
+  (* Pin the abort rule to "hops > max_hops": a route of exactly max_hops
+     hops still delivers; one fewer allowed hop fails it. *)
+  let k = 6 in
+  let g = Generators.path (k + 1) in
+  let run max_hops =
+    Port_model.run g ~src:0 ~header:k
+      ~step:(fun ~at dst ->
+        if at = dst then Port_model.Deliver
+        else
+          match Graph.port_to g at (at + 1) with
+          | Some p -> Port_model.Forward (p, dst)
+          | None -> Alcotest.fail "missing port")
+      ~header_words:(fun _ -> 1)
+      ~max_hops ()
+  in
+  let exact = run k in
+  checkb "max_hops = path length delivers" true exact.Port_model.delivered;
+  checki "with exactly k hops" k exact.Port_model.hops;
+  let short = run (k - 1) in
+  checkb "max_hops = k-1 aborts" false short.Port_model.delivered;
+  checki "stops where the budget ran out" k short.Port_model.hops
+
 let test_simulator_rejects_bad_port () =
   let g = Generators.path 3 in
   checkb "invalid port raises" true
@@ -263,6 +286,7 @@ let suite =
     case "3-spanner of K_20 sparsifies" test_greedy_spanner_sparsifies;
     case "simulator accounting" test_simulator_counts;
     case "simulator aborts loops" test_simulator_aborts_loops;
+    case "simulator max_hops boundary" test_simulator_max_hops_boundary;
     case "simulator rejects bad ports" test_simulator_rejects_bad_port;
     case "pair sampling" test_sample_pairs;
     case "eval statistics" test_eval_stats;

@@ -25,6 +25,35 @@ let test_radius_whole_graph () =
   checki "clamped" 5 (Vicinity.size b);
   checkf "radius = max dist" 2.0 (Vicinity.radius b)
 
+let test_radius_tied_at_boundary () =
+  (* Star-ish graph with three vertices tied exactly at the truncation
+     boundary: 0-1 w=1, 0-2 w=2, 0-3 w=2, 0-4 w=2. With l=3 the vicinity
+     is {0,1,2} and max_dist = 2, but vertices 3 and 4 sit at distance 2
+     too — the boundary class is split, so r_0(3) must back off to 1, not
+     report 2. (Lemma 7 relies on every vertex at distance <= r being a
+     member.) *)
+  let g =
+    Graph.of_edges ~n:5 [ (0, 1, 1.0); (0, 2, 2.0); (0, 3, 2.0); (0, 4, 2.0) ]
+  in
+  let b3 = Vicinity.compute g 0 3 in
+  checkb "members" true (Vicinity.members b3 = [| 0; 1; 2 |]);
+  checkf "max_dist is the boundary" 2.0 (Vicinity.max_dist b3);
+  checkf "radius backs off below the split class" 1.0 (Vicinity.radius b3);
+  (* The underlying truncated search must agree: next_dist is the exact
+     distance of the first excluded vertex, equal to dists.(l-1). *)
+  let tr = Dijkstra.truncated g 0 3 in
+  checkb "next_dist = Some 2.0" true (tr.Dijkstra.next_dist = Some 2.0);
+  checkf "boundary tie" 2.0 tr.Dijkstra.dists.(2);
+  (* Whole component: nothing excluded, radius reaches the far class. *)
+  let b5 = Vicinity.compute g 0 5 in
+  checkf "complete class keeps full radius" 2.0 (Vicinity.radius b5);
+  checkb "nothing excluded" true
+    ((Dijkstra.truncated g 0 5).Dijkstra.next_dist = None);
+  (* prefix_radius must match a direct computation at every prefix. *)
+  checkf "prefix l'=3 of l=5" 1.0 (Vicinity.prefix_radius b5 3);
+  checkf "prefix l'=2 of l=5" 1.0 (Vicinity.prefix_radius b5 2);
+  checkf "prefix l'=1 of l=5" 0.0 (Vicinity.prefix_radius b5 1)
+
 let test_dist_and_mem () =
   let g = Generators.grid 3 3 in
   let b = Vicinity.compute g 0 4 in
@@ -133,6 +162,7 @@ let suite =
   [
     case "members in (dist,id) order" test_members_ordered;
     case "radius backs off on split distance" test_radius_unweighted;
+    case "ties exactly at the truncation boundary" test_radius_tied_at_boundary;
     case "radius with whole component" test_radius_whole_graph;
     case "membership and distances" test_dist_and_mem;
     case "nearest_of scans in order" test_nearest_of;
