@@ -729,6 +729,85 @@ let section_spanner () =
     [ 2; 3; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Resilience under failed links: bare schemes vs the +res wrapper     *)
+(* ------------------------------------------------------------------ *)
+
+(* Pool evaluations over several independent fault plans: delivery over all
+   (pair, plan) attempts, stretch over the delivered ones. *)
+let section_resilience () =
+  banner "[resilience] Delivery under failed links: bare schemes vs +res";
+  let g = er_graph ~seed:42 () in
+  let apsp = Apsp.compute g in
+  let pairs_n = if quick then 150 else 400 in
+  let pairs = Scheme.sample_pairs ~seed:11 ~n:(Graph.n g) ~count:pairs_n in
+  let rates = [ 0.01; 0.02; 0.05 ] in
+  let fault_seeds = if quick then 1 else 2 in
+  Format.printf
+    "Graph %a; %d sampled pairs; %d fault plan(s) per rate.@." Graph.pp g
+    pairs_n fault_seeds;
+  Printf.printf
+    "Distances stay those of the healthy graph, so inflation prices the\n\
+     detours failures force; the wrapper must deliver at least as often as\n\
+     the bare scheme at every rate (strictly more whenever the bare scheme\n\
+     loses messages).\n\n";
+  Printf.printf "%-16s %6s  %9s %9s  %10s %10s\n" "scheme" "f%" "bare-del"
+    "res-del" "bare-infl" "res-infl";
+  Printf.printf "%s\n" (String.make 68 '-');
+  let dominates = ref true in
+  let pooled insts rate =
+    (* (delivered, failed, stretch_sum) per instance, pooled over plans *)
+    List.map
+      (fun inst ->
+        let del = ref 0 and fl = ref 0 and ss = ref 0.0 in
+        for i = 0 to fault_seeds - 1 do
+          let plan =
+            Fault.compile
+              (Fault.spec ~seed:(1009 + (7919 * i)) ~link_failure_rate:rate ())
+              g
+          in
+          let ev = Scheme.evaluate_under_faults ~faults:plan inst apsp pairs in
+          del := !del + Array.length ev.Scheme.samples;
+          fl := !fl + ev.Scheme.failures;
+          Array.iter (fun (d, l) -> ss := !ss +. (l /. d)) ev.Scheme.samples
+        done;
+        let total = !del + !fl in
+        ( (if total = 0 then 1.0 else float_of_int !del /. float_of_int total),
+          if !del = 0 then nan else !ss /. float_of_int !del ))
+      insts
+  in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let inst, _ = e.Catalog.build ~seed:42 ~eps:0.5 g in
+      let res = Resilient.instance (Resilient.wrap inst) in
+      let healthy = Scheme.avg_stretch (Scheme.evaluate inst apsp pairs) in
+      List.iter
+        (fun rate ->
+          match pooled [ inst; res ] rate with
+          | [ (bare_del, bare_str); (res_del, res_str) ] ->
+            let bare_infl = bare_str /. healthy
+            and res_infl = res_str /. healthy in
+            if
+              res_del < bare_del -. 1e-9
+              || (bare_del < 1.0 -. 1e-9 && res_del <= bare_del +. 1e-9)
+            then dominates := false;
+            Printf.printf "%-16s %6g  %8.1f%% %8.1f%%  %10.3f %10.3f\n%!"
+              e.Catalog.id (100.0 *. rate) (100.0 *. bare_del)
+              (100.0 *. res_del) bare_infl res_infl;
+            csv "resilience"
+              ~header:
+                [ "scheme"; "link_failure_rate"; "bare_delivery";
+                  "res_delivery"; "bare_stretch_inflation";
+                  "res_stretch_inflation" ]
+              [ e.Catalog.id; Printf.sprintf "%g" rate;
+                Printf.sprintf "%.4f" bare_del; Printf.sprintf "%.4f" res_del;
+                Printf.sprintf "%.4f" bare_infl; Printf.sprintf "%.4f" res_infl ]
+          | _ -> assert false)
+        rates)
+    Catalog.all;
+  Printf.printf "\nresilient delivery dominates the bare schemes: %s\n"
+    (if !dominates then "ok" else "VIOLATED")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: per-message routing latency              *)
 (* ------------------------------------------------------------------ *)
 
@@ -747,7 +826,7 @@ let section_bechamel () =
       (Staged.stage (fun () ->
            let u, v = pairs.(!i land 255) in
            incr i;
-           ignore (inst.Scheme.route ~src:u ~dst:v)))
+           ignore (Scheme.route inst ~src:u ~dst:v)))
   in
   let tests =
     List.filter_map
@@ -799,6 +878,7 @@ let () =
       timed "k-sweep" section_k_sweep;
       timed "label-bits" section_label_bits;
       timed "spanner" section_spanner;
+      timed "resilience" section_resilience;
       timed "bechamel" section_bechamel);
   (match csv_dir with
   | Some dir -> Printf.printf "\nCSV mirrors written under %s/\n" dir

@@ -159,7 +159,7 @@ let route graph_file scheme src dst seed eps verbose =
     Printf.eprintf "error: endpoints must be in [0, %d)\n" (Graph.n g);
     exit 1
   end;
-  let o = inst.Scheme.route ~src ~dst in
+  let o = Scheme.route inst ~src ~dst in
   let d = (Dijkstra.spt g src).Dijkstra.dist.(dst) in
   Printf.printf "path: %s\n"
     (String.concat " -> " (List.map string_of_int o.Port_model.path));
@@ -175,14 +175,20 @@ let route graph_file scheme src dst seed eps verbose =
     in
     hops o.Port_model.path
   end;
-  Printf.printf "delivered: %b  hops: %d  length: %g  distance: %g\n"
-    (o.Port_model.delivered && o.Port_model.final = dst)
+  let ok = Port_model.delivered_to o dst in
+  Printf.printf "verdict: %s%s  hops: %d  length: %g  distance: %g\n"
+    (Format.asprintf "%a" Port_model.pp_verdict o.Port_model.verdict)
+    (if (Port_model.delivered o) && not ok then
+       Printf.sprintf " at vertex %d, not the destination" o.Port_model.final
+     else "")
     o.Port_model.hops o.Port_model.length d;
-  if d > 0.0 && d < infinity then
+  if ok && d > 0.0 && d < infinity then
     Printf.printf "stretch: %.4f (guarantee: length <= %.3f*d + %g)\n"
       (o.Port_model.length /. d) alpha beta;
   Printf.printf "peak header: %d words\n" o.Port_model.header_words_peak;
-  0
+  (* A message that did not arrive at its destination is a failure, even if
+     some buggy table said Deliver elsewhere: scripts must see a nonzero. *)
+  if ok then 0 else 1
 
 let route_cmd =
   let src = Arg.(required & opt (some int) None & info [ "src" ] ~docv:"U") in
@@ -267,6 +273,166 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Print the Table 1 reproduction on a random graph")
     Term.(const table1 $ n $ seed_arg $ eps_arg $ pairs)
+
+(* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Accumulate evaluations across fault seeds: delivery is pooled over all
+   (pair, seed) attempts, stretch over all delivered ones. *)
+type fault_acc = {
+  mutable delivered : int;
+  mutable failed : int;
+  mutable stretch_sum : float;
+}
+
+let acc_eval a (ev : Scheme.eval) =
+  a.delivered <- a.delivered + Array.length ev.Scheme.samples;
+  a.failed <- a.failed + ev.Scheme.failures;
+  Array.iter
+    (fun (d, l) -> a.stretch_sum <- a.stretch_sum +. (l /. d))
+    ev.Scheme.samples
+
+let acc_delivery a =
+  let total = a.delivered + a.failed in
+  if total = 0 then 1.0 else float_of_int a.delivered /. float_of_int total
+
+let acc_stretch a =
+  if a.delivered = 0 then nan
+  else a.stretch_sum /. float_of_int a.delivered
+
+let faults_cmd_impl graph_file scheme_opt seed eps pairs rates vertex_rate
+    fault_seeds retries strict =
+  let g = or_die (load_graph graph_file) in
+  let entries =
+    match scheme_opt with
+    | Some id -> (
+      match Catalog.find id with
+      | Some e -> [ e ]
+      | None ->
+        or_die
+          (Error
+             (Printf.sprintf "unknown scheme %S; known: %s" id
+                (String.concat ", " (Catalog.ids ())))))
+    | None ->
+      List.filter
+        (fun e -> e.Catalog.weighted_ok || Graph.is_unit_weighted g)
+        Catalog.all
+  in
+  Format.printf "fault campaign on %a@." Graph.pp g;
+  Printf.printf
+    "link failure rates: %s; %d fault seed(s); %d sampled pairs; retries %d\n\n"
+    (String.concat ", "
+       (List.map (fun r -> Printf.sprintf "%g%%" (100.0 *. r)) rates))
+    fault_seeds pairs retries;
+  Printf.printf "%-20s %6s  %9s %9s  %10s %10s\n" "scheme" "f%" "bare-del"
+    "res-del" "bare-infl" "res-infl";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let apsp = Apsp.compute g in
+  let sampled = Scheme.sample_pairs ~seed ~n:(Graph.n g) ~count:pairs in
+  let zero_fault_ok = ref true in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      match e.Catalog.build ~seed ~eps g with
+      | exception Invalid_argument m ->
+        Printf.printf "%-20s skipped: %s\n" e.Catalog.id m
+      | inst, _ ->
+        let res = Resilient.instance (Resilient.wrap ~retries inst) in
+        (* Zero faults first: both the bare scheme and the wrapper must
+           deliver everything on the healthy network. *)
+        let ev0 = Scheme.evaluate inst apsp sampled in
+        let ev0r = Scheme.evaluate res apsp sampled in
+        let healthy = Scheme.avg_stretch ev0 in
+        if Scheme.delivery_rate ev0 < 1.0 || Scheme.delivery_rate ev0r < 1.0
+        then zero_fault_ok := false;
+        Printf.printf "%-20s %6g  %8.1f%% %8.1f%%  %10.3f %10.3f\n%!"
+          e.Catalog.id 0.0
+          (100.0 *. Scheme.delivery_rate ev0)
+          (100.0 *. Scheme.delivery_rate ev0r)
+          1.0
+          (Scheme.avg_stretch ev0r /. healthy);
+        List.iter
+          (fun rate ->
+            let bare_acc = { delivered = 0; failed = 0; stretch_sum = 0.0 } in
+            let res_acc = { delivered = 0; failed = 0; stretch_sum = 0.0 } in
+            for i = 0 to fault_seeds - 1 do
+              let plan =
+                Fault.compile
+                  (Fault.spec ~seed:(seed + (7919 * i)) ~link_failure_rate:rate
+                     ~vertex_failure_rate:vertex_rate ())
+                  g
+              in
+              acc_eval bare_acc
+                (Scheme.evaluate_under_faults ~faults:plan inst apsp sampled);
+              acc_eval res_acc
+                (Scheme.evaluate_under_faults ~faults:plan res apsp sampled)
+            done;
+            Printf.printf "%-20s %6g  %8.1f%% %8.1f%%  %10.3f %10.3f\n%!"
+              e.Catalog.id (100.0 *. rate)
+              (100.0 *. acc_delivery bare_acc)
+              (100.0 *. acc_delivery res_acc)
+              (acc_stretch bare_acc /. healthy)
+              (acc_stretch res_acc /. healthy))
+          rates)
+    entries;
+  if strict && not !zero_fault_ok then begin
+    Printf.eprintf
+      "error: a scheme failed to deliver every pair on the healthy network\n";
+    1
+  end
+  else 0
+
+let faults_cmd =
+  let scheme_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scheme"; "s" ] ~docv:"ID"
+          ~doc:"Restrict the campaign to one scheme (default: whole catalog).")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 500
+      & info [ "pairs" ] ~docv:"K" ~doc:"Number of sampled source/target pairs.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) [ 0.01; 0.02; 0.05 ]
+      & info [ "rates" ] ~docv:"R1,R2,..."
+          ~doc:"Link failure rates (fractions of edges down).")
+  in
+  let vertex_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "vertex-rate" ] ~docv:"R"
+          ~doc:"Vertex crash rate applied alongside every link rate.")
+  in
+  let fault_seeds =
+    Arg.(
+      value & opt int 3
+      & info [ "fault-seeds" ] ~docv:"S"
+          ~doc:"Number of independent fault plans per rate.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Escape-hop retries before the resilience wrapper's detour.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit nonzero unless every scheme delivers 100% with zero faults.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run a fault-injection campaign over the scheme catalog")
+    Term.(
+      const faults_cmd_impl $ graph_arg $ scheme_opt $ seed_arg $ eps_arg
+      $ pairs $ rates $ vertex_rate $ fault_seeds $ retries $ strict)
 
 (* ------------------------------------------------------------------ *)
 (* oracle                                                              *)
@@ -386,8 +552,8 @@ let main_cmd =
     (Cmd.info "cr_cli" ~version:"1.0.0"
        ~doc:"Compact routing schemes of Roditty and Tov (PODC'15)")
     [
-      generate_cmd; schemes_cmd; route_cmd; stats_cmd; table1_cmd; oracle_cmd;
-      spanner_cmd;
+      generate_cmd; schemes_cmd; route_cmd; stats_cmd; table1_cmd; faults_cmd;
+      oracle_cmd; spanner_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

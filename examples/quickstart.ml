@@ -29,7 +29,7 @@ let () =
   let apsp = Apsp.compute g in
   List.iter
     (fun (src, dst) ->
-      let o = inst.Scheme.route ~src ~dst in
+      let o = Scheme.route inst ~src ~dst in
       Printf.printf "%3d -> %3d: %2d hops, length %6.2f, true distance %6.2f, stretch %.3f\n"
         src dst o.Port_model.hops o.Port_model.length
         (Apsp.dist apsp src dst)

@@ -52,7 +52,7 @@ let () =
 
   (* One traced message. *)
   let inst = Scheme5eps.instance t11 in
-  let o = inst.Scheme.route ~src:0 ~dst:(n - 1) in
+  let o = Scheme.route inst ~src:0 ~dst:(n - 1) in
   Printf.printf "route 0 -> %d: %d hops, length %.3f, true %.3f\n" (n - 1)
     o.Port_model.hops o.Port_model.length
     (Apsp.dist apsp 0 (n - 1));

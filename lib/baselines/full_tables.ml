@@ -30,8 +30,8 @@ let step t ~at dst =
   if at = dst then Port_model.Deliver
   else Port_model.Forward (t.next_port.(at).(dst), dst)
 
-let route t ~src ~dst =
-  Port_model.run t.graph ~src ~header:dst
+let route ?faults t ~src ~dst =
+  Port_model.run t.graph ~src ~header:dst ?faults
     ~step:(fun ~at h -> step t ~at h)
     ~header_words:(fun _ -> 1)
     ()
@@ -41,7 +41,7 @@ let instance t =
   {
     Scheme.name = "full-tables";
     graph = t.graph;
-    route = (fun ~src ~dst -> route t ~src ~dst);
+    route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
     table_words = Array.make n (max 0 (n - 1));
     label_words = Array.make n 1;
   }

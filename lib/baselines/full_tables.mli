@@ -10,7 +10,7 @@ type t
 val preprocess : Graph.t -> t
 (** @raise Invalid_argument if the graph is disconnected. *)
 
-val route : t -> src:int -> dst:int -> Port_model.outcome
+val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 
 val instance : t -> Scheme.instance
 

@@ -149,22 +149,22 @@ let step_home t ~at (lbl_home : Tree_routing.label) root dst =
     | `Deliver -> Port_model.Deliver
     | `Forward p -> Port_model.Forward (p, (lbl_home, root, dst)))
 
-let route t ~src ~dst =
+let route ?faults t ~src ~dst =
   if src = dst then
-    Port_model.run t.graph ~src ~header:()
+    Port_model.run t.graph ~src ~header:() ?faults
       ~step:(fun ~at:_ () -> Port_model.Deliver)
       ~header_words:(fun () -> 0)
       ()
   else
     match Hashtbl.find_opt t.home_labels.(src) dst with
     | Some lbl_home ->
-      Port_model.run t.graph ~src ~header:(lbl_home, src, dst)
+      Port_model.run t.graph ~src ~header:(lbl_home, src, dst) ?faults
         ~step:(fun ~at (l, r, d) -> step_home t ~at l r d)
         ~header_words:(fun (l, _, _) -> 2 + Tree_routing.label_words l)
         ()
     | None ->
       let header = initial_header t ~src (label_of t dst) in
-      Port_model.run t.graph ~src ~header
+      Port_model.run t.graph ~src ~header ?faults
         ~step:(fun ~at h -> step t ~at h)
         ~header_words ()
 
@@ -193,7 +193,7 @@ let instance t =
   {
     Scheme.name = Printf.sprintf "thorup-zwick-k%d" t.k;
     graph = t.graph;
-    route = (fun ~src ~dst -> route t ~src ~dst);
+    route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
   }

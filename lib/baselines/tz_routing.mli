@@ -25,7 +25,7 @@ val preprocess : ?a1_target:int -> ?pool:Pool.t -> seed:int -> Graph.t -> k:int 
     to a serial build.
     @raise Invalid_argument if [k < 2] or the graph is disconnected. *)
 
-val route : t -> src:int -> dst:int -> Port_model.outcome
+val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 
 val instance : t -> Scheme.instance
 

@@ -172,6 +172,24 @@ let all =
     };
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) all
+let resilient ?retries e =
+  {
+    e with
+    id = e.id ^ "+res";
+    description = e.description ^ ", with the resilience wrapper";
+    build =
+      (fun ~seed ~eps g ->
+        let inst, bound = e.build ~seed ~eps g in
+        (Resilient.instance (Resilient.wrap ?retries inst), bound));
+  }
+
+let find id =
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> Some e
+  | None -> (
+    match Filename.chop_suffix_opt ~suffix:"+res" id with
+    | Some base ->
+      Option.map resilient (List.find_opt (fun e -> e.id = base) all)
+    | None -> None)
 
 let ids () = List.map (fun e -> e.id) all

@@ -21,7 +21,15 @@ type entry = {
 val all : entry list
 (** Every scheme, ordered as in the paper's Table 1. *)
 
+val resilient : ?retries:int -> entry -> entry
+(** [resilient e] is [e] building {!Resilient}-wrapped instances: the id
+    gains a ["+res"] suffix and every routed message gets the escape-hop /
+    tree-guided-detour recovery ladder under faults. The healthy-network
+    [(alpha, beta)] guarantee is unchanged — without faults the wrapper is
+    transparent. *)
+
 val find : string -> entry option
-(** Look up an entry by id. *)
+(** Look up an entry by id. A ["<id>+res"] id resolves to the
+    {!resilient}-wrapped base entry. *)
 
 val ids : unit -> string list

@@ -246,14 +246,14 @@ let initial_header t ~src lbl =
       if lbl.d_pa <= d_uw then { lbl; phase = Global_tree }
       else { lbl; phase = Seek_rep w }
 
-let route t ~src ~dst =
+let route ?faults t ~src ~dst =
   let lbl = label_of t dst in
   if src = dst then
-    Scheme_util.run_scheme t.graph ~src ~header:{ lbl; phase = Direct }
+    Scheme_util.run_scheme ?faults t.graph ~src ~header:{ lbl; phase = Direct }
       ~step:(fun ~at:_ _ -> Port_model.Deliver)
       ~header_words
   else
-    Scheme_util.run_scheme t.graph ~src
+    Scheme_util.run_scheme ?faults t.graph ~src
       ~header:(initial_header t ~src lbl)
       ~step:(fun ~at h -> step t ~at h)
       ~header_words
@@ -262,7 +262,7 @@ let instance t =
   {
     Scheme.name = "roditty-tov-2eps1";
     graph = t.graph;
-    route = (fun ~src ~dst -> route t ~src ~dst);
+    route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
   }

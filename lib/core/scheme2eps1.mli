@@ -31,7 +31,7 @@ val preprocess :
     @raise Invalid_argument if [g] is disconnected, weighted, or the
     coloring is infeasible. *)
 
-val route : t -> src:int -> dst:int -> Port_model.outcome
+val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 
 val instance : t -> Scheme.instance
 

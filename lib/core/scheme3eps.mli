@@ -20,7 +20,7 @@ val preprocess :
     @raise Invalid_argument if [g] is disconnected or the coloring is
     infeasible at this size. *)
 
-val route : t -> src:int -> dst:int -> Port_model.outcome
+val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 
 val instance : t -> Scheme.instance
 

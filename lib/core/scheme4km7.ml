@@ -188,14 +188,14 @@ let initial_header t ~src lbl =
       in
       find 0
 
-let route t ~src ~dst =
+let route ?faults t ~src ~dst =
   let lbl = label_of t dst in
   if src = dst then
-    Scheme_util.run_scheme t.graph ~src ~header:{ lbl; phase = Direct }
+    Scheme_util.run_scheme ?faults t.graph ~src ~header:{ lbl; phase = Direct }
       ~step:(fun ~at:_ _ -> Port_model.Deliver)
       ~header_words
   else
-    Scheme_util.run_scheme t.graph ~src
+    Scheme_util.run_scheme ?faults t.graph ~src
       ~header:(initial_header t ~src lbl)
       ~step:(fun ~at h -> step t ~at h)
       ~header_words
@@ -204,7 +204,7 @@ let instance t =
   {
     Scheme.name = Printf.sprintf "roditty-tov-4km7-k%d" t.k;
     graph = t.graph;
-    route = (fun ~src ~dst -> route t ~src ~dst);
+    route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
   }

@@ -105,13 +105,13 @@ let initial_header t ~src ~dst =
     { dst; phase = Seek w }
   end
 
-let route t ~src ~dst =
+let route ?faults t ~src ~dst =
   if src = dst then
-    Scheme_util.run_scheme t.graph ~src ~header:{ dst; phase = Direct }
+    Scheme_util.run_scheme ?faults t.graph ~src ~header:{ dst; phase = Direct }
       ~step:(fun ~at:_ _ -> Port_model.Deliver)
       ~header_words
   else
-    Scheme_util.run_scheme t.graph ~src
+    Scheme_util.run_scheme ?faults t.graph ~src
       ~header:(initial_header t ~src ~dst)
       ~step:(fun ~at h -> step t ~at h)
       ~header_words
@@ -120,7 +120,7 @@ let instance t =
   {
     Scheme.name = "roditty-tov-3eps-name-independent";
     graph = t.graph;
-    route = (fun ~src ~dst -> route t ~src ~dst);
+    route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
     table_words = t.table_words;
     label_words = Array.make (Graph.n t.graph) 0;
   }

@@ -363,14 +363,14 @@ let initial_header t ~src lbl =
       let w, _ = t.reps.(j).(src).(group) in
       { lbl; phase = Seek_rep (j, w) }
 
-let route t ~src ~dst =
+let route ?faults t ~src ~dst =
   let lbl = t.labels.(dst) in
   if src = dst then
-    Scheme_util.run_scheme t.graph ~src ~header:{ lbl; phase = Direct }
+    Scheme_util.run_scheme ?faults t.graph ~src ~header:{ lbl; phase = Direct }
       ~step:(fun ~at:_ _ -> Port_model.Deliver)
       ~header_words
   else
-    Scheme_util.run_scheme t.graph ~src
+    Scheme_util.run_scheme ?faults t.graph ~src
       ~header:(initial_header t ~src lbl)
       ~step:(fun ~at h -> step t ~at h)
       ~header_words
@@ -384,7 +384,7 @@ let instance t =
   {
     Scheme.name;
     graph = t.graph;
-    route = (fun ~src ~dst -> route t ~src ~dst);
+    route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
   }

@@ -35,7 +35,7 @@ val preprocess :
 (** @raise Invalid_argument if [ell < 2], the graph is disconnected or
     weighted, or a coloring is infeasible. *)
 
-val route : t -> src:int -> dst:int -> Port_model.outcome
+val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 
 val instance : t -> Scheme.instance
 

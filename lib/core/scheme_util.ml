@@ -40,8 +40,9 @@ let color_reps vic (c : Coloring.t) =
           | None -> invalid_arg "color_reps: vicinity misses a color"))
     vic
 
-(* Simulation wrapper shared by all schemes. *)
-let run_scheme g ~src ~header ~step ~header_words =
-  Port_model.run g ~src ~header ~step ~header_words
+(* Simulation wrapper shared by all schemes; [?faults] subjects the run to
+   a fault plan (the schemes themselves stay fault-oblivious). *)
+let run_scheme ?faults g ~src ~header ~step ~header_words =
+  Port_model.run g ~src ~header ~step ~header_words ?faults
     ~max_hops:((64 * Graph.n g) + 256)
     ()

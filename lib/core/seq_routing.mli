@@ -50,7 +50,7 @@ val header_bits : t -> header -> int
     vertex ids, ports, plus the encoded tree label when the escape hatch is
     armed) — the Lemma 7 headers are O((1/eps) log n + log^2 n) bits. *)
 
-val route : t -> src:int -> dst:int -> Port_model.outcome
+val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 (** End-to-end simulation through the port model. *)
 
 val eps : t -> float

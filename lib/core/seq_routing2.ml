@@ -182,9 +182,9 @@ let rec step t ~at h =
       | Jump (_, port) -> Port_model.Forward (port, h)
   end
 
-let route t ~src ~dst =
+let route ?faults t ~src ~dst =
   let header = initial_header t ~src ~dst in
-  Port_model.run t.graph ~src ~header
+  Port_model.run t.graph ~src ~header ?faults
     ~step:(fun ~at h -> step t ~at h)
     ~header_words
     ~max_hops:((64 * Graph.n t.graph) + 256)

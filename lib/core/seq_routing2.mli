@@ -46,7 +46,7 @@ val header_bits : t -> header -> int
 (** Exact bit size of the header under the natural encoding — the Lemma 8
     headers are O((1/eps) log(nD)) bits. *)
 
-val route : t -> src:int -> dst:int -> Port_model.outcome
+val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 
 val eps : t -> float
 

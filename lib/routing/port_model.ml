@@ -4,8 +4,17 @@ type 'h decision =
   | Deliver
   | Forward of int * 'h
 
+type verdict =
+  | Delivered
+  | Dropped_at of int
+  | Dead_end_at of int
+  | Link_down_at of int * int
+  | Hop_budget_exhausted
+  | Loop_detected of int
+  | Invalid_port of int * int
+
 type outcome = {
-  delivered : bool;
+  verdict : verdict;
   final : int;
   path : int list;
   length : float;
@@ -13,44 +22,173 @@ type outcome = {
   header_words_peak : int;
 }
 
+let delivered o = o.verdict = Delivered
+
+let delivered_to o dst = o.verdict = Delivered && o.final = dst
+
+let verdict_name = function
+  | Delivered -> "delivered"
+  | Dropped_at _ -> "dropped"
+  | Dead_end_at _ -> "dead-end"
+  | Link_down_at _ -> "link-down"
+  | Hop_budget_exhausted -> "hop-budget-exhausted"
+  | Loop_detected _ -> "loop-detected"
+  | Invalid_port _ -> "invalid-port"
+
+let pp_verdict ppf = function
+  | Delivered -> Format.pp_print_string ppf "delivered"
+  | Dropped_at v -> Format.fprintf ppf "dropped after vertex %d" v
+  | Dead_end_at v -> Format.fprintf ppf "dead end at vertex %d" v
+  | Link_down_at (v, p) -> Format.fprintf ppf "link down at vertex %d port %d" v p
+  | Hop_budget_exhausted -> Format.pp_print_string ppf "hop budget exhausted"
+  | Loop_detected v -> Format.fprintf ppf "loop detected at vertex %d" v
+  | Invalid_port (v, p) -> Format.fprintf ppf "invalid port %d at vertex %d" p v
+
 type hop_record = {
   at : int;
   port : int;
   header_words : int;
 }
 
-let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ()) () =
+let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
+    ?faults ?on_bounce ?corrupt ?(detect_loops = true) () =
+  if src < 0 || src >= Graph.n g then
+    invalid_arg (Printf.sprintf "Port_model.run: source %d out of range" src);
   let max_hops =
     match max_hops with Some h -> h | None -> (4 * Graph.n g) + 16
+  in
+  let link_down u v =
+    match faults with Some p -> Fault.link_down p u v | None -> false
+  in
+  let vertex_down v =
+    match faults with Some p -> Fault.vertex_down p v | None -> false
+  in
+  let hop_event at port index =
+    match faults with
+    | Some p -> Fault.decide p { Fault.at; port; index }
+    | None -> Fault.Pass
+  in
+  (* Loop signatures: bucket on (vertex, words, structural hash) and confirm
+     with structural equality, so a repeat is only declared when the exact
+     (vertex, header) state recurs — a deterministic step function is then
+     provably cycling. Headers containing functional values never compare
+     equal (polymorphic compare raises) and simply forgo loop protection. *)
+  let seen = Hashtbl.create (if detect_loops then 64 else 1) in
+  let looped at words hdr =
+    detect_loops
+    &&
+    let key = (at, words, Hashtbl.hash hdr) in
+    let prior =
+      match Hashtbl.find_opt seen key with Some l -> l | None -> []
+    in
+    let same h = try compare h hdr = 0 with Invalid_argument _ -> false in
+    if List.exists same prior then true
+    else begin
+      Hashtbl.replace seen key (hdr :: prior);
+      false
+    end
+  in
+  let finish verdict at rev_path length hops peak =
+    {
+      verdict;
+      final = at;
+      path = List.rev rev_path;
+      length;
+      hops;
+      header_words_peak = peak;
+    }
   in
   let rec go at hdr rev_path length hops peak =
     let words = header_words hdr in
     let peak = max peak words in
-    if hops > max_hops then
-      {
-        delivered = false;
-        final = at;
-        path = List.rev rev_path;
-        length;
-        hops;
-        header_words_peak = peak;
-      }
-    else
-      match step ~at hdr with
-      | Deliver ->
+    if looped at words hdr then
+      finish (Loop_detected at) at rev_path length hops peak
+    else begin
+      let dec =
+        try Ok (step ~at hdr)
+        with
+        | (Out_of_memory | Stack_overflow) as e -> raise e
+        | _ -> Error ()
+      in
+      match dec with
+      | Error () ->
+        (* The local table cannot produce a next hop (it raised): in a real
+           router the message is discarded here. *)
+        finish (Dead_end_at at) at rev_path length hops peak
+      | Ok Deliver ->
         on_hop { at; port = -1; header_words = words };
-        {
-          delivered = true;
-          final = at;
-          path = List.rev rev_path;
-          length;
-          hops;
-          header_words_peak = peak;
-        }
-      | Forward (port, hdr') ->
-        on_hop { at; port; header_words = words };
-        let v = Graph.endpoint g at port in
-        let w = Graph.port_weight g at port in
-        go v hdr' (v :: rev_path) (length +. w) (hops + 1) peak
+        finish Delivered at rev_path length hops peak
+      | Ok (Forward (port, hdr')) ->
+        forward at ~dead:[] port hdr hdr' rev_path length hops peak words
+    end
+  and forward at ~dead port hdr hdr' rev_path length hops peak words =
+    if port < 0 || port >= Graph.degree g at then
+      finish (Invalid_port (at, port)) at rev_path length hops peak
+    else begin
+      let v = Graph.endpoint g at port in
+      if link_down at v || vertex_down v then begin
+        (* The failed link (or crashed neighbor) is observable locally: the
+           message stays at the sender and the bounce hook may pick another
+           port, with the dead ones masked. *)
+        let dead = port :: dead in
+        let give_up () =
+          let verdict =
+            if vertex_down v && not (link_down at v) then Dead_end_at v
+            else Link_down_at (at, port)
+          in
+          finish verdict at rev_path length hops peak
+        in
+        if List.length dead >= Graph.degree g at then give_up ()
+        else
+          match on_bounce with
+          | None -> give_up ()
+          | Some f -> (
+            let bounce =
+              try f ~at ~dead hdr
+              with
+              | (Out_of_memory | Stack_overflow) as e -> raise e
+              | _ -> None
+            in
+            match bounce with
+            | None -> give_up ()
+            | Some Deliver ->
+              on_hop { at; port = -1; header_words = words };
+              finish Delivered at rev_path length hops peak
+            | Some (Forward (p', h')) ->
+              forward at ~dead p' hdr h' rev_path length hops peak words)
+      end
+      else if hops >= max_hops then
+        (* Refuse the hop *before* traversing: the budget bounds the number
+           of edges crossed, not the number of abort checks. *)
+        finish Hop_budget_exhausted at rev_path length hops peak
+      else begin
+        match hop_event at port hops with
+        | Fault.Drop ->
+          on_hop { at; port; header_words = words };
+          finish (Dropped_at at) at rev_path length hops peak
+        | Fault.Corrupt ->
+          on_hop { at; port; header_words = words };
+          (match corrupt with
+          | None ->
+            (* We cannot forge a header of an arbitrary type; the garbled
+               message is undeliverable and counts as lost in flight. *)
+            finish (Dropped_at at) at rev_path length hops peak
+          | Some garble ->
+            let w = Graph.port_weight g at port in
+            let hdr'' =
+              try garble hdr'
+              with
+              | (Out_of_memory | Stack_overflow) as e -> raise e
+              | _ -> hdr'
+            in
+            go v hdr'' (v :: rev_path) (length +. w) (hops + 1) peak)
+        | Fault.Pass ->
+          on_hop { at; port; header_words = words };
+          let w = Graph.port_weight g at port in
+          go v hdr' (v :: rev_path) (length +. w) (hops + 1) peak
+      end
+    end
   in
-  go src header [ src ] 0.0 0 0
+  if vertex_down src then
+    finish (Dead_end_at src) src [ src ] 0.0 0 (max 0 (header_words header))
+  else go src header [ src ] 0.0 0 0

@@ -8,7 +8,13 @@ open Cr_graph
     outgoing port. The simulator owns the topology: it resolves ports to
     neighbors, accumulates the traversed length, and aborts runaway routes.
     A scheme therefore cannot teleport or follow non-edges — if its local
-    tables are wrong the simulated message goes astray and the tests see it. *)
+    tables are wrong the simulated message goes astray and the tests see it.
+
+    Every way a run can end is a structured {!verdict}; no exception escapes
+    {!run} for any step function on any graph. An optional {!Fault.plan}
+    subjects the run to link failures, vertex crashes, message drops and
+    header corruption (see {!Fault}); with an empty plan the run is
+    bit-identical to a fault-free one. *)
 
 type 'h decision =
   | Deliver
@@ -16,14 +22,54 @@ type 'h decision =
       (** [Forward (port, header)]: send through [port] with a (possibly
           rewritten) header. *)
 
+(** How a simulated run ended. *)
+type verdict =
+  | Delivered  (** the step function said [Deliver] at some vertex *)
+  | Dropped_at of int
+      (** the message was lost in flight right after this vertex transmitted
+          it (a {!Fault.Drop} event, or a corruption the caller cannot
+          apply) *)
+  | Dead_end_at of int
+      (** no progress is possible: the step function raised here, the
+          message was sent into this crashed vertex, or the source itself is
+          down *)
+  | Link_down_at of int * int
+      (** [(vertex, port)]: the step function insisted on a failed link and
+          no bounce recovered *)
+  | Hop_budget_exhausted
+      (** the step function wanted another hop after [max_hops] traversals *)
+  | Loop_detected of int
+      (** the message revisited this vertex with a structurally identical
+          header: with a deterministic step function the run could never
+          terminate, so it is aborted in O(cycle) hops instead of burning
+          the whole hop budget *)
+  | Invalid_port of int * int
+      (** [(vertex, port)]: the step function named a port the vertex does
+          not have — a scheme bug, surfaced as data instead of an
+          exception *)
+
 type outcome = {
-  delivered : bool;      (** the step function said [Deliver] at some vertex *)
+  verdict : verdict;     (** how the run ended *)
   final : int;           (** vertex where the simulation stopped *)
   path : int list;       (** vertices visited, source first *)
   length : float;        (** total weight of traversed edges *)
   hops : int;            (** number of edges traversed *)
   header_words_peak : int;  (** max header size seen, in O(log n)-bit words *)
 }
+
+val delivered : outcome -> bool
+(** [delivered o] iff [o.verdict = Delivered] (possibly at the wrong
+    vertex — combine with [final]). *)
+
+val delivered_to : outcome -> int -> bool
+(** [delivered_to o dst]: delivered, and at [dst]. *)
+
+val verdict_name : verdict -> string
+(** Short stable identifier, e.g. ["link-down"] — used by the CLI's exit
+    diagnostics and the CSV mirrors. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** Human-readable verdict with its location payload. *)
 
 type hop_record = {
   at : int;            (** vertex holding the message *)
@@ -39,10 +85,41 @@ val run :
   header_words:('h -> int) ->
   ?max_hops:int ->
   ?on_hop:(hop_record -> unit) ->
+  ?faults:Fault.plan ->
+  ?on_bounce:(at:int -> dead:int list -> 'h -> 'h decision option) ->
+  ?corrupt:('h -> 'h) ->
+  ?detect_loops:bool ->
   unit ->
   outcome
 (** [run g ~src ~header ~step ~header_words ()] injects a message at [src]
-    and applies [step] until it delivers or [max_hops] (default [4 * n + 16])
-    edges have been traversed. [on_hop] observes each local decision (used
-    by the CLI's trace mode).
-    @raise Invalid_argument if [step] names an invalid port. *)
+    and applies [step] until it delivers or the run ends with a non-
+    [Delivered] verdict. [on_hop] observes each transmission (used by the
+    CLI's trace mode).
+
+    {b Hop budget.} A forward is refused {e before} the edge is traversed
+    once [max_hops] (default [4 * n + 16]) edges have been crossed, so a run
+    never exceeds its budget and a route of exactly [max_hops] hops still
+    delivers.
+
+    {b Faults.} With [?faults], each forward first consults the plan:
+    - a failed link, or a crashed endpoint, is {e locally observable at the
+      sender}: the message stays put and [on_bounce ~at ~dead hdr] is asked
+      for an alternative, where [dead] lists the ports already refused at
+      this vertex (most recent first). Returning [None] — or running out of
+      ports, or having no [on_bounce] — ends the run with [Link_down_at]
+      (or [Dead_end_at] when the far endpoint crashed over a healthy link);
+    - a {!Fault.Drop} event loses the message in flight ([Dropped_at]);
+    - a {!Fault.Corrupt} event applies [corrupt] to the in-flight header; if
+      no [corrupt] is supplied the garbled message is undeliverable and
+      counts as a drop.
+
+    {b Loop detection} (on by default, disable with [~detect_loops:false]):
+    the simulator keeps signatures of visited [(vertex, header)] states and
+    aborts with [Loop_detected] when one repeats exactly. Headers are
+    compared structurally, so a vertex may be revisited with a different
+    header; a repeat is only declared when the deterministic step function
+    is provably cycling.
+
+    {b No exceptions.} An invalid port becomes [Invalid_port]; a step
+    function that raises becomes [Dead_end_at]. Only [src] out of range is
+    a caller bug and still raises [Invalid_argument]. *)

@@ -3,10 +3,12 @@ open Cr_graph
 type instance = {
   name : string;
   graph : Graph.t;
-  route : src:int -> dst:int -> Port_model.outcome;
+  route : faults:Fault.plan option -> src:int -> dst:int -> Port_model.outcome;
   table_words : int array;
   label_words : int array;
 }
+
+let route ?faults inst ~src ~dst = inst.route ~faults ~src ~dst
 
 let max_table_words i = Array.fold_left max 0 i.table_words
 
@@ -44,7 +46,7 @@ let sample_pairs ~seed ~n ~count =
     Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort compare
   end
 
-let evaluate inst apsp pairs =
+let evaluate_under_faults ?faults inst apsp pairs =
   let samples = ref [] in
   let failures = ref 0 in
   let peak = ref 0 in
@@ -52,9 +54,9 @@ let evaluate inst apsp pairs =
     (fun (u, v) ->
       let d = Apsp.dist apsp u v in
       if d <> infinity && d > 0.0 then begin
-        let o = inst.route ~src:u ~dst:v in
+        let o = inst.route ~faults ~src:u ~dst:v in
         peak := max !peak o.Port_model.header_words_peak;
-        if o.Port_model.delivered && o.Port_model.final = v then
+        if Port_model.delivered_to o v then
           samples := (d, o.Port_model.length) :: !samples
         else incr failures
       end)
@@ -64,6 +66,15 @@ let evaluate inst apsp pairs =
     failures = !failures;
     header_words_peak = !peak;
   }
+
+let evaluate inst apsp pairs = evaluate_under_faults inst apsp pairs
+
+let eval_is_empty e = Array.length e.samples = 0 && e.failures = 0
+
+let delivery_rate e =
+  let total = Array.length e.samples + e.failures in
+  if total = 0 then 1.0
+  else float_of_int (Array.length e.samples) /. float_of_int total
 
 let max_stretch e =
   Array.fold_left (fun acc (d, l) -> Float.max acc (l /. d)) 1.0 e.samples
@@ -90,6 +101,9 @@ let max_affine_excess e ~alpha ~beta =
     (fun acc (d, l) -> Float.max acc (l -. ((alpha *. d) +. beta)))
     neg_infinity e.samples
 
+(* "No data" must not read as "guarantee holds": an eval needs at least one
+   routed sample before it can vouch for a stretch bound. *)
 let within e ~alpha ~beta =
   e.failures = 0
-  && (Array.length e.samples = 0 || max_affine_excess e ~alpha ~beta <= 1e-9)
+  && Array.length e.samples > 0
+  && max_affine_excess e ~alpha ~beta <= 1e-9

@@ -11,13 +11,21 @@ open Cr_graph
 type instance = {
   name : string;
   graph : Graph.t;
-  route : src:int -> dst:int -> Port_model.outcome;
-      (** Simulates one message through the fixed-port simulator. *)
+  route : faults:Fault.plan option -> src:int -> dst:int -> Port_model.outcome;
+      (** Simulates one message through the fixed-port simulator, optionally
+          under a fault plan (see {!Fault}); [~faults:None] is the
+          healthy-network run. Prefer the {!route} helper, which makes the
+          plan an ordinary optional argument. *)
   table_words : int array;
       (** [table_words.(v)] = routing-table size of vertex [v], in words. *)
   label_words : int array;
       (** [label_words.(v)] = size of [v]'s routing label, in words. *)
 }
+
+val route :
+  ?faults:Fault.plan -> instance -> src:int -> dst:int -> Port_model.outcome
+(** [route inst ~src ~dst] simulates one message; [?faults] subjects the run
+    to a fault plan. This is the ergonomic front for [inst.route]. *)
 
 val max_table_words : instance -> int
 
@@ -29,8 +37,8 @@ val max_label_words : instance -> int
 
 type eval = {
   samples : (float * float) array;
-      (** per routed pair: (true distance, routed length); only delivered
-          pairs with positive distance appear *)
+      (** per routed pair: (true distance, routed length); only pairs
+          delivered at their destination with positive distance appear *)
   failures : int;  (** pairs that were not delivered at their destination *)
   header_words_peak : int;
 }
@@ -41,6 +49,21 @@ val sample_pairs : seed:int -> n:int -> count:int -> (int * int) list
 
 val evaluate : instance -> Apsp.t -> (int * int) list -> eval
 (** Routes every pair through the simulator and records (distance, length). *)
+
+val evaluate_under_faults :
+  ?faults:Fault.plan -> instance -> Apsp.t -> (int * int) list -> eval
+(** [evaluate] with every message routed under the given fault plan. Pairs
+    the plan renders undeliverable count as failures; distances are still
+    measured on the healthy graph, so sample stretches quantify the cost of
+    degradation. *)
+
+val eval_is_empty : eval -> bool
+(** No data at all: zero samples {e and} zero failures (e.g. every sampled
+    pair was disconnected, or the pair list was empty). Callers must not
+    read "no data" as "guarantee holds". *)
+
+val delivery_rate : eval -> float
+(** Delivered fraction, [1.0] on an empty eval. *)
 
 val max_stretch : eval -> float
 (** Largest multiplicative stretch [length / distance] (1.0 if no samples). *)
@@ -55,4 +78,6 @@ val max_affine_excess : eval -> alpha:float -> beta:float -> float
     routed path satisfies the [(alpha, beta)]-stretch guarantee. *)
 
 val within : eval -> alpha:float -> beta:float -> bool
-(** No failures and [max_affine_excess <= 1e-9]. *)
+(** No failures, {b at least one sample}, and [max_affine_excess <= 1e-9].
+    An eval with no samples is never "within" a guarantee — an empty pair
+    list or an all-failed run must not read as a satisfied bound. *)

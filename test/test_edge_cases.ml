@@ -16,8 +16,8 @@ let test_wrong_label_detected () =
   let inst = Cr_baselines.Tz_routing.instance t in
   (* Route to 7 but check against 12: the outcome must expose the mismatch
      through [final]. *)
-  let o = inst.Scheme.route ~src:0 ~dst:7 in
-  checkb "delivered somewhere" true o.Port_model.delivered;
+  let o = Scheme.route inst ~src:0 ~dst:7 in
+  checkb "delivered somewhere" true (Port_model.delivered o);
   checkb "mismatch detectable" true (o.Port_model.final = 7 && o.Port_model.final <> 12)
 
 (* --- eps extremes --- *)
@@ -34,7 +34,7 @@ let test_eps_extremes () =
         for v = 0 to 19 do
           if u <> v then begin
             let o = Scheme3eps.route t ~src:u ~dst:v in
-            if (not o.Port_model.delivered)
+            if (not (Port_model.delivered o))
                || o.Port_model.length > (alpha *. Apsp.dist apsp u v) +. beta +. 1e-9
             then ok := false
           end
@@ -97,7 +97,15 @@ let test_eval_empty () =
   checkf "max" 1.0 (Scheme.max_stretch e);
   checkf "avg" 1.0 (Scheme.avg_stretch e);
   checkf "p50" 1.0 (Scheme.percentile_stretch e 0.5);
-  checkb "within trivially" true (Scheme.within e ~alpha:1.0 ~beta:0.0)
+  checkb "is empty" true (Scheme.eval_is_empty e);
+  (* No data must not read as "guarantee holds". *)
+  checkb "within needs a sample" false (Scheme.within e ~alpha:1.0 ~beta:0.0);
+  let one = { e with Scheme.samples = [| (1.0, 1.0) |] } in
+  checkb "one sample suffices" true (Scheme.within one ~alpha:1.0 ~beta:0.0);
+  checkb "not empty" false (Scheme.eval_is_empty one);
+  checkf "full delivery" 1.0 (Scheme.delivery_rate one);
+  checkf "half delivery" 0.5
+    (Scheme.delivery_rate { one with Scheme.failures = 1 })
 
 let test_sample_pairs_small_n () =
   checki "n=2 has 2 ordered pairs" 2
@@ -106,14 +114,21 @@ let test_sample_pairs_small_n () =
 (* --- simulator max_hops override --- *)
 
 let test_max_hops_override () =
-  let g = Generators.cycle 10 in
+  let g = Generators.path 12 in
   let o =
-    Port_model.run g ~src:0 ~header:()
-      ~step:(fun ~at:_ () -> Port_model.Forward (1, ()))
-      ~header_words:(fun () -> 0)
+    Port_model.run g ~src:0 ~header:11
+      ~step:(fun ~at dst ->
+        if at = dst then Port_model.Deliver
+        else
+          match Graph.port_to g at (at + 1) with
+          | Some p -> Port_model.Forward (p, dst)
+          | None -> assert false)
+      ~header_words:(fun _ -> 1)
       ~max_hops:5 ()
   in
-  checkb "stopped early" true (o.Port_model.hops <= 6 && not o.Port_model.delivered)
+  checkb "budget verdict" true
+    (o.Port_model.verdict = Port_model.Hop_budget_exhausted);
+  checki "stopped exactly at the budget" 5 o.Port_model.hops
 
 (* --- two-vertex graphs through the techniques --- *)
 
@@ -125,7 +140,7 @@ let test_two_vertices_lemma7 () =
       ~part_of:[| 0; 0 |]
   in
   let o = Seq_routing.route t ~src:0 ~dst:1 in
-  checkb "delivered" true (o.Port_model.delivered && o.Port_model.final = 1);
+  checkb "delivered" true ((Port_model.delivered o) && o.Port_model.final = 1);
   checkf "one hop" 1.0 o.Port_model.length
 
 let test_two_vertices_lemma8 () =
@@ -136,7 +151,7 @@ let test_two_vertices_lemma8 () =
       ~part_of:[| 0; 0 |] ~dests:[| [| 0; 1 |] |]
   in
   let o = Seq_routing2.route t ~src:0 ~dst:1 in
-  checkb "delivered" true (o.Port_model.delivered && o.Port_model.final = 1)
+  checkb "delivered" true ((Port_model.delivered o) && o.Port_model.final = 1)
 
 (* --- weighted graph where the heaviest edge is still a shortest path --- *)
 

@@ -12,8 +12,8 @@ let check_scheme g (inst : Scheme.instance) (alpha, beta) =
   for u = 0 to n - 1 do
     for v = 0 to n - 1 do
       if u <> v then begin
-        let o = inst.Scheme.route ~src:u ~dst:v in
-        if not (o.Port_model.delivered && o.Port_model.final = v) then ok := false
+        let o = Scheme.route inst ~src:u ~dst:v in
+        if not ((Port_model.delivered o) && o.Port_model.final = v) then ok := false
         else begin
           let d = Apsp.dist apsp u v in
           if o.Port_model.length > (alpha *. d) +. beta +. 1e-9 then ok := false

@@ -19,6 +19,7 @@ let () =
       ("paper-lemmas", Test_paper_lemmas.suite);
       ("scheme-util", Test_scheme_util.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("faults", Test_faults.suite);
       ("seq-common", Test_seq_common.suite);
       ("workload", Test_workload.suite);
       ("tz-hierarchy", Test_tz_hierarchy.suite);

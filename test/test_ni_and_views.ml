@@ -34,7 +34,7 @@ let test_ni_zoo () =
         for v = 0 to n - 1 do
           if u <> v then begin
             let o = Scheme_ni.route t ~src:u ~dst:v in
-            if not (o.Port_model.delivered && o.Port_model.final = v) then
+            if not ((Port_model.delivered o) && o.Port_model.final = v) then
               ok := false
             else if
               o.Port_model.length > (alpha *. Apsp.dist apsp u v) +. beta +. 1e-9
@@ -61,7 +61,7 @@ let prop_ni_random =
         for v = 0 to n - 1 do
           if u <> v then begin
             let o = Scheme_ni.route t ~src:u ~dst:v in
-            if (not o.Port_model.delivered)
+            if (not (Port_model.delivered o))
                || o.Port_model.length
                   > (alpha *. Apsp.dist apsp u v) +. beta +. 1e-9
             then ok := false

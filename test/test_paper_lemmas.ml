@@ -156,8 +156,8 @@ let test_tz_k5_k6 () =
       for u = 0 to 89 do
         for v = 0 to 89 do
           if u <> v then begin
-            let o = inst.Cr_routing.Scheme.route ~src:u ~dst:v in
-            if (not o.Port_model.delivered)
+            let o = Cr_routing.Scheme.route inst ~src:u ~dst:v in
+            if (not (Port_model.delivered o))
                || o.Port_model.length > (alpha *. Apsp.dist apsp u v) +. 1e-9
             then ok := false
           end

@@ -62,7 +62,7 @@ let test_run_scheme_bounds_hops () =
       ~step:(fun ~at:_ () -> Port_model.Forward (0, ()))
       ~header_words:(fun () -> 0)
   in
-  checkb "not delivered" false o.Port_model.delivered;
+  checkb "not delivered" false (Port_model.delivered o);
   checkb "hops bounded" true (o.Port_model.hops <= (64 * 8) + 257)
 
 let test_color_vicinities_roundtrip () =

@@ -13,8 +13,8 @@ let check_scheme g (inst : Scheme.instance) (alpha, beta) =
   for u = 0 to n - 1 do
     for v = 0 to n - 1 do
       if u <> v then begin
-        let o = inst.Scheme.route ~src:u ~dst:v in
-        if not (o.Port_model.delivered && o.Port_model.final = v) then ok := false
+        let o = Scheme.route inst ~src:u ~dst:v in
+        if not ((Port_model.delivered o) && o.Port_model.final = v) then ok := false
         else begin
           (match Apsp.check_path apsp g o.Port_model.path with
           | Some len when abs_float (len -. o.Port_model.length) < 1e-6 -> ()
@@ -49,7 +49,7 @@ let test_3eps_self_route () =
   let g = Generators.grid 4 4 in
   let t = Scheme3eps.preprocess ~eps ~seed:105 g in
   let o = Scheme3eps.route t ~src:3 ~dst:3 in
-  checkb "self delivered" true (o.Port_model.delivered && o.Port_model.hops = 0)
+  checkb "self delivered" true ((Port_model.delivered o) && o.Port_model.hops = 0)
 
 let prop_3eps_random =
   qcheck ~count:12 "(3+eps) on random graphs"
@@ -147,7 +147,7 @@ let test_2eps1_global_tree_regime () =
       if u <> v then begin
         let o = Scheme2eps1.route t ~src:u ~dst:v in
         (* T(p_A(v)) = SPT of v itself: routing is exact. *)
-        if (not o.Port_model.delivered)
+        if (not (Port_model.delivered o))
            || abs_float (o.Port_model.length -. Apsp.dist apsp u v) > 1e-9
         then ok := false
       end
@@ -170,7 +170,7 @@ let test_5eps_sparse_centers_regime () =
     for v = 0 to 35 do
       if u <> v then begin
         let o = Scheme5eps.route t ~src:u ~dst:v in
-        if (not o.Port_model.delivered)
+        if (not (Port_model.delivered o))
            || o.Port_model.length > (alpha *. Apsp.dist apsp u v) +. beta +. 1e-9
         then ok := false
       end

@@ -32,7 +32,7 @@ let check_part_pairs ?(eps = 0.5) g (t, (c : Coloring.t)) =
             (fun v ->
               if u <> v then begin
                 let o = Seq_routing.route t ~src:u ~dst:v in
-                if not (o.Port_model.delivered && o.Port_model.final = v) then
+                if not ((Port_model.delivered o) && o.Port_model.final = v) then
                   ok := false
                 else begin
                   let d = Apsp.dist apsp u v in
@@ -86,7 +86,7 @@ let test_single_part () =
       if u <> v then begin
         let o = Seq_routing.route t ~src:u ~dst:v in
         let d = Apsp.dist apsp u v in
-        if (not o.Port_model.delivered)
+        if (not (Port_model.delivered o))
            || o.Port_model.length > (1.5 *. d) +. 1e-9
         then ok := false
       end

@@ -43,7 +43,7 @@ let check_pairs ?(eps = 0.5) g (t, (c : Coloring.t), dests) =
             (fun w ->
               if u <> w then begin
                 let o = Seq_routing2.route t ~src:u ~dst:w in
-                if not (o.Port_model.delivered && o.Port_model.final = w) then
+                if not ((Port_model.delivered o) && o.Port_model.final = w) then
                   ok := false
                 else begin
                   let d = Apsp.dist apsp u w in
@@ -136,7 +136,7 @@ let test_relays_fire_on_long_cycles () =
                 if u <> w then begin
                   let o = Seq_routing2.route t ~src:u ~dst:w in
                   let d = Apsp.dist apsp u w in
-                  if not o.Port_model.delivered then ok := false;
+                  if not (Port_model.delivered o) then ok := false;
                   if o.Port_model.length > (2.0 *. d) +. 1e-9 then ok := false;
                   if o.Port_model.length > d +. 1e-9 then incr non_exact
                 end)

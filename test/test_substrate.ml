@@ -189,7 +189,7 @@ let test_simulator_counts () =
       ~header_words:(fun _ -> 1)
       ()
   in
-  checkb "delivered" true o.Port_model.delivered;
+  checkb "delivered" true (Port_model.delivered o);
   checki "hops" 4 o.Port_model.hops;
   checkf "length" 4.0 o.Port_model.length;
   checkb "path recorded" true (o.Port_model.path = [ 0; 1; 2; 3; 4 ])
@@ -202,12 +202,18 @@ let test_simulator_aborts_loops () =
       ~header_words:(fun _ -> 0)
       ()
   in
-  checkb "not delivered" false o.Port_model.delivered;
-  checkb "bounded hops" true (o.Port_model.hops <= (4 * 4) + 17)
+  checkb "not delivered" false (Port_model.delivered o);
+  checkb "loop verdict" true
+    (match o.Port_model.verdict with
+    | Port_model.Loop_detected _ -> true
+    | _ -> false);
+  (* Exact loop detection aborts in O(cycle) hops, far under the budget. *)
+  checkb "bounded hops" true (o.Port_model.hops <= 2 * 4)
 
 let test_simulator_max_hops_boundary () =
-  (* Pin the abort rule to "hops > max_hops": a route of exactly max_hops
-     hops still delivers; one fewer allowed hop fails it. *)
+  (* Pin the budget rule to "refuse a forward once hops = max_hops": a route
+     of exactly max_hops hops still delivers; one fewer allowed hop stops at
+     the budget, never one edge past it. *)
   let k = 6 in
   let g = Generators.path (k + 1) in
   let run max_hops =
@@ -222,23 +228,25 @@ let test_simulator_max_hops_boundary () =
       ~max_hops ()
   in
   let exact = run k in
-  checkb "max_hops = path length delivers" true exact.Port_model.delivered;
+  checkb "max_hops = path length delivers" true (Port_model.delivered exact);
   checki "with exactly k hops" k exact.Port_model.hops;
   let short = run (k - 1) in
-  checkb "max_hops = k-1 aborts" false short.Port_model.delivered;
-  checki "stops where the budget ran out" k short.Port_model.hops
+  checkb "max_hops = k-1 aborts" false (Port_model.delivered short);
+  checkb "budget verdict" true
+    (short.Port_model.verdict = Port_model.Hop_budget_exhausted);
+  checki "stops where the budget ran out" (k - 1) short.Port_model.hops
 
 let test_simulator_rejects_bad_port () =
   let g = Generators.path 3 in
-  checkb "invalid port raises" true
-    (try
-       ignore
-         (Port_model.run g ~src:0 ~header:()
-            ~step:(fun ~at:_ () -> Port_model.Forward (7, ()))
-            ~header_words:(fun _ -> 0)
-            ());
-       false
-     with Invalid_argument _ -> true)
+  let o =
+    Port_model.run g ~src:0 ~header:()
+      ~step:(fun ~at:_ () -> Port_model.Forward (7, ()))
+      ~header_words:(fun _ -> 0)
+      ()
+  in
+  checkb "invalid port verdict" true
+    (o.Port_model.verdict = Port_model.Invalid_port (0, 7));
+  checki "no edge traversed" 0 o.Port_model.hops
 
 (* --- Scheme helpers --- *)
 

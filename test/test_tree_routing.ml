@@ -26,7 +26,7 @@ let check_all_pairs g t =
           List.iter
             (fun interval ->
               let o = route_on_tree t g ~interval ~src:u ~dst:v in
-              if not (o.Port_model.delivered && o.Port_model.final = v) then
+              if not ((Port_model.delivered o) && o.Port_model.final = v) then
                 ok := false
               else if
                 abs_float (o.Port_model.length -. Tree_routing.tree_dist t u v)

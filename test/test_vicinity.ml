@@ -142,7 +142,7 @@ let lemma2_route g l =
               ~header_words:(fun _ -> 1)
               ()
           in
-          if not (o.Port_model.delivered && o.Port_model.final = v) then ok := false;
+          if not ((Port_model.delivered o) && o.Port_model.final = v) then ok := false;
           if abs_float (o.Port_model.length -. Apsp.dist apsp u v) > 1e-9 then
             ok := false
         end)
