@@ -8,6 +8,15 @@ open Cr_core
 
 let quick = Sys.getenv_opt "CR_BENCH_QUICK" <> None
 
+(* Run only the named sections: CR_BENCH_ONLY=throughput (comma-separated).
+   The CI smoke jobs use this to exercise one section without paying for
+   the whole harness. *)
+let only_sections =
+  match Sys.getenv_opt "CR_BENCH_ONLY" with
+  | None -> None
+  | Some s ->
+    Some (List.filter (( <> ) "") (List.map String.trim (String.split_on_char ',' s)))
+
 (* Optional machine-readable output: set CR_BENCH_CSV=<dir> to mirror the
    main tables as CSV files. *)
 let csv_dir = Sys.getenv_opt "CR_BENCH_CSV"
@@ -856,30 +865,105 @@ let section_bechamel () =
       | _ -> Printf.printf "%-24s %14s\n" name "n/a")
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Throughput: interpreted vs compiled vs compiled + parallel           *)
+(* ------------------------------------------------------------------ *)
+
+let section_throughput () =
+  banner "[throughput] Batched queries: interpreted vs compiled vs parallel";
+  let domains = Pool.domains (Pool.default ()) in
+  let g = er_graph ~seed:51 () in
+  let apsp = Apsp.compute g in
+  let n = Graph.n g in
+  let count = if quick then 2000 else 6000 in
+  let pairs = Scheme.sample_pairs ~seed:29 ~n ~count in
+  let npairs = List.length pairs in
+  let serial_pool = Pool.create ~domains:1 () in
+  Format.printf
+    "Graph %a; %d pairs per scheme; parallel runs use %d domain(s).@."
+    Graph.pp g npairs domains;
+  Printf.printf
+    "interp   = Scheme.evaluate (hashtable tables, path + loop detection on)\n\
+     compiled = evaluate_batch on 1 domain (flat tables, both knobs off)\n\
+     par      = evaluate_batch on the default pool\n\
+     Identity: compiled and parallel evals must match the interpreted eval\n\
+     bit for bit (same samples, failures and header peak).\n\n";
+  Printf.printf "%-16s %10s %10s %10s %7s %7s %10s\n" "scheme" "interp/s"
+    "compiled/s" "par/s" "spd-c" "spd-p" "identical";
+  Printf.printf "%s\n" (String.make 76 '-');
+  let all_identical = ref true and all_dominate = ref true in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let inst, _ = e.Catalog.build ~seed:33 ~eps:0.5 g in
+      (* Best of three: a single GC pause on the small quick workload can
+         flip the domination check, and every repetition produces the same
+         evaluation record anyway. *)
+      let best f =
+        let ev, t0 = wall f in
+        let t = ref t0 in
+        for _ = 2 to 3 do
+          let _, ti = wall f in
+          if ti < !t then t := ti
+        done;
+        (ev, !t)
+      in
+      let ev_int, t_int = best (fun () -> Scheme.evaluate inst apsp pairs) in
+      let ev_c, t_c =
+        best (fun () -> Scheme.evaluate_batch ~pool:serial_pool inst apsp pairs)
+      in
+      let ev_p, t_p = best (fun () -> Scheme.evaluate_batch inst apsp pairs) in
+      let rate t = float_of_int npairs /. Float.max t 1e-9 in
+      let identical = ev_c = ev_int && ev_p = ev_int in
+      if not identical then all_identical := false;
+      if rate t_c < rate t_int then all_dominate := false;
+      Printf.printf "%-16s %10.0f %10.0f %10.0f %6.2fx %6.2fx %10s\n%!"
+        e.Catalog.id (rate t_int) (rate t_c) (rate t_p) (t_int /. Float.max t_c 1e-9)
+        (t_int /. Float.max t_p 1e-9)
+        (string_of_bool identical);
+      csv "throughput"
+        ~header:
+          [ "scheme"; "domains"; "pairs"; "interp_routes_per_s";
+            "compiled_routes_per_s"; "parallel_routes_per_s"; "identical" ]
+        [ e.Catalog.id; string_of_int domains; string_of_int npairs;
+          Printf.sprintf "%.1f" (rate t_int); Printf.sprintf "%.1f" (rate t_c);
+          Printf.sprintf "%.1f" (rate t_p); string_of_bool identical ])
+    Catalog.all;
+  Printf.printf "%s\n" (String.make 76 '-');
+  Printf.printf "identical stats across planes: %s\n"
+    (if !all_identical then "ok" else "VIOLATED");
+  Printf.printf "compiled >= interpreted routes/sec: %s\n"
+    (if !all_dominate then "ok" else "VIOLATED")
+
 let () =
   Printf.printf "compact-routing benchmark harness%s (%d domain(s))\n"
     (if quick then " (quick mode)" else "")
     (Pool.domains (Pool.default ()));
+  let run name f =
+    match only_sections with
+    | Some names when not (List.mem name names) -> ()
+    | _ -> timed name f
+  in
   (* [Fun.protect] so the CSV channels are flushed and closed even when a
      scheme raises mid-run — a crash used to silently truncate every
      CR_BENCH_CSV file buffered so far. *)
   Fun.protect ~finally:csv_close (fun () ->
-      timed "construction" section_construction;
-      timed "table1" section_table1;
-      timed "families" section_families;
-      timed "oracles" section_oracles;
-      timed "space-scaling" section_space_scaling;
-      timed "space-breakdown" section_space_breakdown;
-      timed "eps-sweep" section_eps_sweep;
-      timed "stretch-by-distance" section_stretch_by_distance;
-      timed "lemma7" section_lemma7;
-      timed "lemma8" section_lemma8;
-      timed "ell-sweep" section_ell_sweep;
-      timed "k-sweep" section_k_sweep;
-      timed "label-bits" section_label_bits;
-      timed "spanner" section_spanner;
-      timed "resilience" section_resilience;
-      timed "bechamel" section_bechamel);
+      run "construction" section_construction;
+      run "table1" section_table1;
+      run "throughput" section_throughput;
+      run "families" section_families;
+      run "oracles" section_oracles;
+      run "space-scaling" section_space_scaling;
+      run "space-breakdown" section_space_breakdown;
+      run "eps-sweep" section_eps_sweep;
+      run "stretch-by-distance" section_stretch_by_distance;
+      run "lemma7" section_lemma7;
+      run "lemma8" section_lemma8;
+      run "ell-sweep" section_ell_sweep;
+      run "k-sweep" section_k_sweep;
+      run "label-bits" section_label_bits;
+      run "spanner" section_spanner;
+      run "resilience" section_resilience;
+      run "bechamel" section_bechamel);
   (match csv_dir with
   | Some dir -> Printf.printf "\nCSV mirrors written under %s/\n" dir
   | None -> ());

@@ -275,6 +275,88 @@ let table1_cmd =
     Term.(const table1 $ n $ seed_arg $ eps_arg $ pairs)
 
 (* ------------------------------------------------------------------ *)
+(* throughput                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let throughput graph_file scheme seed eps pairs domains no_path =
+  let g = or_die (load_graph graph_file) in
+  let e, (inst, _) = or_die (build_scheme ~seed ~eps scheme g) in
+  let n = Graph.n g in
+  let sampled = Scheme.sample_pairs ~seed ~n ~count:pairs in
+  let npairs = List.length sampled in
+  let record = not no_path in
+  Printf.printf "scheme: %s (%s)\n" e.Catalog.id e.Catalog.description;
+  Format.printf "graph:  %a; %d pairs; %d domain(s)@." Graph.pp g npairs domains;
+  Printf.printf "compiled plane: %s; path recording %s for the compiled runs\n\n"
+    (if Scheme.has_fast inst then "yes" else "no (falls back to interpreted)")
+    (if record then "on" else "off");
+  let rate t = float_of_int npairs /. Float.max t 1e-9 in
+  let (), t_int =
+    wall (fun () ->
+        List.iter (fun (u, v) -> ignore (Scheme.route inst ~src:u ~dst:v)) sampled)
+  in
+  Printf.printf "%-22s %12.0f routes/s\n%!" "interpreted serial" (rate t_int);
+  let (), t_c =
+    wall (fun () ->
+        List.iter
+          (fun (u, v) ->
+            ignore
+              (Scheme.route_fast ~record_path:record ~detect_loops:record inst
+                 ~src:u ~dst:v))
+          sampled)
+  in
+  Printf.printf "%-22s %12.0f routes/s  (%.2fx)\n%!" "compiled serial" (rate t_c)
+    (t_int /. Float.max t_c 1e-9);
+  (* The batch engine also verifies the merge: its eval must match the
+     serial evaluation bit for bit. *)
+  let apsp = Apsp.compute g in
+  let ev_serial = Scheme.evaluate inst apsp sampled in
+  let pool = Pool.create ~domains () in
+  let ev_par, t_p =
+    wall (fun () -> Scheme.evaluate_batch ~pool inst apsp sampled)
+  in
+  Printf.printf "%-22s %12.0f routes/s  (%.2fx)\n" "compiled parallel"
+    (rate t_p)
+    (t_int /. Float.max t_p 1e-9);
+  let identical = ev_par = ev_serial in
+  Printf.printf "\nbatch eval identical to serial evaluate: %s\n"
+    (if identical then "ok" else "VIOLATED");
+  if identical then 0 else 1
+
+let throughput_cmd =
+  let pairs =
+    Arg.(
+      value & opt int 5000
+      & info [ "pairs" ] ~docv:"K" ~doc:"Number of sampled source/target pairs.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int (Pool.domains (Pool.default ()))
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Domain-pool width for the parallel batched run.")
+  in
+  let no_path =
+    Arg.(
+      value & flag
+      & info [ "no-path" ]
+          ~doc:
+            "Disable path recording and loop detection in the serial compiled \
+             run (the parallel batch engine always runs with both off).")
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:"Measure routes/sec: interpreted vs compiled vs parallel batch")
+    Term.(
+      const throughput $ graph_arg $ scheme_arg $ seed_arg $ eps_arg $ pairs
+      $ domains $ no_path)
+
+(* ------------------------------------------------------------------ *)
 (* faults                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -552,8 +634,8 @@ let main_cmd =
     (Cmd.info "cr_cli" ~version:"1.0.0"
        ~doc:"Compact routing schemes of Roditty and Tov (PODC'15)")
     [
-      generate_cmd; schemes_cmd; route_cmd; stats_cmd; table1_cmd; faults_cmd;
-      oracle_cmd; spanner_cmd;
+      generate_cmd; schemes_cmd; route_cmd; stats_cmd; table1_cmd;
+      throughput_cmd; faults_cmd; oracle_cmd; spanner_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -42,6 +42,15 @@ let instance t =
     Scheme.name = "full-tables";
     graph = t.graph;
     route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
+    (* The tables are flat port matrices already; the fast plane is the
+       same step with the simulator knobs under caller control. *)
+    fast =
+      Some
+        (fun ~faults ~record_path ~detect_loops ~src ~dst ->
+          Port_model.run t.graph ~src ~header:dst ?faults
+            ~step:(fun ~at h -> step t ~at h)
+            ~header_words:(fun _ -> 1)
+            ~record_path ~detect_loops ());
     table_words = Array.make n (max 0 (n - 1));
     label_words = Array.make n 1;
   }

@@ -174,6 +174,94 @@ let bunch_mem t u w = Hashtbl.mem t.in_bunch.(u) w
 
 let home_label t u v = Hashtbl.find_opt t.home_labels.(u) v
 
+(* --- compiled form ------------------------------------------------------ *)
+
+type compiled = {
+  base : t;
+  trees_c : Tree_routing.compiled option array;
+  in_bunch_c : Compiled.Bitset.t array; (* dense over [0, n): one bit per w *)
+  home_labels_c : Tree_routing.label Compiled.Table.t array;
+}
+
+let compile t =
+  let n = Graph.n t.graph in
+  {
+    base = t;
+    trees_c = Array.map (Option.map Tree_routing.compile) t.trees;
+    in_bunch_c = Array.map (Compiled.Bitset.of_hashtbl_keys ~n) t.in_bunch;
+    home_labels_c = Array.map Compiled.Table.of_hashtbl t.home_labels;
+  }
+
+let tree_c c w = c.trees_c.(w)
+
+let bunch_mem_c c u w = Compiled.Bitset.mem c.in_bunch_c.(u) w
+
+let step_c c ~at h =
+  match c.trees_c.(h.root) with
+  | None -> invalid_arg "Tz_routing.step: empty tree"
+  | Some tr -> (
+    let lbl =
+      let rec find i =
+        if i >= Array.length h.lbl.pivots then
+          invalid_arg "Tz_routing.step: root not among pivots"
+        else begin
+          let p, l = h.lbl.pivots.(i) in
+          if p = h.root then l else find (i + 1)
+        end
+      in
+      find 0
+    in
+    match Tree_routing.step_c tr ~at lbl with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+
+let initial_header_c c ~src lbl =
+  let t = c.base in
+  let v = lbl.vertex in
+  if Compiled.Table.mem c.home_labels_c.(src) v then { lbl; root = src }
+  else
+    let rec find i =
+      if i >= t.k then invalid_arg "Tz_routing: no usable pivot"
+      else begin
+        let p, _ = lbl.pivots.(i) in
+        if p = src || bunch_mem_c c src p then { lbl; root = p }
+        else find (i + 1)
+      end
+    in
+    find 0
+
+(* Forward the header tuple itself (structurally identical to what the
+   interpreted step rebuilds each hop), so the simulator's hash cache sees
+   one physical header for the whole ride. *)
+let step_home_c c ~at ((lbl_home, root, _dst) as h : Tree_routing.label * int * int) =
+  match c.trees_c.(root) with
+  | None -> invalid_arg "Tz_routing.step_home: empty tree"
+  | Some tr -> (
+    match Tree_routing.step_c tr ~at lbl_home with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+
+let route_fast ?faults ?(record_path = true) ?(detect_loops = true) c ~src
+    ~dst =
+  let t = c.base in
+  if src = dst then
+    Port_model.run t.graph ~src ~header:() ?faults
+      ~step:(fun ~at:_ () -> Port_model.Deliver)
+      ~header_words:(fun () -> 0)
+      ~record_path ~detect_loops ()
+  else
+    match Compiled.Table.find_opt c.home_labels_c.(src) dst with
+    | Some lbl_home ->
+      Port_model.run t.graph ~src ~header:(lbl_home, src, dst) ?faults
+        ~step:(fun ~at h -> step_home_c c ~at h)
+        ~header_words:(fun (l, _, _) -> 2 + Tree_routing.label_words l)
+        ~record_path ~detect_loops ()
+    | None ->
+      let header = initial_header_c c ~src (label_of t dst) in
+      Port_model.run t.graph ~src ~header ?faults
+        ~step:(fun ~at h -> step_c c ~at h)
+        ~header_words ~record_path ~detect_loops ()
+
 let table_words t = t.table_words
 
 let base_label_words t = t.label_words
@@ -190,10 +278,15 @@ let label_bits t v =
     id_bits l.pivots
 
 let instance t =
+  let c = compile t in
   {
     Scheme.name = Printf.sprintf "thorup-zwick-k%d" t.k;
     graph = t.graph;
     route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
+    fast =
+      Some
+        (fun ~faults ~record_path ~detect_loops ~src ~dst ->
+          route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
   }

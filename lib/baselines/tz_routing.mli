@@ -56,6 +56,34 @@ val table_words : t -> int array
 
 val base_label_words : t -> int array
 
+(** {1 Compiled form} *)
+
+type compiled
+(** The forwarding plane: cluster trees compiled to flat records
+    ({!Tree_routing.compile}), bunch membership packed into one-bit-per-
+    vertex [Bytes] bitmaps, home-label stores compiled to sorted tables.
+    Decisions are identical to the interpreted scheme; [table_words] is
+    a property of the logical tables and does not change. *)
+
+val compile : t -> compiled
+
+val tree_c : compiled -> int -> Tree_routing.compiled option
+(** Compiled counterpart of {!tree} (used by the Theorem 16 scheme). *)
+
+val bunch_mem_c : compiled -> int -> int -> bool
+(** Identical answer to {!bunch_mem} from the compiled bitmap. *)
+
+val route_fast :
+  ?faults:Fault.plan ->
+  ?record_path:bool ->
+  ?detect_loops:bool ->
+  compiled ->
+  src:int ->
+  dst:int ->
+  Port_model.outcome
+(** Same outcomes as {!route} (identical verdict, final vertex, length,
+    hops and header peak; [path] is [[]] under [~record_path:false]). *)
+
 val label_bits : t -> int -> int
 (** [label_bits t v] is the exact size of [v]'s label under the bit-level
     encoding (vertex and pivot ids at [ceil(log2 n)] bits each plus the

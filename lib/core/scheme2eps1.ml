@@ -258,11 +258,94 @@ let route ?faults t ~src ~dst =
       ~step:(fun ~at h -> step t ~at h)
       ~header_words
 
+(* --- compiled form ------------------------------------------------------ *)
+
+type compiled = {
+  base : t;
+  vic_c : Vicinity.compiled array;
+  lemma7_c : Seq_routing.compiled;
+  cluster_trees_c : Tree_routing.compiled Compiled.Table.t;
+  global_trees_c : Tree_routing.compiled Compiled.Table.t;
+}
+
+(* The vicinity family is physically shared with the embedded Lemma 7
+   instance, so its compiled form is reused rather than rebuilt. The
+   witness and cluster-label stores are consulted once per route and stay
+   interpreted; the per-hop tree dispatches are compiled. *)
+let compile t =
+  let lemma7_c = Seq_routing.compile t.lemma7 in
+  {
+    base = t;
+    vic_c = Seq_routing.compiled_vicinities lemma7_c;
+    lemma7_c;
+    cluster_trees_c =
+      Compiled.Table.map Tree_routing.compile
+        (Compiled.Table.of_hashtbl t.cluster_trees);
+    global_trees_c =
+      Compiled.Table.map Tree_routing.compile
+        (Compiled.Table.of_hashtbl t.global_trees);
+  }
+
+let rec step_fast c ~at h =
+  let t = c.base in
+  let dst = h.lbl.vertex in
+  match h.phase with
+  | Direct ->
+    if at = dst then Port_model.Deliver
+    else Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst, h)
+  | To_witness w ->
+    if at = w then begin
+      let labels = Hashtbl.find t.cluster_labels w in
+      let lbl = Hashtbl.find labels dst in
+      step_fast c ~at { h with phase = Cluster_tree (w, lbl) }
+    end
+    else Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst:w, h)
+  | Cluster_tree (w, lbl) -> (
+    let tree = Compiled.Table.find c.cluster_trees_c w in
+    match Tree_routing.step_c tree ~at lbl with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+  | Global_tree -> (
+    let tree = Compiled.Table.find c.global_trees_c h.lbl.p_a in
+    match Tree_routing.step_c tree ~at h.lbl.tree_label with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+  | Seek_rep w ->
+    if at = w then
+      step_fast c ~at
+        { h with phase = Lemma7 (Seq_routing.initial_header t.lemma7 ~src:w ~dst) }
+    else Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst:w, h)
+  | Lemma7 ih -> (
+    match Seq_routing.step_c c.lemma7_c ~at ih with
+    | Port_model.Deliver -> Port_model.Deliver
+    | Port_model.Forward (p, ih') ->
+      Port_model.Forward (p, { h with phase = Lemma7 ih' }))
+
+let route_fast ?faults ?(record_path = true) ?(detect_loops = true) c ~src
+    ~dst =
+  let t = c.base in
+  let lbl = label_of t dst in
+  if src = dst then
+    Scheme_util.run_scheme ?faults ~record_path ~detect_loops t.graph ~src
+      ~header:{ lbl; phase = Direct }
+      ~step:(fun ~at:_ _ -> Port_model.Deliver)
+      ~header_words
+  else
+    Scheme_util.run_scheme ?faults ~record_path ~detect_loops t.graph ~src
+      ~header:(initial_header t ~src lbl)
+      ~step:(fun ~at h -> step_fast c ~at h)
+      ~header_words
+
 let instance t =
+  let c = compile t in
   {
     Scheme.name = "roditty-tov-2eps1";
     graph = t.graph;
     route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
+    fast =
+      Some
+        (fun ~faults ~record_path ~detect_loops ~src ~dst ->
+          route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
   }

@@ -223,11 +223,98 @@ let route ?faults t ~src ~dst =
       ~step:(fun ~at h -> step t ~at h)
       ~header_words
 
+(* --- compiled form ------------------------------------------------------ *)
+
+type compiled = {
+  base : t;
+  vic_c : Vicinity.compiled array;
+  lemma8_c : Seq_routing2.compiled;
+  cluster_trees_c : Tree_routing.compiled Compiled.Table.t;
+}
+
+(* The vicinity family is physically shared with the embedded Lemma 8
+   instance, so its compiled form is reused rather than rebuilt. The
+   cluster-label fetch at [z] happens once per route and stays
+   interpreted; the per-hop tree dispatch is compiled. *)
+let compile t =
+  let lemma8_c = Seq_routing2.compile t.lemma8 in
+  {
+    base = t;
+    vic_c = Seq_routing2.compiled_vicinities lemma8_c;
+    lemma8_c;
+    cluster_trees_c =
+      Compiled.Table.map Tree_routing.compile
+        (Compiled.Table.of_hashtbl t.cluster_trees);
+  }
+
+let rec step_fast c ~at h =
+  let t = c.base in
+  let dst = h.lbl.vertex in
+  match h.phase with
+  | Direct ->
+    if at = dst then Port_model.Deliver
+    else Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst, h)
+  | Cluster_tree (root, lbl) -> (
+    let tree = Compiled.Table.find c.cluster_trees_c root in
+    match Tree_routing.step_c tree ~at lbl with
+    | `Deliver -> Port_model.Deliver
+    | `Forward p -> Port_model.Forward (p, h))
+  | Seek_rep w ->
+    if at = w then
+      if w = h.lbl.p_a then
+        if at = dst then Port_model.Deliver
+        else step_fast c ~at { h with phase = To_z }
+      else
+        step_fast c ~at
+          { h with
+            phase =
+              Lemma8 (Seq_routing2.initial_header t.lemma8 ~src:w ~dst:h.lbl.p_a)
+          }
+    else Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst:w, h)
+  | Lemma8 ih -> (
+    match Seq_routing2.step_c c.lemma8_c ~at ih with
+    | Port_model.Deliver ->
+      if at = dst then Port_model.Deliver
+      else step_fast c ~at { h with phase = To_z }
+    | Port_model.Forward (p, ih') ->
+      Port_model.Forward (p, { h with phase = Lemma8 ih' }))
+  | To_z ->
+    if at = h.lbl.z then begin
+      let labels = Hashtbl.find t.cluster_labels at in
+      let lbl = Hashtbl.find labels dst in
+      step_fast c ~at { h with phase = Cluster_tree (at, lbl) }
+    end
+    else begin
+      match Graph.port_to t.graph at h.lbl.z with
+      | Some p -> Port_model.Forward (p, h)
+      | None -> invalid_arg "Scheme5eps.step: stored first edge missing"
+    end
+
+let route_fast ?faults ?(record_path = true) ?(detect_loops = true) c ~src
+    ~dst =
+  let t = c.base in
+  let lbl = label_of t dst in
+  if src = dst then
+    Scheme_util.run_scheme ?faults ~record_path ~detect_loops t.graph ~src
+      ~header:{ lbl; phase = Direct }
+      ~step:(fun ~at:_ _ -> Port_model.Deliver)
+      ~header_words
+  else
+    Scheme_util.run_scheme ?faults ~record_path ~detect_loops t.graph ~src
+      ~header:(initial_header t ~src lbl)
+      ~step:(fun ~at h -> step_fast c ~at h)
+      ~header_words
+
 let instance t =
+  let c = compile t in
   {
     Scheme.name = "roditty-tov-5eps";
     graph = t.graph;
     route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
+    fast =
+      Some
+        (fun ~faults ~record_path ~detect_loops ~src ~dst ->
+          route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
   }

@@ -41,8 +41,12 @@ let color_reps vic (c : Coloring.t) =
     vic
 
 (* Simulation wrapper shared by all schemes; [?faults] subjects the run to
-   a fault plan (the schemes themselves stay fault-oblivious). *)
-let run_scheme ?faults g ~src ~header ~step ~header_words =
-  Port_model.run g ~src ~header ~step ~header_words ?faults
+   a fault plan (the schemes themselves stay fault-oblivious). The two
+   simulator knobs default on; the compiled fast paths thread them through
+   so the throughput engine can turn both off. *)
+let run_scheme ?faults ?(record_path = true) ?(detect_loops = true) g ~src
+    ~header ~step ~header_words =
+  Port_model.run g ~src ~header ~step ~header_words ?faults ~record_path
+    ~detect_loops
     ~max_hops:((64 * Graph.n g) + 256)
     ()

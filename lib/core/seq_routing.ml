@@ -207,3 +207,48 @@ let route ?faults t ~src ~dst =
     ~header_words
     ~max_hops:((16 * Graph.n t.graph) + 64)
     ()
+
+(* --- compiled form ------------------------------------------------------ *)
+
+type compiled = {
+  base : t;
+  vic_c : Vicinity.compiled array;
+  trees_c : Tree_routing.compiled Compiled.Table.t;
+}
+
+let compile t =
+  {
+    base = t;
+    vic_c = Array.map Vicinity.compile t.vic;
+    trees_c =
+      Compiled.Table.map Tree_routing.compile (Compiled.Table.of_hashtbl t.trees);
+  }
+
+let compiled_vicinities c = c.vic_c
+
+let rec step_c c ~at h =
+  if h.in_tree then begin
+    match h.tail with
+    | To_tree (w, lbl) -> (
+      let tree = Compiled.Table.find c.trees_c w in
+      match Tree_routing.step_c tree ~at lbl with
+      | `Deliver -> Port_model.Deliver
+      | `Forward p -> Port_model.Forward (p, h))
+    | To_target -> invalid_arg "Seq_routing.step: corrupt header"
+  end
+  else if h.idx >= Array.length h.hops then begin
+    match h.tail with
+    | To_target ->
+      if at = h.dst then Port_model.Deliver
+      else invalid_arg "Seq_routing.step: sequence exhausted off target"
+    | To_tree _ -> step_c c ~at { h with in_tree = true }
+  end
+  else begin
+    let hop = h.hops.(h.idx) in
+    let target = hop_vertex hop in
+    if at = target then step_c c ~at { h with idx = h.idx + 1 }
+    else
+      match hop with
+      | Via x -> Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst:x, h)
+      | Jump (_, port) -> Port_model.Forward (port, h)
+  end

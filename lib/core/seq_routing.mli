@@ -65,3 +65,20 @@ val table_words : t -> int array
 val breakdown : t -> (string * int) list
 (** Aggregate (whole-network) space split into components:
     ["vicinities"], ["tree-records"], ["sequences"]. *)
+
+(** {1 Compiled form} *)
+
+type compiled
+(** The forwarding hot path with the vicinity family and hitting-set trees
+    compiled to flat sorted arrays. Decisions are identical to {!step};
+    [table_words] is a property of the logical tables and does not change. *)
+
+val compile : t -> compiled
+
+val compiled_vicinities : compiled -> Vicinity.compiled array
+(** The compiled [B(u, q~)] family — shared (not re-compiled) by the
+    schemes that embed this instance, since they route over the same
+    physical vicinities. *)
+
+val step_c : compiled -> at:int -> header -> header Port_model.decision
+(** Identical decision to {!step} for every reachable [(at, header)]. *)

@@ -189,3 +189,33 @@ let route ?faults t ~src ~dst =
     ~header_words
     ~max_hops:((64 * Graph.n t.graph) + 256)
     ()
+
+(* --- compiled form ------------------------------------------------------ *)
+
+type compiled = { base : t; vic_c : Vicinity.compiled array }
+
+let compile t = { base = t; vic_c = Array.map Vicinity.compile t.vic }
+
+let compiled_vicinities c = c.vic_c
+
+let rec step_c c ~at h =
+  if h.idx >= Array.length h.hops then begin
+    match h.terminal with
+    | At_dst ->
+      if at = h.dst then Port_model.Deliver
+      else invalid_arg "Seq_routing2.step: sequence exhausted off target"
+    | Relay r ->
+      if at <> r then invalid_arg "Seq_routing2.step: relay mismatch"
+        (* The relay's own sequence is fetched once per relay point; the
+           seqs store stays interpreted, only per-hop work is compiled. *)
+      else step_c c ~at (initial_header c.base ~src:r ~dst:h.dst)
+  end
+  else begin
+    let hop = h.hops.(h.idx) in
+    let target = hop_vertex hop in
+    if at = target then step_c c ~at { h with idx = h.idx + 1 }
+    else
+      match hop with
+      | Via x -> Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst:x, h)
+      | Jump (_, port) -> Port_model.Forward (port, h)
+  end

@@ -57,3 +57,19 @@ val max_sequence_hops : t -> int
 
 val breakdown : t -> (string * int) list
 (** Aggregate space split: ["vicinities"], ["sequences"]. *)
+
+(** {1 Compiled form} *)
+
+type compiled
+(** The forwarding hot path with the vicinity family compiled to flat
+    sorted arrays (the sequence store is consulted once per relay point and
+    stays interpreted). Decisions are identical to {!step}. *)
+
+val compile : t -> compiled
+
+val compiled_vicinities : compiled -> Vicinity.compiled array
+(** The compiled [B(u, q~)] family — shared (not re-compiled) by the
+    schemes that embed this instance. *)
+
+val step_c : compiled -> at:int -> header -> header Port_model.decision
+(** Identical decision to {!step} for every reachable [(at, header)]. *)

@@ -1,0 +1,146 @@
+module Intmap = struct
+  (* [Direct] stores values at [arr.(key - off)] with [absent] marking
+     holes; [Sorted] keeps parallel arrays ordered by key. Keys and values
+     are restricted to [>= 0] so [absent] can never collide with a value. *)
+  type t =
+    | Direct of { off : int; arr : int array }
+    | Sorted of { keys : int array; vals : int array }
+
+  let absent = min_int
+
+  let of_sorted ~keys ~vals =
+    let m = Array.length keys in
+    if Array.length vals <> m then
+      invalid_arg "Compiled.Intmap.of_sorted: length mismatch";
+    for i = 0 to m - 1 do
+      if keys.(i) < 0 || vals.(i) < 0 then
+        invalid_arg "Compiled.Intmap: negative key or value";
+      if i > 0 && keys.(i) <= keys.(i - 1) then
+        invalid_arg "Compiled.Intmap.of_sorted: keys not strictly increasing"
+    done;
+    if m = 0 then Sorted { keys = [||]; vals = [||] }
+    else begin
+      let lo = keys.(0) and hi = keys.(m - 1) in
+      let span = hi - lo + 1 in
+      if span <= (4 * m) + 8 then begin
+        let arr = Array.make span absent in
+        for i = 0 to m - 1 do
+          arr.(keys.(i) - lo) <- vals.(i)
+        done;
+        Direct { off = lo; arr }
+      end
+      else Sorted { keys = Array.copy keys; vals = Array.copy vals }
+    end
+
+  let of_pairs pairs =
+    Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+    of_sorted ~keys:(Array.map fst pairs) ~vals:(Array.map snd pairs)
+
+  let of_hashtbl h =
+    (* [Hashtbl.fold] visits every binding, most recent first per key;
+       keep only the visible one so replace-style tables compile to what
+       [Hashtbl.find] answers. *)
+    let seen = Hashtbl.create (Hashtbl.length h) in
+    let acc = ref [] in
+    Hashtbl.iter
+      (fun k _ ->
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          acc := (k, Hashtbl.find h k) :: !acc
+        end)
+      h;
+    of_pairs (Array.of_list !acc)
+
+  let rec bsearch keys x lo hi =
+    if lo > hi then -1
+    else begin
+      let mid = (lo + hi) lsr 1 in
+      let k = keys.(mid) in
+      if k = x then mid
+      else if k < x then bsearch keys x (mid + 1) hi
+      else bsearch keys x lo (mid - 1)
+    end
+
+  let find_raw t x =
+    match t with
+    | Direct { off; arr } ->
+      let i = x - off in
+      if i < 0 || i >= Array.length arr then absent else arr.(i)
+    | Sorted { keys; vals } ->
+      let i = bsearch keys x 0 (Array.length keys - 1) in
+      if i < 0 then absent else vals.(i)
+
+  let find t x =
+    let v = find_raw t x in
+    if v = absent then raise Not_found else v
+
+  let find_opt t x =
+    let v = find_raw t x in
+    if v = absent then None else Some v
+
+  let mem t x = find_raw t x <> absent
+
+  let cardinal = function
+    | Sorted { keys; _ } -> Array.length keys
+    | Direct { arr; _ } ->
+      Array.fold_left (fun n v -> if v = absent then n else n + 1) 0 arr
+end
+
+module Table = struct
+  type 'a t = { index : Intmap.t; items : 'a array }
+
+  let of_hashtbl h =
+    let seen = Hashtbl.create (Hashtbl.length h) in
+    let acc = ref [] in
+    Hashtbl.iter
+      (fun k _ ->
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          acc := (k, Hashtbl.find h k) :: !acc
+        end)
+      h;
+    let pairs = Array.of_list !acc in
+    Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+    let items = Array.map snd pairs in
+    let index = Intmap.of_pairs (Array.mapi (fun i (k, _) -> (k, i)) pairs) in
+    { index; items }
+
+  let find t k = t.items.(Intmap.find t.index k)
+
+  let find_opt t k =
+    match Intmap.find_opt t.index k with
+    | Some i -> Some t.items.(i)
+    | None -> None
+
+  let mem t k = Intmap.mem t.index k
+
+  let map f t = { index = t.index; items = Array.map f t.items }
+
+  let cardinal t = Array.length t.items
+end
+
+module Bitset = struct
+  type t = { bits : Bytes.t; n : int; cardinal : int }
+
+  let of_hashtbl_keys ~n h =
+    let bits = Bytes.make ((n + 7) / 8) '\000' in
+    let count = ref 0 in
+    Hashtbl.iter
+      (fun v () ->
+        if v < 0 || v >= n then
+          invalid_arg "Compiled.Bitset: key out of range";
+        let byte = Char.code (Bytes.get bits (v lsr 3)) in
+        let mask = 1 lsl (v land 7) in
+        if byte land mask = 0 then begin
+          Bytes.set bits (v lsr 3) (Char.chr (byte lor mask));
+          incr count
+        end)
+      h;
+    { bits; n; cardinal = !count }
+
+  let mem s v =
+    v >= 0 && v < s.n
+    && Char.code (Bytes.get s.bits (v lsr 3)) land (1 lsl (v land 7)) <> 0
+
+  let cardinal s = s.cardinal
+end

@@ -1,0 +1,80 @@
+(** Compiled lookup structures for the forwarding hot path.
+
+    Preprocessing builds its routing tables with [Hashtbl] — convenient to
+    grow, hostile to route through: every per-hop lookup chases buckets and
+    boxes. This module "compiles" those finished tables into flat sorted
+    [int array] / [Bytes] structures resolved by binary search or direct
+    indexing. Compilation never changes a decision — a compiled map answers
+    exactly what the hashtable it was built from answers (the qcheck suite
+    enforces this across every scheme) — and it never changes the space
+    accounting: the word counts reported by the schemes are a property of
+    the {e logical} table (entries of O(log n)-bit words), not of whichever
+    physical container serves the lookup. *)
+
+(** Immutable [int -> int] map with non-negative values.
+
+    Two physical forms, chosen at build time: a {e direct} array when the
+    key range is dense (at most ~4 slots per entry), giving O(1) lookups,
+    else parallel sorted key/value arrays resolved by binary search. *)
+module Intmap : sig
+  type t
+
+  val of_hashtbl : (int, int) Hashtbl.t -> t
+  (** Compile a finished hashtable. Values must be [>= 0]; with duplicate
+      key bindings only the most recent (as [Hashtbl.find] would return)
+      survives. @raise Invalid_argument on a negative key or value. *)
+
+  val of_pairs : (int * int) array -> t
+  (** Compile an array of distinct-keyed [(key, value)] pairs, in any
+      order (the array is sorted in place). @raise Invalid_argument on a
+      negative key/value or a duplicate key. *)
+
+  val of_sorted : keys:int array -> vals:int array -> t
+  (** Compile parallel arrays already sorted by strictly increasing key.
+      @raise Invalid_argument if lengths differ, keys are not strictly
+      increasing, or any key/value is negative. *)
+
+  val find : t -> int -> int
+  (** @raise Not_found on an absent key (matching [Hashtbl.find]). *)
+
+  val find_opt : t -> int -> int option
+
+  val mem : t -> int -> bool
+
+  val cardinal : t -> int
+end
+
+(** Immutable [int -> 'a] table: an {!Intmap} from key to slot plus a flat
+    payload array. *)
+module Table : sig
+  type 'a t
+
+  val of_hashtbl : (int, 'a) Hashtbl.t -> 'a t
+  (** Compile a finished hashtable (non-negative keys; latest binding per
+      key wins, as [Hashtbl.find] would). *)
+
+  val find : 'a t -> int -> 'a
+  (** @raise Not_found on an absent key. *)
+
+  val find_opt : 'a t -> int -> 'a option
+
+  val mem : 'a t -> int -> bool
+
+  val map : ('a -> 'b) -> 'a t -> 'b t
+
+  val cardinal : 'a t -> int
+end
+
+(** Dense membership set over [0, n) packed into [Bytes] — one bit per
+    vertex, so a bunch-membership test is a byte load and a mask. *)
+module Bitset : sig
+  type t
+
+  val of_hashtbl_keys : n:int -> (int, unit) Hashtbl.t -> t
+  (** @raise Invalid_argument if a key falls outside [0, n). *)
+
+  val mem : t -> int -> bool
+  (** [mem s v] is false outside [0, n). *)
+
+  val cardinal : t -> int
+end

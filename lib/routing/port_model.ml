@@ -51,7 +51,8 @@ type hop_record = {
 }
 
 let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
-    ?faults ?on_bounce ?corrupt ?(detect_loops = true) () =
+    ?faults ?on_bounce ?corrupt ?(record_path = true) ?(detect_loops = true)
+    () =
   if src < 0 || src >= Graph.n g then
     invalid_arg (Printf.sprintf "Port_model.run: source %d out of range" src);
   let max_hops =
@@ -74,10 +75,26 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
      provably cycling. Headers containing functional values never compare
      equal (polymorphic compare raises) and simply forgo loop protection. *)
   let seen = Hashtbl.create (if detect_loops then 64 else 1) in
+  (* Most schemes forward the same physical header for many consecutive
+     hops (Via-chains, tree descents); re-hashing it each hop is the loop
+     detector's dominant cost. Physical equality implies structural
+     equality, so the cached hash is exact whenever it applies. *)
+  let cached_hdr = ref header and cached_hash = ref 0 in
+  let cache_full = ref false in
+  let header_hash hdr =
+    if !cache_full && hdr == !cached_hdr then !cached_hash
+    else begin
+      let h = Hashtbl.hash hdr in
+      cached_hdr := hdr;
+      cached_hash := h;
+      cache_full := true;
+      h
+    end
+  in
   let looped at words hdr =
     detect_loops
     &&
-    let key = (at, words, Hashtbl.hash hdr) in
+    let key = (at, words, header_hash hdr) in
     let prior =
       match Hashtbl.find_opt seen key with Some l -> l | None -> []
     in
@@ -88,24 +105,34 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
       false
     end
   in
-  let finish verdict at rev_path length hops peak =
-    {
-      verdict;
-      final = at;
-      path = List.rev rev_path;
-      length;
-      hops;
-      header_words_peak = peak;
-    }
+  (* Iterative simulation state; [rev_path] stays empty when the caller
+     opted out of path recording, everything else is identical. *)
+  let at = ref src in
+  let hdr = ref header in
+  let rev_path = ref (if record_path then [ src ] else []) in
+  let length = ref 0.0 in
+  let hops = ref 0 in
+  let peak = ref 0 in
+  let verdict = ref None in
+  let stop v = verdict := Some v in
+  let traverse v h' w =
+    at := v;
+    hdr := h';
+    if record_path then rev_path := v :: !rev_path;
+    length := !length +. w;
+    incr hops
   in
-  let rec go at hdr rev_path length hops peak =
-    let words = header_words hdr in
-    let peak = max peak words in
-    if looped at words hdr then
-      finish (Loop_detected at) at rev_path length hops peak
+  if vertex_down src then begin
+    peak := max 0 (header_words header);
+    stop (Dead_end_at src)
+  end;
+  while !verdict = None do
+    let words = header_words !hdr in
+    if words > !peak then peak := words;
+    if looped !at words !hdr then stop (Loop_detected !at)
     else begin
       let dec =
-        try Ok (step ~at hdr)
+        try Ok (step ~at:!at !hdr)
         with
         | (Out_of_memory | Stack_overflow) as e -> raise e
         | _ -> Error ()
@@ -114,81 +141,97 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
       | Error () ->
         (* The local table cannot produce a next hop (it raised): in a real
            router the message is discarded here. *)
-        finish (Dead_end_at at) at rev_path length hops peak
+        stop (Dead_end_at !at)
       | Ok Deliver ->
-        on_hop { at; port = -1; header_words = words };
-        finish Delivered at rev_path length hops peak
-      | Ok (Forward (port, hdr')) ->
-        forward at ~dead:[] port hdr hdr' rev_path length hops peak words
+        on_hop { at = !at; port = -1; header_words = words };
+        stop Delivered
+      | Ok (Forward (port0, hdr0)) ->
+        (* The bounce chain: dead ports accumulate while the message stays
+           at [!at]; each alternative re-enters the same checks. *)
+        let port = ref port0 in
+        let hdr' = ref hdr0 in
+        let dead = ref [] in
+        let deadn = ref 0 in
+        let bouncing = ref true in
+        while !bouncing do
+          bouncing := false;
+          let p = !port in
+          if p < 0 || p >= Graph.degree g !at then stop (Invalid_port (!at, p))
+          else begin
+            let v = Graph.endpoint g !at p in
+            if link_down !at v || vertex_down v then begin
+              (* The failed link (or crashed neighbor) is observable
+                 locally: the message stays at the sender and the bounce
+                 hook may pick another port, with the dead ones masked. *)
+              dead := p :: !dead;
+              incr deadn;
+              let give_up () =
+                let verdict =
+                  if vertex_down v && not (link_down !at v) then Dead_end_at v
+                  else Link_down_at (!at, p)
+                in
+                stop verdict
+              in
+              if !deadn >= Graph.degree g !at then give_up ()
+              else
+                match on_bounce with
+                | None -> give_up ()
+                | Some f -> (
+                  let bounce =
+                    try f ~at:!at ~dead:!dead !hdr
+                    with
+                    | (Out_of_memory | Stack_overflow) as e -> raise e
+                    | _ -> None
+                  in
+                  match bounce with
+                  | None -> give_up ()
+                  | Some Deliver ->
+                    on_hop { at = !at; port = -1; header_words = words };
+                    stop Delivered
+                  | Some (Forward (p', h')) ->
+                    port := p';
+                    hdr' := h';
+                    bouncing := true)
+            end
+            else if !hops >= max_hops then
+              (* Refuse the hop *before* traversing: the budget bounds the
+                 number of edges crossed, not the number of abort checks. *)
+              stop Hop_budget_exhausted
+            else begin
+              match hop_event !at p !hops with
+              | Fault.Drop ->
+                on_hop { at = !at; port = p; header_words = words };
+                stop (Dropped_at !at)
+              | Fault.Corrupt ->
+                on_hop { at = !at; port = p; header_words = words };
+                (match corrupt with
+                | None ->
+                  (* We cannot forge a header of an arbitrary type; the
+                     garbled message is undeliverable and counts as lost in
+                     flight. *)
+                  stop (Dropped_at !at)
+                | Some garble ->
+                  let w = Graph.port_weight g !at p in
+                  let hdr'' =
+                    try garble !hdr'
+                    with
+                    | (Out_of_memory | Stack_overflow) as e -> raise e
+                    | _ -> !hdr'
+                  in
+                  traverse v hdr'' w)
+              | Fault.Pass ->
+                on_hop { at = !at; port = p; header_words = words };
+                traverse v !hdr' (Graph.port_weight g !at p)
+            end
+          end
+        done
     end
-  and forward at ~dead port hdr hdr' rev_path length hops peak words =
-    if port < 0 || port >= Graph.degree g at then
-      finish (Invalid_port (at, port)) at rev_path length hops peak
-    else begin
-      let v = Graph.endpoint g at port in
-      if link_down at v || vertex_down v then begin
-        (* The failed link (or crashed neighbor) is observable locally: the
-           message stays at the sender and the bounce hook may pick another
-           port, with the dead ones masked. *)
-        let dead = port :: dead in
-        let give_up () =
-          let verdict =
-            if vertex_down v && not (link_down at v) then Dead_end_at v
-            else Link_down_at (at, port)
-          in
-          finish verdict at rev_path length hops peak
-        in
-        if List.length dead >= Graph.degree g at then give_up ()
-        else
-          match on_bounce with
-          | None -> give_up ()
-          | Some f -> (
-            let bounce =
-              try f ~at ~dead hdr
-              with
-              | (Out_of_memory | Stack_overflow) as e -> raise e
-              | _ -> None
-            in
-            match bounce with
-            | None -> give_up ()
-            | Some Deliver ->
-              on_hop { at; port = -1; header_words = words };
-              finish Delivered at rev_path length hops peak
-            | Some (Forward (p', h')) ->
-              forward at ~dead p' hdr h' rev_path length hops peak words)
-      end
-      else if hops >= max_hops then
-        (* Refuse the hop *before* traversing: the budget bounds the number
-           of edges crossed, not the number of abort checks. *)
-        finish Hop_budget_exhausted at rev_path length hops peak
-      else begin
-        match hop_event at port hops with
-        | Fault.Drop ->
-          on_hop { at; port; header_words = words };
-          finish (Dropped_at at) at rev_path length hops peak
-        | Fault.Corrupt ->
-          on_hop { at; port; header_words = words };
-          (match corrupt with
-          | None ->
-            (* We cannot forge a header of an arbitrary type; the garbled
-               message is undeliverable and counts as lost in flight. *)
-            finish (Dropped_at at) at rev_path length hops peak
-          | Some garble ->
-            let w = Graph.port_weight g at port in
-            let hdr'' =
-              try garble hdr'
-              with
-              | (Out_of_memory | Stack_overflow) as e -> raise e
-              | _ -> hdr'
-            in
-            go v hdr'' (v :: rev_path) (length +. w) (hops + 1) peak)
-        | Fault.Pass ->
-          on_hop { at; port; header_words = words };
-          let w = Graph.port_weight g at port in
-          go v hdr' (v :: rev_path) (length +. w) (hops + 1) peak
-      end
-    end
-  in
-  if vertex_down src then
-    finish (Dead_end_at src) src [ src ] 0.0 0 (max 0 (header_words header))
-  else go src header [ src ] 0.0 0 0
+  done;
+  {
+    verdict = (match !verdict with Some v -> v | None -> assert false);
+    final = !at;
+    path = List.rev !rev_path;
+    length = !length;
+    hops = !hops;
+    header_words_peak = !peak;
+  }

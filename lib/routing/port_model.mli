@@ -88,6 +88,7 @@ val run :
   ?faults:Fault.plan ->
   ?on_bounce:(at:int -> dead:int list -> 'h -> 'h decision option) ->
   ?corrupt:('h -> 'h) ->
+  ?record_path:bool ->
   ?detect_loops:bool ->
   unit ->
   outcome
@@ -113,12 +114,20 @@ val run :
       no [corrupt] is supplied the garbled message is undeliverable and
       counts as a drop.
 
+    {b Path recording} (on by default): with [~record_path:false] the
+    returned [path] is [[]] and the run allocates nothing per hop for it.
+    Nothing else changes — verdict, final vertex, length, hop count and
+    header peak are identical; the throughput engine turns it off and
+    relies on the hop budget.
+
     {b Loop detection} (on by default, disable with [~detect_loops:false]):
     the simulator keeps signatures of visited [(vertex, header)] states and
     aborts with [Loop_detected] when one repeats exactly. Headers are
     compared structurally, so a vertex may be revisited with a different
     header; a repeat is only declared when the deterministic step function
-    is provably cycling.
+    is provably cycling. The structural hash of the header is cached while
+    the step function forwards the same physical header, so long
+    unrewritten stretches hash once, not once per hop.
 
     {b No exceptions.} An invalid port becomes [Invalid_port]; a step
     function that raises becomes [Dead_end_at]. Only [src] out of range is

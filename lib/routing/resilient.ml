@@ -196,6 +196,9 @@ let instance t =
     Scheme.name = base.Scheme.name ^ "+res";
     graph = base.Scheme.graph;
     route = (fun ~faults ~src ~dst -> route ?faults t ~src ~dst);
+    (* The recovery ladder composes whole sub-routes and inspects their
+       paths; it has no compiled plane. *)
+    fast = None;
     table_words =
       Array.init n (fun v -> base.Scheme.table_words.(v) + tree_words v);
     label_words = Array.copy base.Scheme.label_words;

@@ -1,14 +1,31 @@
 open Cr_graph
 
+type fast_route =
+  faults:Fault.plan option ->
+  record_path:bool ->
+  detect_loops:bool ->
+  src:int ->
+  dst:int ->
+  Port_model.outcome
+
 type instance = {
   name : string;
   graph : Graph.t;
   route : faults:Fault.plan option -> src:int -> dst:int -> Port_model.outcome;
+  fast : fast_route option;
   table_words : int array;
   label_words : int array;
 }
 
 let route ?faults inst ~src ~dst = inst.route ~faults ~src ~dst
+
+let has_fast inst = inst.fast <> None
+
+let route_fast ?faults ?(record_path = true) ?(detect_loops = true) inst ~src
+    ~dst =
+  match inst.fast with
+  | Some f -> f ~faults ~record_path ~detect_loops ~src ~dst
+  | None -> inst.route ~faults ~src ~dst
 
 let max_table_words i = Array.fold_left max 0 i.table_words
 
@@ -36,6 +53,32 @@ let sample_pairs ~seed ~n ~count =
     done;
     !acc
   end
+  else if 2 * count >= all then begin
+    (* Dense draws: rejection sampling collapses as the table fills (the
+       expected time to hit the last free pair is Θ(all) draws), so
+       enumerate every ordered pair and keep a partial Fisher–Yates
+       prefix instead. *)
+    let pairs = Array.make all (0, 0) in
+    let m = ref 0 in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if u <> v then begin
+          pairs.(!m) <- (u, v);
+          incr m
+        end
+      done
+    done;
+    let st = Random.State.make [| seed; 0x7072 |] in
+    for i = 0 to count - 1 do
+      let j = i + Random.State.int st (all - i) in
+      let tmp = pairs.(i) in
+      pairs.(i) <- pairs.(j);
+      pairs.(j) <- tmp
+    done;
+    let chosen = Array.sub pairs 0 count in
+    Array.sort compare chosen;
+    Array.to_list chosen
+  end
   else begin
     let st = Random.State.make [| seed; 0x7072 |] in
     let seen = Hashtbl.create (2 * count) in
@@ -46,28 +89,83 @@ let sample_pairs ~seed ~n ~count =
     Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort compare
   end
 
-let evaluate_under_faults ?faults inst apsp pairs =
-  let samples = ref [] in
+(* Shared accumulation: samples land in a buffer preallocated to the pair
+   count (every delivered pair adds at most one sample), so evaluation does
+   no per-pair list consing. *)
+let collect ~len fill =
+  let buf = Array.make (max 1 len) (0.0, 0.0) in
+  let filled = ref 0 in
   let failures = ref 0 in
   let peak = ref 0 in
-  List.iter
-    (fun (u, v) ->
-      let d = Apsp.dist apsp u v in
-      if d <> infinity && d > 0.0 then begin
-        let o = inst.route ~faults ~src:u ~dst:v in
-        peak := max !peak o.Port_model.header_words_peak;
-        if Port_model.delivered_to o v then
-          samples := (d, o.Port_model.length) :: !samples
-        else incr failures
-      end)
-    pairs;
+  fill
+    ~sample:(fun d l ->
+      buf.(!filled) <- (d, l);
+      incr filled)
+    ~failure:(fun () -> incr failures)
+    ~observe_peak:(fun p -> if p > !peak then peak := p);
   {
-    samples = Array.of_list (List.rev !samples);
+    samples = Array.sub buf 0 !filled;
     failures = !failures;
     header_words_peak = !peak;
   }
 
+let evaluate_under_faults ?faults inst apsp pairs =
+  collect ~len:(List.length pairs) (fun ~sample ~failure ~observe_peak ->
+      List.iter
+        (fun (u, v) ->
+          let d = Apsp.dist apsp u v in
+          if d <> infinity && d > 0.0 then begin
+            let o = inst.route ~faults ~src:u ~dst:v in
+            observe_peak o.Port_model.header_words_peak;
+            if Port_model.delivered_to o v then sample d o.Port_model.length
+            else failure ()
+          end)
+        pairs)
+
 let evaluate inst apsp pairs = evaluate_under_faults inst apsp pairs
+
+(* Per-pair results of the parallel sweep; one slot per pair, written once
+   by whichever domain drew the index. *)
+type slot =
+  | Skipped
+  | Sample of float * float * int (* distance, routed length, header peak *)
+  | Failure of int
+
+let evaluate_batch ?pool ?faults ?(fast = true) inst apsp pairs =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let pairs = Array.of_list pairs in
+  let np = Array.length pairs in
+  let route_one =
+    match inst.fast with
+    | Some f when fast ->
+      fun ~src ~dst ->
+        f ~faults ~record_path:false ~detect_loops:false ~src ~dst
+    | _ -> fun ~src ~dst -> inst.route ~faults ~src ~dst
+  in
+  let slots = Array.make np Skipped in
+  Pool.iter pool ~n:np (fun i ->
+      let u, v = pairs.(i) in
+      let d = Apsp.dist apsp u v in
+      if d <> infinity && d > 0.0 then begin
+        let o = route_one ~src:u ~dst:v in
+        slots.(i) <-
+          (if Port_model.delivered_to o v then
+             Sample (d, o.Port_model.length, o.Port_model.header_words_peak)
+           else Failure o.Port_model.header_words_peak)
+      end);
+  (* Merge in pair order — the schedule cannot leak into the result, so the
+     eval is bit-identical to the serial sweep over the same router. *)
+  collect ~len:np (fun ~sample ~failure ~observe_peak ->
+      Array.iter
+        (function
+          | Skipped -> ()
+          | Sample (d, l, p) ->
+            observe_peak p;
+            sample d l
+          | Failure p ->
+            observe_peak p;
+            failure ())
+        slots)
 
 let eval_is_empty e = Array.length e.samples = 0 && e.failures = 0
 
@@ -77,7 +175,11 @@ let delivery_rate e =
   else float_of_int (Array.length e.samples) /. float_of_int total
 
 let max_stretch e =
-  Array.fold_left (fun acc (d, l) -> Float.max acc (l /. d)) 1.0 e.samples
+  Array.fold_left
+    (fun acc (d, l) ->
+      let s = l /. d in
+      if Float.compare s acc > 0 then s else acc)
+    1.0 e.samples
 
 let avg_stretch e =
   let k = Array.length e.samples in
@@ -86,15 +188,27 @@ let avg_stretch e =
     Array.fold_left (fun acc (d, l) -> acc +. (l /. d)) 0.0 e.samples
     /. float_of_int k
 
-let percentile_stretch e p =
-  let k = Array.length e.samples in
+(* The sorted stretch array, computed once per eval and shared by every
+   percentile read; [Float.compare] is a total order (NaN-safe), unlike
+   the polymorphic compare it replaces. *)
+let sorted_stretches e =
+  let s = Array.map (fun (d, l) -> l /. d) e.samples in
+  Array.sort Float.compare s;
+  s
+
+let percentile_of_sorted s p =
+  let k = Array.length s in
   if k = 0 then 1.0
   else begin
-    let s = Array.map (fun (d, l) -> l /. d) e.samples in
-    Array.sort compare s;
     let idx = int_of_float (p *. float_of_int (k - 1)) in
     s.(max 0 (min (k - 1) idx))
   end
+
+let percentiles e ps =
+  let s = sorted_stretches e in
+  List.map (percentile_of_sorted s) ps
+
+let percentile_stretch e p = percentile_of_sorted (sorted_stretches e) p
 
 let max_affine_excess e ~alpha ~beta =
   Array.fold_left

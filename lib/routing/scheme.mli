@@ -8,6 +8,19 @@ open Cr_graph
     This matches how the paper states table sizes (entries of O(log n) bits)
     and is robust to machine word width. *)
 
+type fast_route =
+  faults:Fault.plan option ->
+  record_path:bool ->
+  detect_loops:bool ->
+  src:int ->
+  dst:int ->
+  Port_model.outcome
+(** The compiled forwarding plane of a scheme: same decisions as the
+    interpreted route (the qcheck suite enforces verdict/path/length
+    equality pair by pair), served from flat compiled tables (see
+    {!Compiled}), with the simulator's path recording and loop detection
+    under caller control. *)
+
 type instance = {
   name : string;
   graph : Graph.t;
@@ -16,8 +29,14 @@ type instance = {
           under a fault plan (see {!Fault}); [~faults:None] is the
           healthy-network run. Prefer the {!route} helper, which makes the
           plan an ordinary optional argument. *)
+  fast : fast_route option;
+      (** The compiled forwarding plane, when the scheme provides one
+          ([None] e.g. for {!Resilient}-wrapped instances). Prefer the
+          {!route_fast} helper, which falls back to [route]. *)
   table_words : int array;
-      (** [table_words.(v)] = routing-table size of vertex [v], in words. *)
+      (** [table_words.(v)] = routing-table size of vertex [v], in words.
+          A property of the logical tables — identical for the interpreted
+          and compiled planes. *)
   label_words : int array;
       (** [label_words.(v)] = size of [v]'s routing label, in words. *)
 }
@@ -26,6 +45,23 @@ val route :
   ?faults:Fault.plan -> instance -> src:int -> dst:int -> Port_model.outcome
 (** [route inst ~src ~dst] simulates one message; [?faults] subjects the run
     to a fault plan. This is the ergonomic front for [inst.route]. *)
+
+val route_fast :
+  ?faults:Fault.plan ->
+  ?record_path:bool ->
+  ?detect_loops:bool ->
+  instance ->
+  src:int ->
+  dst:int ->
+  Port_model.outcome
+(** Route through the compiled forwarding plane when the instance has one,
+    else through [inst.route] (in which case the two optional knobs are
+    moot — the interpreted route always records and detects). Both knobs
+    default to [true]; with [~record_path:false] the outcome's [path] is
+    [[]] but every other field is unchanged. The throughput engine runs
+    with both off, relying on the simulator's hop budget. *)
+
+val has_fast : instance -> bool
 
 val max_table_words : instance -> int
 
@@ -45,7 +81,11 @@ type eval = {
 
 val sample_pairs : seed:int -> n:int -> count:int -> (int * int) list
 (** [sample_pairs ~seed ~n ~count] draws [count] ordered pairs of distinct
-    vertices (all [n (n-1)] pairs if [count] is at least that many). *)
+    vertices (all [n (n-1)] pairs if [count] is at least that many).
+    Sparse draws use rejection sampling; above a 50% fill ratio the
+    function switches to enumerating all pairs and taking a partial
+    Fisher–Yates prefix, so dense requests (e.g. [count = all - 1])
+    terminate in O(n^2) instead of coupon-collector time. *)
 
 val evaluate : instance -> Apsp.t -> (int * int) list -> eval
 (** Routes every pair through the simulator and records (distance, length). *)
@@ -57,6 +97,24 @@ val evaluate_under_faults :
     measured on the healthy graph, so sample stretches quantify the cost of
     degradation. *)
 
+val evaluate_batch :
+  ?pool:Pool.t ->
+  ?faults:Fault.plan ->
+  ?fast:bool ->
+  instance ->
+  Apsp.t ->
+  (int * int) list ->
+  eval
+(** The parallel batched query engine: shards the pair list across the
+    domain pool (default {!Pool.default}), routes each pair independently
+    into its own slot, and merges the slots in pair order — so the eval is
+    bit-identical to the serial {!evaluate} over the same router regardless
+    of domain count or scheduling. With [~fast:true] (the default) pairs
+    route through the compiled plane with path recording and loop detection
+    off; [~fast:false] uses [inst.route] exactly as {!evaluate} does, and
+    then the result is bit-identical to {!evaluate_under_faults}
+    unconditionally. *)
+
 val eval_is_empty : eval -> bool
 (** No data at all: zero samples {e and} zero failures (e.g. every sampled
     pair was disconnected, or the pair list was empty). Callers must not
@@ -66,12 +124,20 @@ val delivery_rate : eval -> float
 (** Delivered fraction, [1.0] on an empty eval. *)
 
 val max_stretch : eval -> float
-(** Largest multiplicative stretch [length / distance] (1.0 if no samples). *)
+(** Largest multiplicative stretch [length / distance] (1.0 if no samples).
+    Ordered by [Float.compare], so a NaN sample can never poison the
+    maximum. *)
 
 val avg_stretch : eval -> float
 
 val percentile_stretch : eval -> float -> float
-(** [percentile_stretch e 0.99] is the 99th-percentile stretch. *)
+(** [percentile_stretch e 0.99] is the 99th-percentile stretch. Sorts with
+    [Float.compare] (NaN-safe total order). For several percentiles of one
+    eval use {!percentiles}, which sorts the stretch array once. *)
+
+val percentiles : eval -> float list -> float list
+(** [percentiles e ps] computes the sorted stretch array once and reads
+    every requested percentile from it. *)
 
 val max_affine_excess : eval -> alpha:float -> beta:float -> float
 (** Largest [length - (alpha * distance + beta)] — nonpositive iff every

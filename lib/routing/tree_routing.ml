@@ -311,6 +311,63 @@ let step t ~at (l : label) =
     `Forward (find 0)
   end
 
+(* --- compiled form -------------------------------------------------------
+
+   [step] resolves [at] through a hashtable and then reads one node record;
+   the compiled form packs the six fields a decision needs into a flat
+   stride-6 [int array] indexed by local slot, with the vertex->slot map
+   compiled to a direct or binary-searched array. Decisions are identical
+   to [step] by construction — the fields are copied, not recomputed — and
+   the space accounting is untouched: [table_words] counts the logical
+   7-word record either way. *)
+
+let stride = 6
+
+type compiled = {
+  c_idx : Compiled.Intmap.t; (* vertex -> local slot, as [idx] *)
+  c_fields : int array;
+      (* per slot: lo, hi, parent_port, heavy_lo, heavy_hi, heavy_port *)
+}
+
+let compile t =
+  let k = Array.length t.nodes in
+  let fields = Array.make (stride * k) (-1) in
+  Array.iteri
+    (fun i nd ->
+      let b = stride * i in
+      fields.(b) <- nd.lo;
+      fields.(b + 1) <- nd.hi;
+      fields.(b + 2) <- nd.parent_port;
+      fields.(b + 3) <- nd.heavy_lo;
+      fields.(b + 4) <- nd.heavy_hi;
+      fields.(b + 5) <- nd.heavy_port)
+    t.nodes;
+  {
+    c_idx = Compiled.Intmap.of_pairs (Array.mapi (fun i v -> (v, i)) t.member_list);
+    c_fields = fields;
+  }
+
+let step_c c ~at (l : label) =
+  let b = stride * Compiled.Intmap.find c.c_idx at in
+  let lo = c.c_fields.(b) in
+  if l.dfs = lo then `Deliver
+  else if l.dfs < lo || l.dfs > c.c_fields.(b + 1) then
+    `Forward c.c_fields.(b + 2)
+  else begin
+    let heavy_lo = c.c_fields.(b + 3) in
+    if heavy_lo >= 0 && l.dfs >= heavy_lo && l.dfs <= c.c_fields.(b + 4) then
+      `Forward c.c_fields.(b + 5)
+    else begin
+      let rec find i =
+        if i >= Array.length l.light then
+          invalid_arg "Tree_routing.step: corrupt label"
+        else if l.light.(i).at_lo = lo then l.light.(i).port
+        else find (i + 1)
+      in
+      `Forward (find 0)
+    end
+  end
+
 let step_interval t ~at (l : label) =
   let u = t.nodes.(idx t at) in
   if l.dfs = u.lo then `Deliver

@@ -102,3 +102,32 @@ let nearest_of b pred =
   scan 0
 
 let step vicinities ~at ~dst = first_port vicinities.(at) dst
+
+(* --- compiled form ------------------------------------------------------
+
+   [first_port] is the hot lookup of every Via hop; the compiled form
+   replaces the membership hashtable with a compiled member->position map
+   (direct or binary-searched int arrays, see [Compiled]) and shares the
+   member/port arrays with the interpreted structure. *)
+
+type compiled = {
+  c_index : Compiled.Intmap.t; (* member -> position, as [index] *)
+  c_source : int;
+  c_members : int array;       (* shared with the interpreted form *)
+  c_first_ports : int array;
+}
+
+let compile b =
+  {
+    c_index = Compiled.Intmap.of_pairs (Array.mapi (fun i v -> (v, i)) b.members);
+    c_source = b.source;
+    c_members = b.members;
+    c_first_ports = b.first_ports;
+  }
+
+let first_port_c c v =
+  let i = Compiled.Intmap.find c.c_index v in
+  if c.c_members.(i) = c.c_source then invalid_arg "Vicinity.first_port: source";
+  c.c_first_ports.(i)
+
+let step_c vicinities ~at ~dst = first_port_c vicinities.(at) dst

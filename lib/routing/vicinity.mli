@@ -68,3 +68,19 @@ val step : t array -> at:int -> dst:int -> int
     [dst], assuming [dst] is in [B(at, l)]. The caller routes by repeating
     [step] at each intermediate vertex; Property 1 guarantees membership is
     preserved along the way. @raise Not_found if [dst] is not in [B(at, l)]. *)
+
+(** {1 Compiled form} *)
+
+type compiled
+(** The per-hop lookup compiled to flat arrays (see {!Compiled}): the
+    member-to-position hashtable becomes a direct or binary-searched map;
+    the member and first-port arrays are shared with the interpreted
+    structure, so answers are identical by construction. *)
+
+val compile : t -> compiled
+
+val first_port_c : compiled -> int -> int
+(** Identical answer (and exceptions) to {!first_port}. *)
+
+val step_c : compiled array -> at:int -> dst:int -> int
+(** Identical answer to {!step} over compiled vicinities. *)

@@ -24,5 +24,6 @@ let () =
       ("workload", Test_workload.suite);
       ("tz-hierarchy", Test_tz_hierarchy.suite);
       ("bits", Test_bits.suite);
+      ("compiled", Test_compiled.suite);
       ("parallel", Test_parallel.suite);
     ]
