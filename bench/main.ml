@@ -934,6 +934,131 @@ let section_throughput () =
   Printf.printf "compiled >= interpreted routes/sec: %s\n"
     (if !all_dominate then "ok" else "VIOLATED")
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: disabled-mode overhead must stay under 5%                *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost of one disabled instrumentation point, by differencing two tight
+   loops: one that tests the telemetry flag, one that tests an opaque
+   constant. [Sys.opaque_identity] pins both loads so neither test is
+   hoisted or folded away. *)
+let guard_cost_ns () =
+  let iters = 20_000_000 in
+  let baseline () =
+    let acc = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      if Sys.opaque_identity false then incr acc
+    done;
+    ignore (Sys.opaque_identity !acc);
+    Unix.gettimeofday () -. t0
+  in
+  let guarded () =
+    let acc = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      if !(Sys.opaque_identity Telemetry.on) then incr acc
+    done;
+    ignore (Sys.opaque_identity !acc);
+    Unix.gettimeofday () -. t0
+  in
+  (* Interleaved best-of-3 of each, so a scheduler hiccup cannot skew one
+     side of the difference. *)
+  let best f = Float.min (f ()) (Float.min (f ()) (f ())) in
+  let tb = best baseline and tg = best guarded in
+  Float.max 0.0 (1e9 *. (tg -. tb) /. float_of_int iters)
+
+let section_telemetry () =
+  banner "[telemetry] Disabled-mode overhead of the instrumentation layer";
+  let was = Telemetry.enabled () in
+  Fun.protect ~finally:(fun () -> Telemetry.set_enabled was) @@ fun () ->
+  Telemetry.set_enabled false;
+  let g = er_graph ~seed:51 () in
+  let apsp = Apsp.compute g in
+  let n = Graph.n g in
+  let count = if quick then 2000 else 6000 in
+  let pairs = Scheme.sample_pairs ~seed:29 ~n ~count in
+  let npairs = List.length pairs in
+  let pool = Pool.create ~domains:1 () in
+  let e = Option.get (Catalog.find "tz-k2") in
+  let inst, _ = e.Catalog.build ~seed:33 ~eps:0.5 g in
+  let best f =
+    let ev, t0 = wall f in
+    let t = ref t0 in
+    for _ = 2 to 3 do
+      let _, ti = wall f in
+      if ti < !t then t := ti
+    done;
+    (ev, !t)
+  in
+  let batch () = Scheme.evaluate_batch ~pool inst apsp pairs in
+  let ev_off, t_off = best batch in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let ev_on, t_on = best batch in
+  Telemetry.set_enabled false;
+  let totals = Telemetry.totals () in
+  let runs = 3 in
+  Printf.printf
+    "Compiled batch of %d pairs (tz-k2, 1 domain), telemetry off vs on.\n\
+     Disabled overhead is estimated per route as (guard checks) x (measured\n\
+     cost of one flag test) against the per-route wall time, because the\n\
+     disabled layer IS just flag tests: no shard fetch, no allocation.\n\n"
+    npairs;
+  Printf.printf "%-34s %12.0f routes/s\n" "telemetry off"
+    (float_of_int npairs /. Float.max t_off 1e-9);
+  Printf.printf "%-34s %12.0f routes/s  (enabled/disabled %.3fx)\n"
+    "telemetry on"
+    (float_of_int npairs /. Float.max t_on 1e-9)
+    (t_on /. Float.max t_off 1e-9);
+  let identical = ev_on = ev_off in
+  Printf.printf "eval identical on vs off: %s\n"
+    (if identical then "ok" else "VIOLATED");
+  (* Counter sanity from the enabled runs: every routed pair is one route,
+     and every route left one span in the "route" histogram. *)
+  let routes_ok = totals.Telemetry.routes = runs * npairs in
+  Printf.printf "routes counter == %d runs x %d pairs: %s\n" runs npairs
+    (if routes_ok then "ok" else "VIOLATED");
+  let route_hist_n =
+    match List.assoc_opt "route" (Telemetry.histograms ()) with
+    | Some h -> Telemetry.Histogram.count h
+    | None -> 0
+  in
+  let hist_ok = route_hist_n = totals.Telemetry.routes in
+  Printf.printf "route histogram count == routes counter: %s\n"
+    (if hist_ok then "ok" else "VIOLATED");
+  let avg_hops =
+    float_of_int totals.Telemetry.hops /. float_of_int (max 1 totals.Telemetry.routes)
+  in
+  let guard_ns = guard_cost_ns () in
+  (* Port_model tests [telon] twice per hop (hop counter + table lookup)
+     plus a handful of per-run points (entry, verdict, trace gate, the
+     Scheme wrapper); 2h + 6 over-counts slightly, which only makes the
+     bound harsher. *)
+  let guards_per_route = (2.0 *. avg_hops) +. 6.0 in
+  let per_route_s = t_off /. float_of_int npairs in
+  let overhead =
+    guards_per_route *. guard_ns *. 1e-9 /. Float.max per_route_s 1e-12
+  in
+  Printf.printf
+    "\nflag test: %.3f ns; avg hops/route: %.2f; guard checks/route: %.1f\n"
+    guard_ns avg_hops guards_per_route;
+  Printf.printf "per-route wall (off): %.0f ns\n" (1e9 *. per_route_s);
+  let ok = overhead < 0.05 in
+  Printf.printf "estimated disabled-mode overhead: %.3f%% (budget 5%%): %s\n"
+    (100.0 *. overhead)
+    (if ok then "ok" else "VIOLATED");
+  csv "telemetry"
+    ~header:
+      [ "pairs"; "off_routes_per_s"; "on_routes_per_s"; "guard_ns";
+        "avg_hops"; "overhead_pct"; "identical"; "overhead_ok" ]
+    [ string_of_int npairs;
+      Printf.sprintf "%.1f" (float_of_int npairs /. Float.max t_off 1e-9);
+      Printf.sprintf "%.1f" (float_of_int npairs /. Float.max t_on 1e-9);
+      Printf.sprintf "%.4f" guard_ns; Printf.sprintf "%.3f" avg_hops;
+      Printf.sprintf "%.4f" (100.0 *. overhead); string_of_bool identical;
+      string_of_bool ok ]
+
 let () =
   Printf.printf "compact-routing benchmark harness%s (%d domain(s))\n"
     (if quick then " (quick mode)" else "")
@@ -950,6 +1075,7 @@ let () =
       run "construction" section_construction;
       run "table1" section_table1;
       run "throughput" section_throughput;
+      run "telemetry" section_telemetry;
       run "families" section_families;
       run "oracles" section_oracles;
       run "space-scaling" section_space_scaling;

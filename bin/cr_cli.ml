@@ -203,11 +203,178 @@ let route_cmd =
       $ verbose)
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let fault_plan g ~fault_seed ~rate ~vertex_rate =
+  if rate > 0.0 || vertex_rate > 0.0 then
+    Some
+      (Fault.compile
+         (Fault.spec ~seed:fault_seed ~link_failure_rate:rate
+            ~vertex_failure_rate:vertex_rate ())
+         g)
+  else None
+
+let narrate g (e : Telemetry.event) =
+  let dest at port =
+    if port >= 0 && at >= 0 && at < Graph.n g && port < Graph.degree g at then
+      Printf.sprintf " -> %d (weight %g)" (Graph.endpoint g at port)
+        (Graph.port_weight g at port)
+    else ""
+  in
+  match e.Telemetry.kind with
+  | Telemetry.Hop ->
+    Printf.printf "  at %4d: forward via port %d%s  [header %d words, %s]\n"
+      e.Telemetry.at e.Telemetry.port
+      (dest e.Telemetry.at e.Telemetry.port)
+      e.Telemetry.header_words
+      (Telemetry.plane_name e.Telemetry.plane)
+  | Telemetry.Bounce ->
+    Printf.printf "  at %4d: port %d%s is dead, bouncing\n" e.Telemetry.at
+      e.Telemetry.port
+      (dest e.Telemetry.at e.Telemetry.port)
+  | Telemetry.Drop ->
+    Printf.printf "  at %4d: message dropped in flight on port %d\n"
+      e.Telemetry.at e.Telemetry.port
+  | Telemetry.Corrupt ->
+    Printf.printf "  at %4d: header corrupted on port %d\n" e.Telemetry.at
+      e.Telemetry.port
+  | Telemetry.Deliver ->
+    Printf.printf "  at %4d: delivered  [header %d words]\n" e.Telemetry.at
+      e.Telemetry.header_words
+  | Telemetry.Retry ->
+    Printf.printf "  at %4d: resilience escape hop via port %d%s\n"
+      e.Telemetry.at e.Telemetry.port
+      (dest e.Telemetry.at e.Telemetry.port)
+  | Telemetry.Detour ->
+    Printf.printf "  at %4d: entering spanning-tree detour\n" e.Telemetry.at
+  | Telemetry.End v ->
+    Printf.printf "  at %4d: run segment ended (%s)\n" e.Telemetry.at v
+
+let trace graph_file scheme src dst seed eps rate vertex_rate fault_seed jsonl =
+  let g = or_die (load_graph graph_file) in
+  let _e, (inst, (alpha, beta)) = or_die (build_scheme ~seed ~eps scheme g) in
+  if src < 0 || src >= Graph.n g || dst < 0 || dst >= Graph.n g then begin
+    Printf.eprintf "error: endpoints must be in [0, %d)\n" (Graph.n g);
+    exit 1
+  end;
+  let faults = fault_plan g ~fault_seed ~rate ~vertex_rate in
+  Telemetry.reset ();
+  let o, events =
+    Telemetry.with_trace (fun () -> Scheme.route ?faults inst ~src ~dst)
+  in
+  Printf.printf "trace %d -> %d (%s%s):\n" src dst scheme
+    (match faults with
+    | None -> ""
+    | Some _ ->
+      Printf.sprintf ", faults rate=%g vertex-rate=%g seed=%d" rate vertex_rate
+        fault_seed);
+  List.iter (narrate g) events;
+  let d = (Dijkstra.spt g src).Dijkstra.dist.(dst) in
+  let ok = Port_model.delivered_to o dst in
+  Printf.printf "verdict: %s%s  hops: %d  length: %g  distance: %g\n"
+    (Format.asprintf "%a" Port_model.pp_verdict o.Port_model.verdict)
+    (if (Port_model.delivered o) && not ok then
+       Printf.sprintf " at vertex %d, not the destination" o.Port_model.final
+     else "")
+    o.Port_model.hops o.Port_model.length d;
+  if ok && d > 0.0 && d < infinity then
+    Printf.printf "stretch: %.4f (guarantee: length <= %.3f*d + %g)\n"
+      (o.Port_model.length /. d) alpha beta;
+  Printf.printf "counters:";
+  List.iter
+    (fun (nm, v) -> if v <> 0 then Printf.printf " %s=%d" nm v)
+    (Telemetry.counter_rows (Telemetry.totals ()));
+  print_newline ();
+  (match jsonl with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (Telemetry.event_to_json e);
+        Buffer.add_char buf '\n')
+      events;
+    Buffer.add_string buf (Telemetry.to_jsonl ());
+    write_file path (Buffer.contents buf);
+    Printf.printf "wrote %s\n" path);
+  if ok then 0 else 1
+
+let trace_cmd =
+  let src = Arg.(required & pos 0 (some int) None & info [] ~docv:"SRC") in
+  let dst = Arg.(required & pos 1 (some int) None & info [] ~docv:"DST") in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"R" ~doc:"Link failure rate for the traced run.")
+  in
+  let vertex_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "vertex-rate" ] ~docv:"R" ~doc:"Vertex crash rate for the traced run.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"S" ~doc:"Seed of the frozen fault plan.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Also write the trace events and counters as JSON lines.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Route one message with per-hop telemetry narration")
+    Term.(
+      const trace $ graph_arg $ scheme_arg $ src $ dst $ seed_arg $ eps_arg
+      $ rate $ vertex_rate $ fault_seed $ jsonl)
+
+(* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let stats graph_file scheme seed eps pairs =
+let print_telemetry () =
+  let totals = Telemetry.totals () in
+  Printf.printf "\ntelemetry counters:\n";
+  List.iter
+    (fun (nm, v) -> if v <> 0 then Printf.printf "  %-16s %12d\n" nm v)
+    (Telemetry.counter_rows totals);
+  let hists = Telemetry.histograms () in
+  if hists <> [] then begin
+    Printf.printf "latency histograms (microseconds):\n";
+    Printf.printf "  %-12s %9s %11s %11s %11s %11s %11s\n" "name" "count"
+      "mean" "p50" "p90" "p99" "max";
+    List.iter
+      (fun (nm, h) ->
+        let us v = 1e6 *. v in
+        Printf.printf "  %-12s %9d %11.2f %11.2f %11.2f %11.2f %11.2f\n" nm
+          (Telemetry.Histogram.count h)
+          (us (Telemetry.Histogram.mean h))
+          (us (Telemetry.Histogram.percentile h 0.50))
+          (us (Telemetry.Histogram.percentile h 0.90))
+          (us (Telemetry.Histogram.percentile h 0.99))
+          (us (Telemetry.Histogram.max_value h)))
+      hists
+  end
+
+let stats graph_file scheme seed eps pairs domains jsonl csv =
   let g = or_die (load_graph graph_file) in
+  (* The whole campaign runs with telemetry on — the build lands in the
+     "preprocess" histogram, every routed pair in "route" — and the prior
+     enabled state is restored before exit so stats composes with traces. *)
+  let was = Telemetry.enabled () in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Telemetry.set_enabled was) @@ fun () ->
   let e, (inst, (alpha, beta)) = or_die (build_scheme ~seed ~eps scheme g) in
   Printf.printf "scheme: %s (%s)\n" e.Catalog.id e.Catalog.description;
   Format.printf "graph:  %a@." Graph.pp g;
@@ -217,7 +384,8 @@ let stats graph_file scheme seed eps pairs =
     (Scheme.max_label_words inst);
   let apsp = Apsp.compute g in
   let sampled = Scheme.sample_pairs ~seed ~n:(Graph.n g) ~count:pairs in
-  let ev = Scheme.evaluate inst apsp sampled in
+  let pool = Pool.create ~domains () in
+  let ev = Scheme.evaluate_batch ~pool inst apsp sampled in
   Printf.printf "routed %d pairs: failures %d, max stretch %.4f, avg %.4f, p99 %.4f\n"
     (Array.length ev.Scheme.samples + ev.Scheme.failures)
     ev.Scheme.failures (Scheme.max_stretch ev) (Scheme.avg_stretch ev)
@@ -225,6 +393,17 @@ let stats graph_file scheme seed eps pairs =
   Printf.printf "peak header: %d words\n" ev.Scheme.header_words_peak;
   Printf.printf "guarantee (%.3f, %g): %s\n" alpha beta
     (if Scheme.within ev ~alpha ~beta then "satisfied" else "VIOLATED");
+  print_telemetry ();
+  (match jsonl with
+  | None -> ()
+  | Some path ->
+    write_file path (Telemetry.to_jsonl ());
+    Printf.printf "wrote %s\n" path);
+  (match csv with
+  | None -> ()
+  | Some path ->
+    write_file path (Telemetry.to_csv ());
+    Printf.printf "wrote %s\n" path);
   if not (Scheme.within ev ~alpha ~beta) then 1 else 0
 
 let stats_cmd =
@@ -233,9 +412,33 @@ let stats_cmd =
       value & opt int 2000
       & info [ "pairs" ] ~docv:"K" ~doc:"Number of sampled source/target pairs.")
   in
+  let domains =
+    Arg.(
+      value
+      & opt int (Pool.domains (Pool.default ()))
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Domain-pool width for the batched evaluation.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Write the campaign's counters and histograms as JSON lines.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the campaign's counters and histograms as CSV.")
+  in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Preprocess a scheme and report space and stretch")
-    Term.(const stats $ graph_arg $ scheme_arg $ seed_arg $ eps_arg $ pairs)
+    (Cmd.info "stats"
+       ~doc:"Preprocess a scheme and report space, stretch, and telemetry")
+    Term.(
+      const stats $ graph_arg $ scheme_arg $ seed_arg $ eps_arg $ pairs
+      $ domains $ jsonl $ csv)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -634,7 +837,7 @@ let main_cmd =
     (Cmd.info "cr_cli" ~version:"1.0.0"
        ~doc:"Compact routing schemes of Roditty and Tov (PODC'15)")
     [
-      generate_cmd; schemes_cmd; route_cmd; stats_cmd; table1_cmd;
+      generate_cmd; schemes_cmd; route_cmd; trace_cmd; stats_cmd; table1_cmd;
       throughput_cmd; faults_cmd; oracle_cmd; spanner_cmd;
     ]
 

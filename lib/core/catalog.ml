@@ -172,6 +172,19 @@ let all =
     };
   ]
 
+(* Every catalog build lands one span in the "preprocess" latency
+   histogram; wrapping here keeps the scheme modules telemetry-free. *)
+let all =
+  List.map
+    (fun e ->
+      {
+        e with
+        build =
+          (fun ~seed ~eps g ->
+            Telemetry.timed "preprocess" (fun () -> e.build ~seed ~eps g));
+      })
+    all
+
 let resilient ?retries e =
   {
     e with

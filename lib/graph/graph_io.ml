@@ -9,25 +9,51 @@ let to_string g =
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let n = ref (-1) in
+  let declared_m = ref (-1) in
   let edges = ref [] in
+  let edge_count = ref 0 in
+  (* Duplicate edges are rejected here rather than silently merged: a
+     document listing the same unordered pair twice is corrupt, and
+     [Graph.of_edges]'s keep-the-lightest policy would mask that. *)
+  let seen = Hashtbl.create 64 in
+  let bad idx fmt =
+    Printf.ksprintf (fun msg -> failwith (Printf.sprintf "Graph_io: %s at line %d" msg (idx + 1))) fmt
+  in
   let parse_line idx line =
     let line = String.trim line in
     if line = "" || line.[0] = 'c' then ()
     else
       match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-      | [ "p"; n_s; _m_s ] -> (
-        match int_of_string_opt n_s with
-        | Some v when !n < 0 -> n := v
-        | Some _ -> failwith (Printf.sprintf "Graph_io: duplicate header at line %d" (idx + 1))
-        | None -> failwith (Printf.sprintf "Graph_io: bad header at line %d" (idx + 1)))
+      | [ "p"; n_s; m_s ] -> (
+        match (int_of_string_opt n_s, int_of_string_opt m_s) with
+        | Some nv, Some mv when !n < 0 ->
+          if nv < 0 then bad idx "negative vertex count %d" nv;
+          if mv < 0 then bad idx "negative edge count %d" mv;
+          n := nv;
+          declared_m := mv
+        | Some _, Some _ -> bad idx "duplicate header"
+        | _ -> bad idx "bad header")
       | [ "e"; u_s; v_s; w_s ] -> (
         match (int_of_string_opt u_s, int_of_string_opt v_s, float_of_string_opt w_s) with
-        | Some u, Some v, Some w -> edges := (u, v, w) :: !edges
-        | _ -> failwith (Printf.sprintf "Graph_io: bad edge at line %d" (idx + 1)))
+        | Some u, Some v, Some w ->
+          if u < 0 || v < 0 then bad idx "negative vertex id";
+          if u = v then bad idx "self-loop %d-%d" u v;
+          if not (Float.is_finite w) then bad idx "non-finite weight %g" w;
+          if w <= 0.0 then bad idx "non-positive weight %g" w;
+          let key = (min u v, max u v) in
+          if Hashtbl.mem seen key then bad idx "duplicate edge %d-%d" u v;
+          Hashtbl.add seen key ();
+          edges := (u, v, w) :: !edges;
+          incr edge_count
+        | _ -> bad idx "bad edge")
       | _ -> failwith (Printf.sprintf "Graph_io: unrecognized line %d" (idx + 1))
   in
   List.iteri parse_line lines;
   if !n < 0 then failwith "Graph_io: missing header";
+  if !edge_count <> !declared_m then
+    failwith
+      (Printf.sprintf "Graph_io: header declares %d edges but %d listed"
+         !declared_m !edge_count);
   try Graph.of_edges ~n:!n !edges
   with Invalid_argument msg -> failwith ("Graph_io: " ^ msg)
 

@@ -8,7 +8,17 @@
 val to_string : Graph.t -> string
 
 val of_string : string -> Graph.t
-(** @raise Failure on a malformed document. *)
+(** Parses a document produced by {!to_string} (or hand-written in the same
+    format) and validates it strictly. Beyond syntax, the parser rejects —
+    each with a [Failure] naming the offending line:
+    - a missing, duplicate, or malformed [p] header;
+    - negative vertex ids, and ids [>= n] (via {!Graph.of_edges});
+    - self-loops [e u u w];
+    - the same unordered pair listed twice (never silently merged);
+    - non-finite ([nan]/[inf]) or non-positive weights;
+    - an edge count that disagrees with the [m] the header declares.
+
+    @raise Failure on any malformed document. *)
 
 val save : Graph.t -> string -> unit
 (** [save g path] writes [to_string g] to [path]. *)

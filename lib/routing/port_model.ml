@@ -55,6 +55,15 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
     () =
   if src < 0 || src >= Graph.n g then
     invalid_arg (Printf.sprintf "Port_model.run: source %d out of range" src);
+  (* Telemetry is resolved once per run: a single flag read, then every
+     per-hop instrumentation point is a test of the local [telon] (and the
+     shard is this domain's own, so parallel sweeps never contend). With
+     telemetry disabled the whole layer costs one boolean test per
+     instrumentation point and allocates nothing. *)
+  let telon = !Telemetry.on in
+  let tc = if telon then Telemetry.counters_shard () else Telemetry.null_counters in
+  let ttrace = telon && Telemetry.tracing () in
+  if telon then tc.Telemetry.routes <- tc.Telemetry.routes + 1;
   let max_hops =
     match max_hops with Some h -> h | None -> (4 * Graph.n g) + 16
   in
@@ -120,6 +129,7 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
     hdr := h';
     if record_path then rev_path := v :: !rev_path;
     length := !length +. w;
+    if telon then tc.Telemetry.hops <- tc.Telemetry.hops + 1;
     incr hops
   in
   if vertex_down src then begin
@@ -131,6 +141,8 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
     if words > !peak then peak := words;
     if looped !at words !hdr then stop (Loop_detected !at)
     else begin
+      if telon then
+        tc.Telemetry.table_lookups <- tc.Telemetry.table_lookups + 1;
       let dec =
         try Ok (step ~at:!at !hdr)
         with
@@ -144,6 +156,8 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
         stop (Dead_end_at !at)
       | Ok Deliver ->
         on_hop { at = !at; port = -1; header_words = words };
+        if telon then tc.Telemetry.delivered <- tc.Telemetry.delivered + 1;
+        if ttrace then Telemetry.emit Deliver ~at:!at ~port:(-1) ~words;
         stop Delivered
       | Ok (Forward (port0, hdr0)) ->
         (* The bounce chain: dead ports accumulate while the message stays
@@ -165,6 +179,8 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
                  hook may pick another port, with the dead ones masked. *)
               dead := p :: !dead;
               incr deadn;
+              if telon then tc.Telemetry.bounces <- tc.Telemetry.bounces + 1;
+              if ttrace then Telemetry.emit Bounce ~at:!at ~port:p ~words;
               let give_up () =
                 let verdict =
                   if vertex_down v && not (link_down !at v) then Dead_end_at v
@@ -187,6 +203,10 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
                   | None -> give_up ()
                   | Some Deliver ->
                     on_hop { at = !at; port = -1; header_words = words };
+                    if telon then
+                      tc.Telemetry.delivered <- tc.Telemetry.delivered + 1;
+                    if ttrace then
+                      Telemetry.emit Deliver ~at:!at ~port:(-1) ~words;
                     stop Delivered
                   | Some (Forward (p', h')) ->
                     port := p';
@@ -201,9 +221,14 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
               match hop_event !at p !hops with
               | Fault.Drop ->
                 on_hop { at = !at; port = p; header_words = words };
+                if telon then tc.Telemetry.dropped <- tc.Telemetry.dropped + 1;
+                if ttrace then Telemetry.emit Drop ~at:!at ~port:p ~words;
                 stop (Dropped_at !at)
               | Fault.Corrupt ->
                 on_hop { at = !at; port = p; header_words = words };
+                if telon then
+                  tc.Telemetry.corrupted <- tc.Telemetry.corrupted + 1;
+                if ttrace then Telemetry.emit Corrupt ~at:!at ~port:p ~words;
                 (match corrupt with
                 | None ->
                   (* We cannot forge a header of an arbitrary type; the
@@ -221,14 +246,23 @@ let run g ~src ~header ~step ~header_words ?max_hops ?(on_hop = fun _ -> ())
                   traverse v hdr'' w)
               | Fault.Pass ->
                 on_hop { at = !at; port = p; header_words = words };
+                if ttrace then Telemetry.emit Hop ~at:!at ~port:p ~words;
                 traverse v !hdr' (Graph.port_weight g !at p)
             end
           end
         done
     end
   done;
+  let final_verdict =
+    match !verdict with Some v -> v | None -> assert false
+  in
+  if ttrace then
+    Telemetry.emit
+      (End (verdict_name final_verdict))
+      ~at:!at ~port:(-1)
+      ~words:(header_words !hdr);
   {
-    verdict = (match !verdict with Some v -> v | None -> assert false);
+    verdict = final_verdict;
     final = !at;
     path = List.rev !rev_path;
     length = !length;

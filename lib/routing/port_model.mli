@@ -131,4 +131,11 @@ val run :
 
     {b No exceptions.} An invalid port becomes [Invalid_port]; a step
     function that raises becomes [Dead_end_at]. Only [src] out of range is
-    a caller bug and still raises [Invalid_argument]. *)
+    a caller bug and still raises [Invalid_argument].
+
+    {b Telemetry.} When {!Telemetry.on} is set the run increments this
+    domain's counter shard (routes, hops, table lookups, bounces,
+    drop/corrupt/deliver verdicts) and, inside {!Telemetry.with_trace},
+    emits one trace event per hop, bounce, fault verdict and run end.
+    Instrumentation never changes the outcome; disabled, it costs one
+    boolean test per instrumentation point and allocates nothing. *)

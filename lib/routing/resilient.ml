@@ -165,6 +165,12 @@ let route ?faults t ~src ~dst =
           match escape_port plan pot g ~banned ~from:stuck with
           | None -> detour segs stuck
           | Some port -> (
+            if !Telemetry.on then begin
+              let tc = Telemetry.counters_shard () in
+              tc.Telemetry.retries <- tc.Telemetry.retries + 1;
+              if Telemetry.tracing () then
+                Telemetry.emit Telemetry.Retry ~at:stuck ~port ~words:0
+            end;
             let hop = hop_run plan g ~src:stuck ~port in
             let segs = hop :: segs in
             if not (Port_model.delivered hop) then
@@ -178,6 +184,12 @@ let route ?faults t ~src ~dst =
               else recover segs (budget - 1) o'
             end)
       and detour segs stuck =
+        if !Telemetry.on then begin
+          let tc = Telemetry.counters_shard () in
+          tc.Telemetry.detour_entries <- tc.Telemetry.detour_entries + 1;
+          if Telemetry.tracing () then
+            Telemetry.emit Telemetry.Detour ~at:stuck ~port:(-1) ~words:0
+        end;
         let d = detour_run t plan ~src:stuck ~dst in
         merge (List.rev (d :: segs))
       in

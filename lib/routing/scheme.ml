@@ -17,15 +17,36 @@ type instance = {
   label_words : int array;
 }
 
-let route ?faults inst ~src ~dst = inst.route ~faults ~src ~dst
+(* Telemetry wrapper for one route served by the given plane: stamps the
+   ambient plane for trace events and records wall time into the "route"
+   histogram. Only entered when telemetry is on — the disabled path calls
+   the router directly and allocates nothing. *)
+let tel_route plane f =
+  Telemetry.set_plane plane;
+  Telemetry.timed "route" f
+
+let route ?faults inst ~src ~dst =
+  if !Telemetry.on then
+    tel_route Telemetry.Interpreted (fun () -> inst.route ~faults ~src ~dst)
+  else inst.route ~faults ~src ~dst
 
 let has_fast inst = inst.fast <> None
 
 let route_fast ?faults ?(record_path = true) ?(detect_loops = true) inst ~src
     ~dst =
   match inst.fast with
-  | Some f -> f ~faults ~record_path ~detect_loops ~src ~dst
-  | None -> inst.route ~faults ~src ~dst
+  | Some f ->
+    if !Telemetry.on then begin
+      let tc = Telemetry.counters_shard () in
+      tc.Telemetry.fast_plane_hits <- tc.Telemetry.fast_plane_hits + 1;
+      tel_route Telemetry.Compiled (fun () ->
+          f ~faults ~record_path ~detect_loops ~src ~dst)
+    end
+    else f ~faults ~record_path ~detect_loops ~src ~dst
+  | None ->
+    if !Telemetry.on then
+      tel_route Telemetry.Interpreted (fun () -> inst.route ~faults ~src ~dst)
+    else inst.route ~faults ~src ~dst
 
 let max_table_words i = Array.fold_left max 0 i.table_words
 
@@ -135,6 +156,7 @@ let evaluate_batch ?pool ?faults ?(fast = true) inst apsp pairs =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let pairs = Array.of_list pairs in
   let np = Array.length pairs in
+  let is_fast = match inst.fast with Some _ -> fast | None -> false in
   let route_one =
     match inst.fast with
     | Some f when fast ->
@@ -142,12 +164,28 @@ let evaluate_batch ?pool ?faults ?(fast = true) inst apsp pairs =
         f ~faults ~record_path:false ~detect_loops:false ~src ~dst
     | _ -> fun ~src ~dst -> inst.route ~faults ~src ~dst
   in
+  (* The ambient plane is stamped once, before the pool spawns its
+     workers; every worker then increments its own counter shard and
+     records latencies into its own histogram shard, so the sweep needs no
+     synchronization and the merged totals match a serial run exactly. *)
+  if !Telemetry.on then
+    Telemetry.set_plane
+      (if is_fast then Telemetry.Compiled else Telemetry.Interpreted);
   let slots = Array.make np Skipped in
   Pool.iter pool ~n:np (fun i ->
       let u, v = pairs.(i) in
       let d = Apsp.dist apsp u v in
       if d <> infinity && d > 0.0 then begin
-        let o = route_one ~src:u ~dst:v in
+        let o =
+          if !Telemetry.on then begin
+            if is_fast then begin
+              let tc = Telemetry.counters_shard () in
+              tc.Telemetry.fast_plane_hits <- tc.Telemetry.fast_plane_hits + 1
+            end;
+            Telemetry.timed "route" (fun () -> route_one ~src:u ~dst:v)
+          end
+          else route_one ~src:u ~dst:v
+        in
         slots.(i) <-
           (if Port_model.delivered_to o v then
              Sample (d, o.Port_model.length, o.Port_model.header_words_peak)

@@ -44,7 +44,9 @@ type instance = {
 val route :
   ?faults:Fault.plan -> instance -> src:int -> dst:int -> Port_model.outcome
 (** [route inst ~src ~dst] simulates one message; [?faults] subjects the run
-    to a fault plan. This is the ergonomic front for [inst.route]. *)
+    to a fault plan. This is the ergonomic front for [inst.route]. With
+    telemetry enabled the call is timed into the ["route"] latency
+    histogram and trace events carry the [Interpreted] plane. *)
 
 val route_fast :
   ?faults:Fault.plan ->
@@ -59,7 +61,10 @@ val route_fast :
     moot — the interpreted route always records and detects). Both knobs
     default to [true]; with [~record_path:false] the outcome's [path] is
     [[]] but every other field is unchanged. The throughput engine runs
-    with both off, relying on the simulator's hop budget. *)
+    with both off, relying on the simulator's hop budget. With telemetry
+    enabled the call is timed into the ["route"] histogram, counts a
+    [fast_plane_hits] when the compiled plane serves it, and stamps the
+    ambient plane ([Compiled] or [Interpreted]) for trace events. *)
 
 val has_fast : instance -> bool
 
@@ -113,7 +118,13 @@ val evaluate_batch :
     route through the compiled plane with path recording and loop detection
     off; [~fast:false] uses [inst.route] exactly as {!evaluate} does, and
     then the result is bit-identical to {!evaluate_under_faults}
-    unconditionally. *)
+    unconditionally.
+
+    With telemetry enabled each routed pair is timed into the ["route"]
+    histogram and counted on the worker domain's own shard;
+    {!Telemetry.totals} merges the shards, so the merged counters equal a
+    serial run's regardless of domain count. Telemetry never changes the
+    eval. *)
 
 val eval_is_empty : eval -> bool
 (** No data at all: zero samples {e and} zero failures (e.g. every sampled

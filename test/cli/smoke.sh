@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# End-to-end smoke tests for cr_cli: every user-facing command runs on a
+# real (generated) graph, and the exit codes scripts rely on are pinned —
+# 0 on delivery, nonzero on forced non-delivery or bad input.
+set -u
+
+CLI="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fail=0
+
+expect() { # name wanted_exit actual_exit
+  local name=$1 want=$2 got=$3
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $name (exit $got, wanted $want)"
+    fail=1
+  else
+    echo "ok: $name"
+  fi
+}
+
+"$CLI" generate -f grid -n 36 --seed 7 -o "$tmp/g.gr" >/dev/null
+expect "generate grid" 0 $?
+
+"$CLI" route -g "$tmp/g.gr" -s tz-k2 --src 0 --dst 35 >/dev/null
+expect "route delivers (exit 0)" 0 $?
+
+"$CLI" trace -g "$tmp/g.gr" -s tz-k2 0 35 >"$tmp/trace.out"
+expect "trace delivers (exit 0)" 0 $?
+grep -q "delivered" "$tmp/trace.out"
+expect "trace narrates the delivery" 0 $?
+
+"$CLI" trace -g "$tmp/g.gr" -s tz-k2+res 0 35 --rate 0.05 --fault-seed 3 >/dev/null
+expect "trace recovers under faults via +res (exit 0)" 0 $?
+
+"$CLI" trace -g "$tmp/g.gr" -s tz-k2 0 35 --rate 1.0 --jsonl "$tmp/trace.jsonl" >/dev/null
+expect "trace forced non-delivery (exit 1)" 1 $?
+grep -q '"type":"event"' "$tmp/trace.jsonl"
+expect "trace jsonl has events" 0 $?
+
+"$CLI" stats -g "$tmp/g.gr" -s tz-k2 --pairs 100 --domains 2 \
+  --jsonl "$tmp/stats.jsonl" --csv "$tmp/stats.csv" >/dev/null
+expect "stats with telemetry exports (exit 0)" 0 $?
+grep -q '"type":"counter"' "$tmp/stats.jsonl"
+expect "stats jsonl has counters" 0 $?
+grep -q '^histogram,route,' "$tmp/stats.csv"
+expect "stats csv has the route histogram" 0 $?
+
+"$CLI" throughput -g "$tmp/g.gr" -s tz-k2 --pairs 100 --domains 2 >/dev/null
+expect "throughput identity check (exit 0)" 0 $?
+
+"$CLI" route -g "$tmp/g.gr" -s no-such-scheme --src 0 --dst 1 >/dev/null 2>&1
+rc=$?
+[ "$rc" -ne 0 ]
+expect "unknown scheme rejected (nonzero exit)" 0 $?
+
+exit $fail

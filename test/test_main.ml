@@ -26,4 +26,6 @@ let () =
       ("bits", Test_bits.suite);
       ("compiled", Test_compiled.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("graph-io", Test_graph_io.suite);
     ]
