@@ -118,6 +118,13 @@ let eval_instance apsp (inst : Scheme.instance) =
 (* Construction: serial vs parallel preprocessing                      *)
 (* ------------------------------------------------------------------ *)
 
+(* One header for both construction experiments: serial-vs-parallel rows
+   put their two walls in (base_wall_s, other_wall_s) and zero the cache
+   columns; uncached-vs-cached rows do the reverse. *)
+let construction_csv_header =
+  [ "scheme"; "phase"; "domains"; "base_wall_s"; "other_wall_s"; "identical";
+    "substrate_hits"; "substrate_misses"; "alloc_mb_saved" ]
+
 let section_construction () =
   banner "[construction] Preprocessing wall time: 1 domain vs CR_DOMAINS";
   let par_domains = Pool.domains (Pool.default ()) in
@@ -145,9 +152,10 @@ let section_construction () =
       (ts /. Float.max tp 1e-9)
       (string_of_bool same);
     csv "construction"
-      ~header:[ "scheme"; "domains"; "serial_wall_s"; "parallel_wall_s"; "identical" ]
-      [ name; string_of_int par_domains; Printf.sprintf "%.4f" ts;
-        Printf.sprintf "%.4f" tp; string_of_bool same ]
+      ~header:construction_csv_header
+      [ name; "serial-vs-parallel"; string_of_int par_domains;
+        Printf.sprintf "%.4f" ts; Printf.sprintf "%.4f" tp;
+        string_of_bool same; "0"; "0"; "0.0" ]
   in
   row "apsp"
     (fun () -> Apsp.compute g)
@@ -178,7 +186,73 @@ let section_construction () =
   if par_domains = 1 then
     Printf.printf
       "\n(only one domain available — set CR_DOMAINS or run on a multicore\n\
-       machine to see the parallel speedup)\n"
+       machine to see the parallel speedup)\n";
+  (* --- shared-substrate catalog sweep -------------------------------- *)
+  Printf.printf
+    "\nShared-substrate catalog sweep (%d domain(s)): every scheme is built\n\
+     once without a substrate handle, then once more against a single\n\
+     Substrate.t shared across the whole sweep. Outputs must be\n\
+     bit-identical; the handle's hit counters prove each shared substrate\n\
+     (vicinity family, SPT, center sample, cluster) is computed once.\n\n"
+    par_domains;
+  Printf.printf "%-16s %10s %10s %8s %7s %7s %9s %10s\n" "scheme"
+    "uncached-s" "cached-s" "speedup" "hits" "misses" "alloc-mb" "identical";
+  Printf.printf "%s\n" (String.make 84 '-');
+  let sub = Substrate.create g in
+  let tot_un = ref 0.0
+  and tot_ca = ref 0.0
+  and tot_alloc = ref 0.0
+  and sweep_ok = ref true in
+  let prev = ref (Substrate.stats sub) in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let a0 = Gc.allocated_bytes () in
+      let uncached, tu = wall (fun () -> fst (e.Catalog.build ~seed:31 ~eps:0.5 g)) in
+      let a1 = Gc.allocated_bytes () in
+      let cached, tc =
+        wall (fun () -> fst (e.Catalog.build ~substrate:sub ~seed:31 ~eps:0.5 g))
+      in
+      let a2 = Gc.allocated_bytes () in
+      let st = Substrate.stats sub in
+      let hits = Substrate.hits st - Substrate.hits !prev in
+      let misses = Substrate.misses st - Substrate.misses !prev in
+      prev := st;
+      let alloc_mb = (a1 -. a0 -. (a2 -. a1)) /. 1048576.0 in
+      let same =
+        uncached.Scheme.table_words = cached.Scheme.table_words
+        && uncached.Scheme.label_words = cached.Scheme.label_words
+        && eval_instance apsp uncached = eval_instance apsp cached
+      in
+      tot_un := !tot_un +. tu;
+      tot_ca := !tot_ca +. tc;
+      tot_alloc := !tot_alloc +. alloc_mb;
+      if not same then sweep_ok := false;
+      Printf.printf "%-16s %10.2f %10.2f %8.2f %7d %7d %9.1f %10s\n%!"
+        e.Catalog.id tu tc
+        (tu /. Float.max tc 1e-9)
+        hits misses alloc_mb
+        (if same then "true" else "VIOLATED");
+      csv "construction"
+        ~header:construction_csv_header
+        [ e.Catalog.id; "uncached-vs-cached"; string_of_int par_domains;
+          Printf.sprintf "%.4f" tu; Printf.sprintf "%.4f" tc;
+          string_of_bool same; string_of_int hits; string_of_int misses;
+          Printf.sprintf "%.2f" alloc_mb ])
+    Catalog.all;
+  Printf.printf "%s\n" (String.make 84 '-');
+  let st = Substrate.stats sub in
+  Printf.printf "%-16s %10.2f %10.2f %8.2f %7d %7d %9.1f %10s\n" "total"
+    !tot_un !tot_ca
+    (!tot_un /. Float.max !tot_ca 1e-9)
+    (Substrate.hits st) (Substrate.misses st) !tot_alloc
+    (if !sweep_ok then "true" else "VIOLATED");
+  Printf.printf "\nsubstrate reuse by category (hits/misses):";
+  List.iter
+    (fun (cat, h, m) -> Printf.printf " %s %d/%d" cat h m)
+    (Substrate.stats_rows st);
+  Printf.printf "\nidentity check: %s\n"
+    (if !sweep_ok then "OK — cached and uncached builds are bit-identical"
+     else "VIOLATED — cached builds diverge from uncached builds")
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)

@@ -6,15 +6,16 @@ type t = {
   next_port : int array array; (* next_port.(u).(v) = port of u toward v *)
 }
 
-let preprocess g =
+let preprocess ?substrate g =
   if not (Bfs.is_connected g) then
     invalid_arg "Full_tables.preprocess: graph must be connected";
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   (* The SPT from v gives, at every u, the first edge toward v by walking
      u's parent pointer (the tree is rooted at v). *)
   let next_port = Array.make_matrix n n (-1) in
   for v = 0 to n - 1 do
-    let t = Dijkstra.spt g v in
+    let t = Substrate.spt sub v in
     for u = 0 to n - 1 do
       if u <> v then begin
         let p = t.Dijkstra.parent.(u) in

@@ -7,8 +7,10 @@ open Cr_routing
 
 type t
 
-val preprocess : Graph.t -> t
-(** @raise Invalid_argument if the graph is disconnected. *)
+val preprocess : ?substrate:Substrate.t -> Graph.t -> t
+(** @raise Invalid_argument if the graph is disconnected. [substrate]
+    shares the [n] shortest-path trees with other constructions on the
+    same handle. *)
 
 val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 

@@ -10,23 +10,25 @@ type t = {
 
 let stretch _ = (2.0, 1.0)
 
-let preprocess ?(vicinity_factor = 1.0) g =
+let preprocess ?substrate ?(vicinity_factor = 1.0) g =
   if not (Bfs.is_connected g) then
     invalid_arg "Pr_oracle.preprocess: graph must be connected";
   if not (Graph.is_unit_weighted g) then
     invalid_arg "Pr_oracle.preprocess: the (2,1) bound addresses unweighted graphs";
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   let q = max 1 (int_of_float (Float.round (float_of_int n ** (1.0 /. 3.0)))) in
   let log2n = Float.max 1.0 (log (float_of_int n) /. log 2.0) in
   let l = min n (max 2 (int_of_float (ceil (vicinity_factor *. float_of_int q *. log2n)))) in
-  let vic = Vicinity.compute_all g l in
+  let vic = Substrate.vicinities sub l in
   let centers =
     Hitting_set.greedy ~n (Array.to_list (Array.map Vicinity.members vic))
   in
   let center_index = Hashtbl.create (2 * List.length centers) in
   List.iteri (fun i a -> Hashtbl.replace center_index a i) centers;
   let center_dist =
-    Array.of_list (List.map (fun a -> (Dijkstra.spt g a).Dijkstra.dist) centers)
+    Array.of_list
+      (List.map (fun a -> (Substrate.spt sub a).Dijkstra.dist) centers)
   in
   let nearest_center =
     Array.init n (fun u ->

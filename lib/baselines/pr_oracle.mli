@@ -14,8 +14,11 @@ open Cr_graph
 
 type t
 
-val preprocess : ?vicinity_factor:float -> Graph.t -> t
-(** @raise Invalid_argument if the graph is disconnected or weighted. *)
+val preprocess :
+  ?substrate:Cr_routing.Substrate.t -> ?vicinity_factor:float -> Graph.t -> t
+(** @raise Invalid_argument if the graph is disconnected or weighted.
+    [substrate] shares the vicinity family and center shortest-path trees
+    with other constructions on the same handle. *)
 
 val query : t -> int -> int -> float
 (** [query t u v] is an estimate [d'] with [d <= d' <= 2d + 1]. *)

@@ -9,10 +9,11 @@ type t = {
   p : int array array;
 }
 
-let build ~seed ?a1_target ?pool g ~k =
+let build ~seed ?a1_target ?substrate ?pool g ~k =
   if k < 2 then invalid_arg "Tz_hierarchy.build: need k >= 2";
   if not (Bfs.is_connected g) then
     invalid_arg "Tz_hierarchy.build: graph must be connected";
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   let st = Random.State.make [| seed; 0x747a |] in
   let in_set = Array.init k (fun _ -> Array.make n false) in
@@ -28,7 +29,7 @@ let build ~seed ?a1_target ?pool g ~k =
           (int_of_float
              (Float.round (float_of_int n ** (1.0 -. (1.0 /. float_of_int k)))))
     in
-    let c = Centers.sample ~seed g ~target in
+    let c = Substrate.centers sub ~seed ~target in
     Array.iter (fun a -> in_set.(1).(a) <- true) c.Centers.centers
   end;
   (* Further levels by independent sampling with probability n^(-1/k). *)

@@ -16,13 +16,22 @@ type t = {
   p : int array array;        (** [p.(i).(v) = p_i(v)] under the tie rule. *)
 }
 
-val build : seed:int -> ?a1_target:int -> ?pool:Cr_routing.Pool.t -> Graph.t -> k:int -> t
+val build :
+  seed:int ->
+  ?a1_target:int ->
+  ?substrate:Cr_routing.Substrate.t ->
+  ?pool:Cr_routing.Pool.t ->
+  Graph.t ->
+  k:int ->
+  t
 (** [build ~seed g ~k] samples the hierarchy: [A_1] by Lemma 4 (target
     [a1_target], default [n^(1-1/k)]) so level-0 clusters are
     [O(n^(1/k))]-sized — the (4k-5) refinement — and each further level by
     independent [n^(-1/k)] sampling, forcing [A_{k-1}] nonempty. The
     per-level distance searches run on [pool]; all random sampling stays
     on the calling domain, so the result is independent of the pool width.
+    [substrate] shares the [A_1] center sample with other constructions on
+    the same handle.
     @raise Invalid_argument if [k < 2] or [g] is disconnected. *)
 
 val cluster : Graph.t -> t -> int -> Dijkstra.tree

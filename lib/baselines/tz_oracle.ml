@@ -13,16 +13,17 @@ let stretch t = float_of_int ((2 * t.k) - 1)
 
 (* Reuses the routing hierarchy; the (2k-1) query bound holds for any
    nested hierarchy, with or without the Lemma 4 refinement of A_1. *)
-let preprocess ~seed g ~k =
+let preprocess ?substrate ~seed g ~k =
   if k < 1 then invalid_arg "Tz_oracle.preprocess: need k >= 1";
   if not (Bfs.is_connected g) then
     invalid_arg "Tz_oracle.preprocess: graph must be connected";
+  let sub = Cr_routing.Substrate.for_graph substrate g in
   let n = Graph.n g in
   if k = 1 then begin
     (* Exact distances: bunches are the whole graph. *)
     let bunch = Array.init n (fun _ -> Hashtbl.create (2 * n)) in
     for w = 0 to n - 1 do
-      let tr = Dijkstra.spt g w in
+      let tr = Cr_routing.Substrate.spt sub w in
       for v = 0 to n - 1 do
         Hashtbl.replace bunch.(v) w tr.Dijkstra.dist.(v)
       done
@@ -35,7 +36,7 @@ let preprocess ~seed g ~k =
     }
   end
   else begin
-    let h = Tz_hierarchy.build ~seed g ~k in
+    let h = Tz_hierarchy.build ~seed ~substrate:sub g ~k in
     let bunch = Array.init n (fun _ -> Hashtbl.create 8) in
     Array.iteri
       (fun v ws -> List.iter (fun (w, d) -> Hashtbl.replace bunch.(v) w d) ws)

@@ -6,8 +6,11 @@ open Cr_graph
 
 type t
 
-val preprocess : seed:int -> Graph.t -> k:int -> t
-(** @raise Invalid_argument if [k < 1] or the graph is disconnected. *)
+val preprocess :
+  ?substrate:Cr_routing.Substrate.t -> seed:int -> Graph.t -> k:int -> t
+(** @raise Invalid_argument if [k < 1] or the graph is disconnected.
+    [substrate] shares shortest-path trees ([k = 1]) and the hierarchy's
+    center sample with other constructions on the same handle. *)
 
 val query : t -> int -> int -> float
 (** [query t u v] is an estimate [d'] with [d <= d' <= (2k-1) d]. *)

@@ -35,10 +35,10 @@ let label_of t v =
           | None -> assert false (* v ∈ C(p_i(v)) so the tree exists *));
   }
 
-let preprocess ?a1_target ?pool ~seed g ~k =
+let preprocess ?substrate ?a1_target ?pool ~seed g ~k =
   let n = Graph.n g in
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  let h = Tz_hierarchy.build ~seed ?a1_target ~pool g ~k in
+  let h = Tz_hierarchy.build ~seed ?a1_target ?substrate ~pool g ~k in
   (* Cluster searches and tree construction per root, fanned out with one
      workspace per domain; [order] is the only borrowed-tree field a caller
      may retain, and [Tree_routing.of_tree] copies everything else. *)

@@ -19,10 +19,19 @@ type label = { vertex : int; pivots : (int * Tree_routing.label) array }
 (** The TZ label: for each level [i], [p_i(v)] and [v]'s routing label in
     the cluster tree [T(p_i(v))]. *)
 
-val preprocess : ?a1_target:int -> ?pool:Pool.t -> seed:int -> Graph.t -> k:int -> t
+val preprocess :
+  ?substrate:Substrate.t ->
+  ?a1_target:int ->
+  ?pool:Pool.t ->
+  seed:int ->
+  Graph.t ->
+  k:int ->
+  t
 (** Cluster searches, tree construction and home-label tables fan out over
     [pool] (default [Pool.default ()]); the resulting scheme is identical
-    to a serial build.
+    to a serial build. [substrate] shares the hierarchy's [A_1] center
+    sample with other constructions on the same handle (the per-root
+    cluster trees stay workspace-based and are never cached).
     @raise Invalid_argument if [k < 2] or the graph is disconnected. *)
 
 val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome

@@ -9,7 +9,11 @@ type entry = {
   source : string;
   weighted_ok : bool;
   build :
-    seed:int -> eps:float -> Cr_graph.Graph.t -> Scheme.instance * (float * float);
+    ?substrate:Substrate.t ->
+    seed:int ->
+    eps:float ->
+    Cr_graph.Graph.t ->
+    Scheme.instance * (float * float);
 }
 
 let all =
@@ -22,8 +26,8 @@ let all =
       source = "folklore";
       weighted_ok = true;
       build =
-        (fun ~seed:_ ~eps:_ g ->
-          let t = Full_tables.preprocess g in
+        (fun ?substrate ~seed:_ ~eps:_ g ->
+          let t = Full_tables.preprocess ?substrate g in
           (Full_tables.instance t, Full_tables.stretch_bound t));
     };
     {
@@ -34,8 +38,8 @@ let all =
       source = "Thorup-Zwick SPAA'01";
       weighted_ok = true;
       build =
-        (fun ~seed ~eps:_ g ->
-          let t = Tz_routing.preprocess ~seed g ~k:2 in
+        (fun ?substrate ~seed ~eps:_ g ->
+          let t = Tz_routing.preprocess ?substrate ~seed g ~k:2 in
           (Tz_routing.instance t, Tz_routing.stretch_bound t));
     };
     {
@@ -46,8 +50,8 @@ let all =
       source = "Thorup-Zwick SPAA'01";
       weighted_ok = true;
       build =
-        (fun ~seed ~eps:_ g ->
-          let t = Tz_routing.preprocess ~seed g ~k:3 in
+        (fun ?substrate ~seed ~eps:_ g ->
+          let t = Tz_routing.preprocess ?substrate ~seed g ~k:3 in
           (Tz_routing.instance t, Tz_routing.stretch_bound t));
     };
     {
@@ -58,8 +62,8 @@ let all =
       source = "Thorup-Zwick SPAA'01";
       weighted_ok = true;
       build =
-        (fun ~seed ~eps:_ g ->
-          let t = Tz_routing.preprocess ~seed g ~k:4 in
+        (fun ?substrate ~seed ~eps:_ g ->
+          let t = Tz_routing.preprocess ?substrate ~seed g ~k:4 in
           (Tz_routing.instance t, Tz_routing.stretch_bound t));
     };
     {
@@ -70,8 +74,8 @@ let all =
       source = "paper Section 4";
       weighted_ok = true;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme3eps.preprocess ~eps ~seed g in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme3eps.preprocess ?substrate ~eps ~seed g in
           (Scheme3eps.instance t, Scheme3eps.stretch_bound t));
     };
     {
@@ -82,8 +86,8 @@ let all =
       source = "paper Section 4 (remark)";
       weighted_ok = true;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme_ni.preprocess ~eps ~seed g in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme_ni.preprocess ?substrate ~eps ~seed g in
           (Scheme_ni.instance t, Scheme_ni.stretch_bound t));
     };
     {
@@ -94,8 +98,8 @@ let all =
       source = "paper Theorem 10";
       weighted_ok = false;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme2eps1.preprocess ~eps ~seed g in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme2eps1.preprocess ?substrate ~eps ~seed g in
           (Scheme2eps1.instance t, Scheme2eps1.stretch_bound t));
     };
     {
@@ -106,8 +110,8 @@ let all =
       source = "paper Theorem 11";
       weighted_ok = true;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme5eps.preprocess ~eps ~seed g in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme5eps.preprocess ?substrate ~eps ~seed g in
           (Scheme5eps.instance t, Scheme5eps.stretch_bound t));
     };
     {
@@ -118,8 +122,8 @@ let all =
       source = "paper Theorem 13";
       weighted_ok = false;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme_ptr.preprocess ~eps ~seed ~variant:`Minus ~ell:3 g in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme_ptr.preprocess ?substrate ~eps ~seed ~variant:`Minus ~ell:3 g in
           (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
     };
     {
@@ -130,8 +134,8 @@ let all =
       source = "paper Theorem 13";
       weighted_ok = false;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme_ptr.preprocess ~eps ~seed ~variant:`Minus ~ell:2 g in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme_ptr.preprocess ?substrate ~eps ~seed ~variant:`Minus ~ell:2 g in
           (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
     };
     {
@@ -142,8 +146,8 @@ let all =
       source = "paper Theorem 15";
       weighted_ok = false;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme_ptr.preprocess ~eps ~seed ~variant:`Plus ~ell:2 g in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme_ptr.preprocess ?substrate ~eps ~seed ~variant:`Plus ~ell:2 g in
           (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
     };
     {
@@ -154,8 +158,8 @@ let all =
       source = "paper Theorem 16";
       weighted_ok = true;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme4km7.preprocess ~eps ~seed g ~k:3 in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme4km7.preprocess ?substrate ~eps ~seed g ~k:3 in
           (Scheme4km7.instance t, Scheme4km7.stretch_bound t));
     };
     {
@@ -166,8 +170,8 @@ let all =
       source = "paper Theorem 16";
       weighted_ok = true;
       build =
-        (fun ~seed ~eps g ->
-          let t = Scheme4km7.preprocess ~eps ~seed g ~k:4 in
+        (fun ?substrate ~seed ~eps g ->
+          let t = Scheme4km7.preprocess ?substrate ~eps ~seed g ~k:4 in
           (Scheme4km7.instance t, Scheme4km7.stretch_bound t));
     };
   ]
@@ -180,8 +184,8 @@ let all =
       {
         e with
         build =
-          (fun ~seed ~eps g ->
-            Telemetry.timed "preprocess" (fun () -> e.build ~seed ~eps g));
+          (fun ?substrate ~seed ~eps g ->
+            Telemetry.timed "preprocess" (fun () -> e.build ?substrate ~seed ~eps g));
       })
     all
 
@@ -191,8 +195,8 @@ let resilient ?retries e =
     id = e.id ^ "+res";
     description = e.description ^ ", with the resilience wrapper";
     build =
-      (fun ~seed ~eps g ->
-        let inst, bound = e.build ~seed ~eps g in
+      (fun ?substrate ~seed ~eps g ->
+        let inst, bound = e.build ?substrate ~seed ~eps g in
         (Resilient.instance (Resilient.wrap ?retries inst), bound));
   }
 

@@ -13,9 +13,17 @@ type entry = {
   source : string;             (** where the scheme comes from *)
   weighted_ok : bool;          (** accepts weighted graphs? *)
   build :
-    seed:int -> eps:float -> Graph.t -> Scheme.instance * (float * float);
+    ?substrate:Substrate.t ->
+    seed:int ->
+    eps:float ->
+    Graph.t ->
+    Scheme.instance * (float * float);
       (** preprocess and return the instance with its proven
-          [(alpha, beta)] guarantee at this [eps] *)
+          [(alpha, beta)] guarantee at this [eps]. Pass one [substrate]
+          handle across several builds on the same graph to share the
+          common preprocessing substrates (vicinities, SPTs, center
+          samples, clusters) between them — results are bit-identical to
+          uncached builds. *)
 }
 
 val all : entry list

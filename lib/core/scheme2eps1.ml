@@ -59,42 +59,44 @@ let label_of t v =
     tree_label = Tree_routing.label tree v;
   }
 
-let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target ~seed g =
+let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target
+    ~seed g =
   Scheme_util.require_connected g "Scheme2eps1.preprocess";
   Scheme_util.Log.debug (fun m -> m "Scheme2eps1: n=%d eps=%g" (Graph.n g) eps);
   if not (Graph.is_unit_weighted g) then
     invalid_arg "Scheme2eps1.preprocess: Theorem 10 addresses unweighted graphs";
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   let q = Scheme_util.root_exp n (1.0 /. 3.0) in
   let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
-  let vic = Vicinity.compute_all g l in
+  let vic = Substrate.vicinities sub l in
   let target =
     match center_target with
     | Some s -> s
     | None -> Scheme_util.root_exp n (2.0 /. 3.0)
   in
-  let centers = Centers.sample ~seed g ~target in
+  let centers = Substrate.centers sub ~seed ~target in
   (* Cluster trees and the per-center label stores. *)
   let cluster_trees = Hashtbl.create (2 * n) in
   let cluster_labels = Hashtbl.create (2 * n) in
   let cluster_of = Array.make n [||] in
   for w = 0 to n - 1 do
-    let c = Centers.cluster g centers w in
+    let c = Substrate.cluster sub ~seed ~target w in
     cluster_of.(w) <- c.Dijkstra.order;
-    if Array.length c.Dijkstra.order > 0 then begin
-      let tr = Tree_routing.of_tree g c in
+    match Substrate.cluster_tree sub ~seed ~target w with
+    | None -> ()
+    | Some tr ->
       Hashtbl.replace cluster_trees w tr;
       let labels = Hashtbl.create (2 * Array.length c.Dijkstra.order) in
       Array.iter
         (fun v -> Hashtbl.replace labels v (Tree_routing.label tr v))
         c.Dijkstra.order;
       Hashtbl.replace cluster_labels w labels
-    end
   done;
   (* Global trees for the centers. *)
   let global_trees = Hashtbl.create (2 * Array.length centers.Centers.centers) in
   Array.iter
-    (fun a -> Hashtbl.replace global_trees a (Tree_routing.of_tree g (Dijkstra.spt g a)))
+    (fun a -> Hashtbl.replace global_trees a (Substrate.spt_tree sub a))
     centers.Centers.centers;
   (* Intersection witnesses: for u and each v with B(u,q~) ∩ B_A(v) <> ∅,
      the w minimizing d(u,w) + d(w,v); enumerate via the clusters of the
@@ -112,7 +114,7 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target ~seed g =
             (fun v ->
               let s = duw +. Tree_routing.tree_dist tr w v in
               match Hashtbl.find_opt best.(u) v with
-              | Some (s0, w0) when (s0, w0) <= (s, w) -> ()
+              | Some (s0, w0) when s0 < s || (s0 = s && w0 <= w) -> ()
               | _ -> Hashtbl.replace best.(u) v (s, w))
             cluster
         end)
@@ -125,11 +127,11 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target ~seed g =
   let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
   let reps = Scheme_util.color_reps vic coloring in
   let lemma7 =
-    Seq_routing.preprocess ~eps g ~vicinities:vic ~parts:coloring.classes
-      ~part_of:coloring.color
+    Seq_routing.preprocess ~substrate:sub ~eps g ~vicinities:vic
+      ~parts:coloring.classes ~part_of:coloring.color
   in
   (* Table accounting. *)
-  let bunches = Centers.bunches g centers in
+  let bunches = Substrate.bunches sub ~seed ~target in
   let table_words = Array.make n 0 in
   let tot_cluster = ref 0
   and tot_own = ref 0

@@ -24,18 +24,19 @@ let eps t = t.eps
 
 let stretch_bound t = ((3.0 +. (2.0 *. t.eps)), 0.0)
 
-let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed g =
+let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed g =
   Scheme_util.require_connected g "Scheme3eps.preprocess";
   Scheme_util.Log.debug (fun m -> m "Scheme3eps: n=%d eps=%g" (Graph.n g) eps);
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   let q = Scheme_util.root_exp n 0.5 in
   let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
-  let vic = Vicinity.compute_all g l in
+  let vic = Substrate.vicinities sub l in
   let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
   let reps = Scheme_util.color_reps vic coloring in
   let lemma7 =
-    Seq_routing.preprocess ~eps g ~vicinities:vic ~parts:coloring.classes
-      ~part_of:coloring.color
+    Seq_routing.preprocess ~substrate:sub ~eps g ~vicinities:vic
+      ~parts:coloring.classes ~part_of:coloring.color
   in
   (* Lemma 7 already accounts for the vicinities and trees; add the color
      representatives (vertex + distance per color). *)

@@ -13,10 +13,17 @@ open Cr_routing
 type t
 
 val preprocess :
-  ?eps:float -> ?vicinity_factor:float -> seed:int -> Graph.t -> t
+  ?substrate:Substrate.t ->
+  ?eps:float ->
+  ?vicinity_factor:float ->
+  seed:int ->
+  Graph.t ->
+  t
 (** [preprocess ~seed g] builds the scheme. [eps] defaults to 0.5;
     [vicinity_factor] scales the vicinity size
-    [l = vicinity_factor * q * log2 n] (default 1.0).
+    [l = vicinity_factor * q * log2 n] (default 1.0). [substrate] shares
+    vicinity families and shortest-path trees with other schemes built on
+    the same handle.
     @raise Invalid_argument if [g] is disconnected or the coloring is
     infeasible at this size. *)
 

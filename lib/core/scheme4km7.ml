@@ -37,16 +37,18 @@ let k t = t.k
 let stretch_bound t =
   (float_of_int ((4 * t.k) - 7) +. (float_of_int ((2 * t.k) - 3) *. t.eps), 0.0)
 
-let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?a1_target ~seed g ~k =
+let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?a1_target
+    ~seed g ~k =
   if k < 3 then invalid_arg "Scheme4km7.preprocess: need k >= 3";
   Scheme_util.require_connected g "Scheme4km7.preprocess";
   Scheme_util.Log.debug (fun m -> m "Scheme4km7: n=%d k=%d eps=%g" (Graph.n g) k eps);
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
-  let tz = Tz_routing.preprocess ?a1_target ~seed g ~k in
+  let tz = Tz_routing.preprocess ~substrate:sub ?a1_target ~seed g ~k in
   let h = Tz_routing.hierarchy tz in
   let q = Scheme_util.root_exp n (1.0 /. float_of_int k) in
   let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
-  let vic = Vicinity.compute_all g l in
+  let vic = Substrate.vicinities sub l in
   let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
   let reps = Scheme_util.color_reps vic coloring in
   (* Partition A_(k-2) into q groups. *)
@@ -62,8 +64,8 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?a1_target ~seed g ~k =
     a_km2;
   let dests = Array.map Array.of_list groups in
   let lemma8 =
-    Seq_routing2.preprocess ~eps g ~vicinities:vic ~parts:coloring.classes
-      ~part_of:coloring.color ~dests
+    Seq_routing2.preprocess ~substrate:sub ~eps g ~vicinities:vic
+      ~parts:coloring.classes ~part_of:coloring.color ~dests
   in
   let table_words =
     Array.init n (fun u ->

@@ -17,6 +17,7 @@ open Cr_routing
 type t
 
 val preprocess :
+  ?substrate:Substrate.t ->
   ?eps:float ->
   ?vicinity_factor:float ->
   ?a1_target:int ->
@@ -25,7 +26,8 @@ val preprocess :
   k:int ->
   t
 (** @raise Invalid_argument if [k < 3], the graph is disconnected, or the
-    coloring is infeasible. *)
+    coloring is infeasible. [substrate] shares vicinities and the TZ
+    hierarchy's center sample with other schemes on the same handle. *)
 
 val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 

@@ -45,39 +45,41 @@ let label_of t v =
   let p_a = t.centers.Centers.p_a.(v) in
   { vertex = v; p_a; group = t.group_of.(p_a); z = t.first_edge.(v) }
 
-let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target ~seed g =
+let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target
+    ~seed g =
   Scheme_util.require_connected g "Scheme5eps.preprocess";
   Scheme_util.Log.debug (fun m -> m "Scheme5eps: n=%d eps=%g" (Graph.n g) eps);
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   let q = Scheme_util.root_exp n (1.0 /. 3.0) in
   let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
-  let vic = Vicinity.compute_all g l in
+  let vic = Substrate.vicinities sub l in
   let target =
     match center_target with
     | Some s -> s
     | None -> Scheme_util.root_exp n (2.0 /. 3.0)
   in
-  let centers = Centers.sample ~seed g ~target in
+  let centers = Substrate.centers sub ~seed ~target in
   let cluster_trees = Hashtbl.create (2 * n) in
   let cluster_labels = Hashtbl.create (2 * n) in
   for w = 0 to n - 1 do
-    let c = Centers.cluster g centers w in
-    if Array.length c.Dijkstra.order > 0 then begin
-      let tr = Tree_routing.of_tree g c in
+    let c = Substrate.cluster sub ~seed ~target w in
+    match Substrate.cluster_tree sub ~seed ~target w with
+    | None -> ()
+    | Some tr ->
       Hashtbl.replace cluster_trees w tr;
       let labels = Hashtbl.create (2 * Array.length c.Dijkstra.order) in
       Array.iter
         (fun v -> Hashtbl.replace labels v (Tree_routing.label tr v))
         c.Dijkstra.order;
       Hashtbl.replace cluster_labels w labels
-    end
   done;
   (* First edge (p_A(v), z) on a shortest path from each center toward v;
      computed from the centers' shortest-path trees. *)
   let first_edge = Array.make n (-1) in
   Array.iter
     (fun a ->
-      let spt = Dijkstra.spt g a in
+      let spt = Substrate.spt sub a in
       for v = 0 to n - 1 do
         if centers.Centers.p_a.(v) = a && v <> a then begin
           (* First vertex after a on the tree path a -> v. *)
@@ -98,12 +100,12 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target ~seed g =
     centers.Centers.centers;
   let dests = Array.map Array.of_list groups in
   let lemma8 =
-    Seq_routing2.preprocess ~eps g ~vicinities:vic ~parts:coloring.classes
-      ~part_of:coloring.color ~dests
+    Seq_routing2.preprocess ~substrate:sub ~eps g ~vicinities:vic
+      ~parts:coloring.classes ~part_of:coloring.color ~dests
   in
   (* Table accounting: Lemma 8 (vicinities + sequences) + cluster-tree
      records and member labels + color reps. *)
-  let bunches = Centers.bunches g centers in
+  let bunches = Substrate.bunches sub ~seed ~target in
   let table_words = Array.make n 0 in
   let tot_cluster = ref 0 and tot_own = ref 0 and tot_reps = ref 0 in
   for u = 0 to n - 1 do

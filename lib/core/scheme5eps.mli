@@ -20,6 +20,7 @@ open Cr_routing
 type t
 
 val preprocess :
+  ?substrate:Substrate.t ->
   ?eps:float ->
   ?vicinity_factor:float ->
   ?center_target:int ->
@@ -27,7 +28,9 @@ val preprocess :
   Graph.t ->
   t
 (** Builds the scheme ([eps] defaults to 0.5; [center_target] overrides the
-    Lemma 4 target, default [n^(2/3)]).
+    Lemma 4 target, default [n^(2/3)]). [substrate] shares vicinities,
+    center samples, cluster trees and bunches with other schemes on the
+    same handle.
     @raise Invalid_argument if [g] is disconnected or the coloring is
     infeasible. *)
 

@@ -51,19 +51,20 @@ let find_salt ~seed ~q ~n sets =
   in
   attempt 0
 
-let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed g =
+let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed g =
   Scheme_util.require_connected g "Scheme_ni.preprocess";
   Scheme_util.Log.debug (fun m -> m "Scheme_ni: n=%d eps=%g" (Graph.n g) eps);
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   let q = Scheme_util.root_exp n 0.5 in
   let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
-  let vic = Vicinity.compute_all g l in
+  let vic = Substrate.vicinities sub l in
   let sets = Array.to_list (Array.map Vicinity.members vic) in
   let salt, coloring = find_salt ~seed ~q ~n sets in
   let reps = Scheme_util.color_reps vic coloring in
   let lemma7 =
-    Seq_routing.preprocess ~eps g ~vicinities:vic ~parts:coloring.classes
-      ~part_of:coloring.color
+    Seq_routing.preprocess ~substrate:sub ~eps g ~vicinities:vic
+      ~parts:coloring.classes ~part_of:coloring.color
   in
   let table_words =
     (* Lemma 7 tables + per-color representatives + the salt. *)

@@ -15,9 +15,15 @@ open Cr_routing
 type t
 
 val preprocess :
-  ?eps:float -> ?vicinity_factor:float -> seed:int -> Graph.t -> t
+  ?substrate:Substrate.t ->
+  ?eps:float ->
+  ?vicinity_factor:float ->
+  seed:int ->
+  Graph.t ->
+  t
 (** @raise Invalid_argument if [g] is disconnected or no salt satisfying
-    Lemma 6 is found. *)
+    Lemma 6 is found. [substrate] shares vicinity families and
+    shortest-path trees with other schemes built on the same handle. *)
 
 val color_of_name : t -> int -> int
 (** [color_of_name t v] is the hash color any vertex computes for name [v]

@@ -60,12 +60,14 @@ let source_levels variant ell =
 let dest_level variant ell j =
   match variant with `Minus -> ell - j - 1 | `Plus -> ell - j + 1
 
-let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed ~variant ~ell g =
+let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed ~variant
+    ~ell g =
   if ell < 2 then invalid_arg "Scheme_ptr.preprocess: need ell >= 2";
   Scheme_util.require_connected g "Scheme_ptr.preprocess";
   Scheme_util.Log.debug (fun m -> m "Scheme_ptr: n=%d ell=%d" (Graph.n g) ell);
   if not (Graph.is_unit_weighted g) then
     invalid_arg "Scheme_ptr.preprocess: Theorems 13/15 address unweighted graphs";
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   let denom = match variant with `Minus -> (2 * ell) - 1 | `Plus -> (2 * ell) + 1 in
   let q = Scheme_util.root_exp n (1.0 /. float_of_int denom) in
@@ -77,12 +79,14 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed ~variant ~ell g =
     Array.init (ell + 1) (fun i ->
         Scheme_util.vicinity_size ~n ~q:(pow_q i) ~factor:vicinity_factor)
   in
-  let vic_level = Array.map (fun l -> Vicinity.compute_all g l) sizes in
+  let vic_level = Array.map (fun l -> Substrate.vicinities sub l) sizes in
   let vic = vic_level.(ell) in
-  (* Level center sets L_i with cluster bound O(q^i). *)
+  (* Level center sets L_i with cluster bound O(q^i); the substrate keys
+     are the per-level [(seed + i, target)] pairs. *)
+  let targets = Array.init (ell + 1) (fun i -> max 1 (n / pow_q i)) in
   let centers =
     Array.init (ell + 1) (fun i ->
-        Centers.sample ~seed:(seed + i) g ~target:(max 1 (n / pow_q i)))
+        Substrate.centers sub ~seed:(seed + i) ~target:targets.(i))
   in
   (* Cluster trees and member-label stores, per level. *)
   let cluster_trees = Array.init (ell + 1) (fun _ -> Hashtbl.create (2 * n)) in
@@ -91,17 +95,17 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed ~variant ~ell g =
   for i = 0 to ell do
     let members = Array.make n [||] in
     for w = 0 to n - 1 do
-      let c = Centers.cluster g centers.(i) w in
+      let c = Substrate.cluster sub ~seed:(seed + i) ~target:targets.(i) w in
       members.(w) <- c.Dijkstra.order;
-      if Array.length c.Dijkstra.order > 0 then begin
-        let tr = Tree_routing.of_tree g c in
+      match Substrate.cluster_tree sub ~seed:(seed + i) ~target:targets.(i) w with
+      | None -> ()
+      | Some tr ->
         Hashtbl.replace cluster_trees.(i) w tr;
         let labels = Hashtbl.create (2 * Array.length c.Dijkstra.order) in
         Array.iter
           (fun v -> Hashtbl.replace labels v (Tree_routing.label tr v))
           c.Dijkstra.order;
         Hashtbl.replace cluster_labels.(i) w labels
-      end
     done;
     cluster_members.(i) <- members
   done;
@@ -125,7 +129,7 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed ~variant ~ell g =
             (fun v ->
               let s = duw +. Tree_routing.tree_dist tr w v in
               match Hashtbl.find_opt best.(u) v with
-              | Some (s0, w0, _) when (s0, w0) <= (s, w) -> ()
+              | Some (s0, w0, _) when s0 < s || (s0 = s && w0 <= w) -> ()
               | _ -> Hashtbl.replace best.(u) v (s, w, i))
             cluster_members.(lev).(w))
       done
@@ -162,8 +166,9 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed ~variant ~ell g =
       let dests = Array.map Array.of_list groups in
       lemma8.(i) <-
         Some
-          (Seq_routing2.preprocess ~eps g ~vicinities:vic_level.(i)
-             ~parts:coloring.classes ~part_of:coloring.color ~dests))
+          (Seq_routing2.preprocess ~substrate:sub ~eps g
+             ~vicinities:vic_level.(i) ~parts:coloring.classes
+             ~part_of:coloring.color ~dests))
     src_levels;
   (* Prefix radii a_i = r_u(l_i). *)
   let radii =
@@ -176,7 +181,7 @@ let preprocess ?(eps = 0.5) ?(vicinity_factor = 1.0) ~seed ~variant ~ell g =
     let fe = Array.make n (-1) in
     Array.iter
       (fun a ->
-        let spt = Dijkstra.spt g a in
+        let spt = Substrate.spt sub a in
         for v = 0 to n - 1 do
           if centers.(i).Centers.p_a.(v) = a && v <> a then begin
             let rec climb x =

@@ -25,6 +25,7 @@ type variant = [ `Minus | `Plus ]
 type t
 
 val preprocess :
+  ?substrate:Substrate.t ->
   ?eps:float ->
   ?vicinity_factor:float ->
   seed:int ->
@@ -33,7 +34,9 @@ val preprocess :
   Graph.t ->
   t
 (** @raise Invalid_argument if [ell < 2], the graph is disconnected or
-    weighted, or a coloring is infeasible. *)
+    weighted, or a coloring is infeasible. [substrate] shares the
+    per-level vicinity families, center samples and cluster trees with
+    other schemes on the same handle. *)
 
 val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 

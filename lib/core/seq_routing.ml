@@ -81,25 +81,24 @@ let build_seq g vic in_hset trees ~b ~src:u ~dst:v spt_v =
   in
   go u [] 0
 
-let preprocess ?(eps = 0.5) ?hitting g ~vicinities ~parts ~part_of =
+let preprocess ?substrate ?(eps = 0.5) ?hitting g ~vicinities ~parts ~part_of =
   if eps <= 0.0 then invalid_arg "Seq_routing.preprocess: eps must be positive";
   if not (Bfs.is_connected g) then
     invalid_arg "Seq_routing.preprocess: graph must be connected";
+  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
   let b = max 1 (int_of_float (ceil (2.0 /. eps))) in
   let vic = vicinities in
   let hset =
     match hitting with
-    | Some h -> List.sort_uniq compare h
+    | Some h -> List.sort_uniq Int.compare h
     | None ->
       Hitting_set.greedy ~n (Array.to_list (Array.map Vicinity.members vic))
   in
   let in_hset = Array.make n false in
   List.iter (fun w -> in_hset.(w) <- true) hset;
   let trees = Hashtbl.create (2 * List.length hset) in
-  List.iter
-    (fun w -> Hashtbl.replace trees w (Tree_routing.of_tree g (Dijkstra.spt g w)))
-    hset;
+  List.iter (fun w -> Hashtbl.replace trees w (Substrate.spt_tree sub w)) hset;
   (* Sanity: the part index map must agree with the parts themselves. *)
   Array.iteri
     (fun j part ->
@@ -114,7 +113,7 @@ let preprocess ?(eps = 0.5) ?hitting g ~vicinities ~parts ~part_of =
     (fun part ->
       Array.iter
         (fun v ->
-          let spt_v = Dijkstra.spt g v in
+          let spt_v = Substrate.spt sub v in
           Array.iter
             (fun u ->
               if u <> v then

@@ -21,6 +21,7 @@ type t
 type header
 
 val preprocess :
+  ?substrate:Substrate.t ->
   ?eps:float ->
   ?hitting:int list ->
   Graph.t ->

@@ -89,10 +89,11 @@ let build_seq g vic ~b ~d_min ~relay_of ~src:u ~dst:w spt_w =
     if u2 = w then finish acc At_dst else subsequences u2 1 acc
   end
 
-let preprocess ?(eps = 0.5) g ~vicinities ~parts ~part_of ~dests =
+let preprocess ?substrate ?(eps = 0.5) g ~vicinities ~parts ~part_of ~dests =
   if eps <= 0.0 then invalid_arg "Seq_routing2.preprocess: eps must be positive";
   if not (Bfs.is_connected g) then
     invalid_arg "Seq_routing2.preprocess: graph must be connected";
+  let sub = Substrate.for_graph substrate g in
   if Array.length parts <> Array.length dests then
     invalid_arg "Seq_routing2.preprocess: |parts| <> |dests|";
   let n = Graph.n g in
@@ -107,7 +108,7 @@ let preprocess ?(eps = 0.5) g ~vicinities ~parts ~part_of ~dests =
       in
       Array.iter
         (fun w ->
-          let spt_w = Dijkstra.spt g w in
+          let spt_w = Substrate.spt sub w in
           Array.iter
             (fun u ->
               if u <> w then

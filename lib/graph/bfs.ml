@@ -14,6 +14,8 @@ let run g s =
   let first_port = Array.make n (-1) in
   let order = Array.make n (-1) in
   let queue = Queue.create () in
+  let off = Graph.csr_off g
+  and adj = Graph.csr_dst g in
   dist.(s) <- 0;
   Queue.add s queue;
   let count = ref 0 in
@@ -21,14 +23,18 @@ let run g s =
     let u = Queue.pop queue in
     order.(!count) <- u;
     incr count;
-    Graph.iter_neighbors g u (fun ~port ~v ~w:_ ->
-        if dist.(v) = max_int then begin
-          dist.(v) <- dist.(u) + 1;
-          parent.(v) <- u;
-          parent_port.(v) <- port;
-          first_port.(v) <- (if u = s then port else first_port.(u));
-          Queue.add v queue
-        end)
+    let base = off.(u) in
+    for idx = base to off.(u + 1) - 1 do
+      let v = adj.(idx) in
+      if dist.(v) = max_int then begin
+        dist.(v) <- dist.(u) + 1;
+        parent.(v) <- u;
+        let port = idx - base in
+        parent_port.(v) <- port;
+        first_port.(v) <- (if u = s then port else first_port.(u));
+        Queue.add v queue
+      end
+    done
   done;
   let order = Array.sub order 0 !count in
   { dist; parent; parent_port; first_port; order }

@@ -79,6 +79,9 @@ let run_core ws g s ~admit =
   and order = ws.ws_order
   and settled = ws.ws_settled
   and heap = ws.ws_heap in
+  let off = Graph.csr_off g
+  and dst = Graph.csr_dst g
+  and wgt = Graph.csr_wgt g in
   touch ws s;
   dist.(s) <- 0.0;
   Heap.insert heap s 0.0;
@@ -92,16 +95,20 @@ let run_core ws g s ~admit =
         settled.(u) <- true;
         order.(!count) <- u;
         incr count;
-        Graph.iter_neighbors g u (fun ~port ~v ~w ->
-            let d' = d +. w in
-            if (not settled.(v)) && d' < dist.(v) then begin
-              touch ws v;
-              dist.(v) <- d';
-              parent.(v) <- u;
-              parent_port.(v) <- port;
-              first_port.(v) <- (if u = s then port else first_port.(u));
-              Heap.insert_or_decrease heap v d'
-            end)
+        let base = off.(u) in
+        for idx = base to off.(u + 1) - 1 do
+          let v = dst.(idx) in
+          let d' = d +. wgt.(idx) in
+          if (not settled.(v)) && d' < dist.(v) then begin
+            touch ws v;
+            dist.(v) <- d';
+            parent.(v) <- u;
+            let port = idx - base in
+            parent_port.(v) <- port;
+            first_port.(v) <- (if u = s then port else first_port.(u));
+            Heap.insert_or_decrease heap v d'
+          end
+        done
       end
       else dist.(u) <- infinity
       (* A rejected vertex keeps [infinity] so callers can treat it as
@@ -173,6 +180,9 @@ let truncated_ws ws g s l =
   and order = ws.ws_order
   and settled = ws.ws_settled
   and heap = ws.ws_heap in
+  let off = Graph.csr_off g
+  and dst = Graph.csr_dst g
+  and wgt = Graph.csr_wgt g in
   touch ws s;
   dist.(s) <- 0.0;
   Heap.insert heap s 0.0;
@@ -185,15 +195,18 @@ let truncated_ws ws g s l =
       settled.(u) <- true;
       order.(!count) <- u;
       incr count;
-      Graph.iter_neighbors g u (fun ~port ~v ~w ->
-          let d' = d +. w in
-          if (not settled.(v)) && d' < dist.(v) then begin
-            touch ws v;
-            dist.(v) <- d';
-            parent.(v) <- u;
-            first_port.(v) <- (if u = s then port else first_port.(u));
-            Heap.insert_or_decrease heap v d'
-          end)
+      let base = off.(u) in
+      for idx = base to off.(u + 1) - 1 do
+        let v = dst.(idx) in
+        let d' = d +. wgt.(idx) in
+        if (not settled.(v)) && d' < dist.(v) then begin
+          touch ws v;
+          dist.(v) <- d';
+          parent.(v) <- u;
+          first_port.(v) <- (if u = s then idx - base else first_port.(u));
+          Heap.insert_or_decrease heap v d'
+        end
+      done
   done;
   (* The nearest vertex of the component left out of B(s, l), if any: a
      non-destructive peek — the heap min's tentative distance is final by
@@ -237,8 +250,11 @@ let multi_source g centers =
   let mparent = Array.make n (-1) in
   let settled = Array.make n false in
   let heap = Heap.create n in
+  let off = Graph.csr_off g
+  and dst = Graph.csr_dst g
+  and wgt = Graph.csr_wgt g in
   (* Initialize centers in increasing id order so ties prefer smaller ids. *)
-  let centers = List.sort_uniq compare centers in
+  let centers = List.sort_uniq Int.compare centers in
   List.iter
     (fun a ->
       dist.(a) <- 0.0;
@@ -251,14 +267,16 @@ let multi_source g centers =
     | None -> continue := false
     | Some (u, d) ->
       settled.(u) <- true;
-      Graph.iter_neighbors g u (fun ~port:_ ~v ~w ->
-          let d' = d +. w in
-          if not settled.(v) then
-            if d' < dist.(v) || (d' = dist.(v) && nearest.(u) < nearest.(v)) then begin
-              dist.(v) <- d';
-              nearest.(v) <- nearest.(u);
-              mparent.(v) <- u;
-              Heap.insert_or_decrease heap v d'
-            end)
+      for idx = off.(u) to off.(u + 1) - 1 do
+        let v = dst.(idx) in
+        let d' = d +. wgt.(idx) in
+        if not settled.(v) then
+          if d' < dist.(v) || (d' = dist.(v) && nearest.(u) < nearest.(v)) then begin
+            dist.(v) <- d';
+            nearest.(v) <- nearest.(u);
+            mparent.(v) <- u;
+            Heap.insert_or_decrease heap v d'
+          end
+      done
   done;
   { dist_to_set = dist; nearest; mparent }

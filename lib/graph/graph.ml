@@ -1,8 +1,22 @@
+(* CSR (compressed sparse row) adjacency. The directed half-edges of all
+   vertices live in three flat arrays: the half-edges of vertex [u] occupy
+   the contiguous slice [off.(u) .. off.(u+1) - 1], and port [p] of [u] is
+   the flat index [off.(u) + p]. Hot loops (Dijkstra, BFS) iterate these
+   ranges directly — one bounds-checked load per edge, no per-vertex array
+   dereference and no closure allocation.
+
+   [srt_dst]/[srt_port] are a parallel per-vertex index for [port_to]:
+   within each vertex slice the neighbors are sorted ascending, paired with
+   the port they sit behind, so resolving a neighbor to a port is a binary
+   search over the slice instead of a linear scan. *)
 type t = {
   n : int;
-  adj_v : int array array;     (* adj_v.(u).(p) = endpoint of port p of u *)
-  adj_w : float array array;   (* adj_w.(u).(p) = weight of that edge *)
   m : int;
+  off : int array;       (* length n+1; off.(n) = 2m *)
+  dst : int array;       (* dst.(off.(u) + p) = endpoint of port p of u *)
+  wgt : float array;     (* wgt.(off.(u) + p) = weight of that edge *)
+  srt_dst : int array;   (* per-vertex slice, neighbors ascending *)
+  srt_port : int array;  (* port behind srt_dst at the same index *)
   unit_weighted : bool;
 }
 
@@ -10,57 +24,88 @@ let n g = g.n
 
 let m g = g.m
 
-let degree g u = Array.length g.adj_v.(u)
+let degree g u = g.off.(u + 1) - g.off.(u)
 
 let max_degree g =
-  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj_v
+  let best = ref 0 in
+  for u = 0 to g.n - 1 do
+    let d = g.off.(u + 1) - g.off.(u) in
+    if d > !best then best := d
+  done;
+  !best
 
 let avg_degree g =
   if g.n = 0 then 0.0 else 2.0 *. float_of_int g.m /. float_of_int g.n
 
+let csr_off g = g.off
+
+let csr_dst g = g.dst
+
+let csr_wgt g = g.wgt
+
 let endpoint g u p =
-  if p < 0 || p >= Array.length g.adj_v.(u) then
+  if p < 0 || p >= g.off.(u + 1) - g.off.(u) then
     invalid_arg "Graph.endpoint: bad port";
-  g.adj_v.(u).(p)
+  g.dst.(g.off.(u) + p)
 
 let port_weight g u p =
-  if p < 0 || p >= Array.length g.adj_w.(u) then
+  if p < 0 || p >= g.off.(u + 1) - g.off.(u) then
     invalid_arg "Graph.port_weight: bad port";
-  g.adj_w.(u).(p)
+  g.wgt.(g.off.(u) + p)
 
+(* Binary search for [v] in the sorted slice of [u]. Neighbors are unique
+   (the constructor deduplicates), so the first hit is the only hit. *)
 let port_to g u v =
-  let a = g.adj_v.(u) in
-  let rec find p = if p >= Array.length a then None else if a.(p) = v then Some p else find (p + 1) in
-  find 0
+  let lo = ref g.off.(u) and hi = ref (g.off.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = g.srt_dst.(mid) in
+    if x = v then begin
+      found := g.srt_port.(mid);
+      lo := !hi + 1
+    end
+    else if x < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found < 0 then None else Some !found
 
 let has_edge g u v = port_to g u v <> None
 
 let edge_weight g u v =
   match port_to g u v with
   | None -> None
-  | Some p -> Some g.adj_w.(u).(p)
+  | Some p -> Some g.wgt.(g.off.(u) + p)
 
 let neighbors g u =
-  List.init (degree g u) (fun p -> (g.adj_v.(u).(p), g.adj_w.(u).(p)))
+  let base = g.off.(u) in
+  List.init (degree g u) (fun p -> (g.dst.(base + p), g.wgt.(base + p)))
 
 let iter_neighbors g u f =
-  let a = g.adj_v.(u) and w = g.adj_w.(u) in
-  for p = 0 to Array.length a - 1 do
-    f ~port:p ~v:a.(p) ~w:w.(p)
+  let base = g.off.(u) in
+  for idx = base to g.off.(u + 1) - 1 do
+    f ~port:(idx - base) ~v:g.dst.(idx) ~w:g.wgt.(idx)
   done
 
 let fold_edges f g acc =
   let acc = ref acc in
   for u = 0 to g.n - 1 do
-    let a = g.adj_v.(u) and w = g.adj_w.(u) in
-    for p = 0 to Array.length a - 1 do
-      if u < a.(p) then acc := f u a.(p) w.(p) !acc
+    for idx = g.off.(u) to g.off.(u + 1) - 1 do
+      let v = g.dst.(idx) in
+      if u < v then acc := f u v g.wgt.(idx) !acc
     done
   done;
   !acc
 
+(* Edges come out of [fold_edges] with unique [(u, v)] keys ([u < v]), so
+   an int-pair comparison is a total order here and agrees with the
+   polymorphic [compare] the sort used to rely on. *)
+let compare_edge (u1, v1, _) (u2, v2, _) =
+  if u1 <> u2 then Int.compare u1 u2 else Int.compare v1 v2
+
 let edges g =
-  fold_edges (fun u v w acc -> (u, v, w) :: acc) g [] |> List.sort compare
+  fold_edges (fun u v w acc -> (u, v, w) :: acc) g []
+  |> List.sort compare_edge
 
 let is_unit_weighted g = g.unit_weighted
 
@@ -71,6 +116,25 @@ let min_edge_weight g =
 let max_edge_weight g =
   if g.m = 0 then invalid_arg "Graph.max_edge_weight: no edges";
   fold_edges (fun _ _ w acc -> Float.max w acc) g neg_infinity
+
+(* The [port_to] index: per-vertex slices of (neighbor, port) sorted by
+   neighbor. Sorting an explicit port permutation keeps the two arrays
+   aligned without allocating pairs. *)
+let build_sorted_index n off dst =
+  let total = Array.length dst in
+  let srt_dst = Array.make total (-1) in
+  let srt_port = Array.make total (-1) in
+  for u = 0 to n - 1 do
+    let base = off.(u) in
+    let deg = off.(u + 1) - base in
+    let perm = Array.init deg (fun p -> p) in
+    Array.sort (fun p q -> Int.compare dst.(base + p) dst.(base + q)) perm;
+    for i = 0 to deg - 1 do
+      srt_dst.(base + i) <- dst.(base + perm.(i));
+      srt_port.(base + i) <- perm.(i)
+    done
+  done;
+  (srt_dst, srt_port)
 
 let of_edges ?n:(n_opt = -1) edge_list =
   let max_id =
@@ -96,51 +160,54 @@ let of_edges ?n:(n_opt = -1) edge_list =
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
     tbl;
-  let adj_v = Array.init n (fun u -> Array.make deg.(u) (-1)) in
-  let adj_w = Array.init n (fun u -> Array.make deg.(u) 0.0) in
-  let fill = Array.make (max n 1) 0 in
-  (* Sort edges for a deterministic port numbering. *)
+  let m = Hashtbl.length tbl in
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  let dst = Array.make (2 * m) (-1) in
+  let wgt = Array.make (2 * m) 0.0 in
+  let fill = Array.sub off 0 (max n 1) in
+  (* Sort edges for a deterministic port numbering: same order as the
+     polymorphic sort of unique (u, v, w) triples with u < v. *)
   let sorted = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) tbl [] in
-  let sorted = List.sort compare sorted in
+  let sorted = List.sort compare_edge sorted in
   let unit_weighted = ref true in
   List.iter
     (fun (u, v, w) ->
       if w <> 1.0 then unit_weighted := false;
-      adj_v.(u).(fill.(u)) <- v;
-      adj_w.(u).(fill.(u)) <- w;
+      dst.(fill.(u)) <- v;
+      wgt.(fill.(u)) <- w;
       fill.(u) <- fill.(u) + 1;
-      adj_v.(v).(fill.(v)) <- u;
-      adj_w.(v).(fill.(v)) <- w;
+      dst.(fill.(v)) <- u;
+      wgt.(fill.(v)) <- w;
       fill.(v) <- fill.(v) + 1)
     sorted;
-  { n; adj_v; adj_w; m = List.length sorted; unit_weighted = !unit_weighted }
+  let srt_dst, srt_port = build_sorted_index n off dst in
+  { n; m; off; dst; wgt; srt_dst; srt_port; unit_weighted = !unit_weighted }
 
 let of_unweighted_edges ?n edge_list =
   of_edges ?n (List.map (fun (u, v) -> (u, v, 1.0)) edge_list)
 
 let reweight g f =
-  let adj_w = Array.init g.n (fun u -> Array.copy g.adj_w.(u)) in
+  let wgt = Array.copy g.wgt in
   let unit_weighted = ref true in
   for u = 0 to g.n - 1 do
-    let a = g.adj_v.(u) in
-    for p = 0 to Array.length a - 1 do
-      let v = a.(p) in
+    for idx = g.off.(u) to g.off.(u + 1) - 1 do
+      let v = g.dst.(idx) in
       if u < v then begin
-        let w = f u v g.adj_w.(u).(p) in
+        let w = f u v g.wgt.(idx) in
         if not (w > 0.0) then invalid_arg "Graph.reweight: non-positive weight";
-        adj_w.(u).(p) <- w;
+        wgt.(idx) <- w;
         (* Mirror onto v's (unique) port back to u. *)
-        let rec mirror q =
-          if g.adj_v.(v).(q) = u then adj_w.(v).(q) <- w else mirror (q + 1)
-        in
-        mirror 0
+        match port_to g v u with
+        | Some q -> wgt.(g.off.(v) + q) <- w
+        | None -> assert false
       end
     done
   done;
-  for u = 0 to g.n - 1 do
-    Array.iter (fun w -> if w <> 1.0 then unit_weighted := false) adj_w.(u)
-  done;
-  { g with adj_w; unit_weighted = !unit_weighted }
+  Array.iter (fun w -> if w <> 1.0 then unit_weighted := false) wgt;
+  { g with wgt; unit_weighted = !unit_weighted }
 
 let unit_weighted g = reweight g (fun _ _ _ -> 1.0)
 

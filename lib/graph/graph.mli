@@ -49,7 +49,8 @@ val port_weight : t -> int -> int -> float
 val port_to : t -> int -> int -> int option
 (** [port_to g u v] is the port of [u] whose endpoint is [v], if the edge
     [(u, v)] exists. The standard routing model assumes a vertex can resolve
-    a neighbor to the connecting link (paper, footnote 2). *)
+    a neighbor to the connecting link (paper, footnote 2). Backed by a
+    per-vertex sorted neighbor index: O(log degree u). *)
 
 val has_edge : t -> int -> int -> bool
 
@@ -61,6 +62,24 @@ val neighbors : t -> int -> (int * float) list
 val iter_neighbors : t -> int -> (port:int -> v:int -> w:float -> unit) -> unit
 (** [iter_neighbors g u f] applies [f] to each incident edge of [u] in port
     order. This is the hot-path accessor: it performs no allocation. *)
+
+(** {1 CSR view}
+
+    The adjacency is stored in compressed-sparse-row form: the half-edges
+    of vertex [u] occupy the flat slice [csr_off.(u) .. csr_off.(u+1) - 1]
+    of [csr_dst]/[csr_wgt], and port [p] of [u] is flat index
+    [csr_off.(u) + p]. Hot loops may iterate these arrays directly instead
+    of paying a closure per edge through {!iter_neighbors}. The arrays are
+    the graph's own storage: callers must not mutate them. *)
+
+val csr_off : t -> int array
+(** Offsets array, length [n + 1]; [csr_off g .(n g) = 2 * m g]. *)
+
+val csr_dst : t -> int array
+(** Endpoints array, length [2m], indexed by flat half-edge index. *)
+
+val csr_wgt : t -> float array
+(** Weights array, parallel to {!csr_dst}. *)
 
 val fold_edges : (int -> int -> float -> 'a -> 'a) -> t -> 'a -> 'a
 (** [fold_edges f g acc] folds over each undirected edge once, with [u < v]. *)

@@ -35,7 +35,7 @@ let greedy g ~k =
   let n = Graph.n g in
   let stretch = float_of_int ((2 * k) - 1) in
   let sorted =
-    Graph.edges g |> List.sort (fun (_, _, w1) (_, _, w2) -> compare w1 w2)
+    Graph.edges g |> List.sort (fun (_, _, w1) (_, _, w2) -> Float.compare w1 w2)
   in
   let adj = Array.make n [] in
   let kept = ref [] in
@@ -50,6 +50,23 @@ let greedy g ~k =
   Graph.subgraph_of_edges g !kept
 
 (* Baswana–Sen randomized (2k-1)-spanner. *)
+
+(* (weight, neighbor) tie-break order, specialized so the hot hashtable
+   scans don't go through the polymorphic comparator. Weights are finite,
+   so [Float.compare]/[<] agree with the polymorphic order. *)
+let wu_le w0 u0 w1 u1 = w0 < w1 || (w0 = w1 && u0 <= u1)
+
+let wu_lt w0 u0 w1 u1 = w0 < w1 || (w0 = w1 && u0 < u1)
+
+let compare_wuc (w1, u1, c1) (w2, u2, c2) =
+  let c = Float.compare w1 w2 in
+  if c <> 0 then c
+  else if u1 <> u2 then Int.compare u1 u2
+  else Int.compare c1 c2
+
+let compare_int_pair (u1, v1) (u2, v2) =
+  if u1 <> u2 then Int.compare u1 u2 else Int.compare v1 v2
+
 let baswana_sen ~seed g ~k =
   if k < 1 then invalid_arg "Spanner.baswana_sen: need k >= 1";
   let n = Graph.n g in
@@ -95,7 +112,7 @@ let baswana_sen ~seed g ~k =
             let c = cluster.(u) in
             if c >= 0 then
               match Hashtbl.find_opt best c with
-              | Some (w0, u0) when (w0, u0) <= (w, u) -> ()
+              | Some (w0, u0) when wu_le w0 u0 w u -> ()
               | _ -> Hashtbl.replace best c (w, u))
           work.(v);
         let sampled_neighbors =
@@ -103,7 +120,7 @@ let baswana_sen ~seed g ~k =
             (fun c (w, u) acc -> if Hashtbl.mem sampled c then (w, u, c) :: acc else acc)
             best []
         in
-        match List.sort compare sampled_neighbors with
+        match List.sort compare_wuc sampled_neighbors with
         | [] ->
           (* No sampled neighbor cluster: keep one edge per adjacent
              cluster, then drop all of v's work edges. *)
@@ -118,7 +135,7 @@ let baswana_sen ~seed g ~k =
              edges toward those clusters and toward the joined cluster. *)
           Hashtbl.iter
             (fun c (w, u) ->
-              if c <> c_min && (w, u) < (w_min, u_min) then keep v u)
+              if c <> c_min && wu_lt w u w_min u_min then keep v u)
             best;
           let to_drop =
             Hashtbl.fold
@@ -128,7 +145,8 @@ let baswana_sen ~seed g ~k =
                    && (c = c_min
                       ||
                       match Hashtbl.find_opt best c with
-                      | Some (wb, ub) -> (wb, ub) < (w_min, u_min) && (w, u) >= (wb, ub)
+                      | Some (wb, ub) ->
+                        wu_lt wb ub w_min u_min && wu_le wb ub w u
                       | None -> false)
                 then u :: acc
                 else acc)
@@ -147,7 +165,7 @@ let baswana_sen ~seed g ~k =
         let c = cluster.(u) in
         if c >= 0 then
           match Hashtbl.find_opt best c with
-          | Some (w0, u0) when (w0, u0) <= (w, u) -> ()
+          | Some (w0, u0) when wu_le w0 u0 w u -> ()
           | _ -> Hashtbl.replace best c (w, u))
       work.(v);
     Hashtbl.iter
@@ -156,7 +174,7 @@ let baswana_sen ~seed g ~k =
         remove_edge v u)
       best
   done;
-  let kept = List.sort_uniq compare !spanner in
+  let kept = List.sort_uniq compare_int_pair !spanner in
   Graph.subgraph_of_edges g kept
 
 let max_stretch g h =

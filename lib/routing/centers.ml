@@ -9,7 +9,7 @@ type t = {
 
 let of_centers g center_list =
   let n = Graph.n g in
-  let centers = Array.of_list (List.sort_uniq compare center_list) in
+  let centers = Array.of_list (List.sort_uniq Int.compare center_list) in
   let is_center = Array.make n false in
   Array.iter (fun c -> is_center.(c) <- true) centers;
   if Array.length centers = 0 then

@@ -68,7 +68,15 @@ let compile sp g =
         (fun u v _w acc -> ((hash4 sp.seed tag_link u v, u, v) :: acc))
         g []
     in
-    let ranked = List.sort compare ranked in
+    let ranked =
+      List.sort
+        (fun (h1, u1, v1) (h2, u2, v2) ->
+          let c = Int64.compare h1 h2 in
+          if c <> 0 then c
+          else if u1 <> u2 then Int.compare u1 u2
+          else Int.compare v1 v2)
+        ranked
+    in
     List.iteri
       (fun i (_h, u, v) ->
         if i < k_links then Hashtbl.replace links (canon u v) ())
@@ -82,7 +90,9 @@ let compile sp g =
   if k_vertices > 0 then begin
     let ranked =
       List.init n (fun v -> (hash4 sp.seed tag_vertex v 0, v))
-      |> List.sort compare
+      |> List.sort (fun (h1, v1) (h2, v2) ->
+             let c = Int64.compare h1 h2 in
+             if c <> 0 then c else Int.compare v1 v2)
     in
     List.iteri
       (fun i (_h, v) ->
@@ -130,7 +140,9 @@ let link_down p u v = Hashtbl.mem p.links (canon u v)
 let vertex_down p v = v >= 0 && v < Array.length p.vertices && p.vertices.(v)
 
 let failed_links p =
-  Hashtbl.fold (fun e () acc -> e :: acc) p.links [] |> List.sort compare
+  Hashtbl.fold (fun e () acc -> e :: acc) p.links []
+  |> List.sort (fun (u1, v1) (u2, v2) ->
+         if u1 <> u2 then Int.compare u1 u2 else Int.compare v1 v2)
 
 let failed_vertices p =
   let acc = ref [] in

@@ -36,7 +36,7 @@ let greedy ~n sets =
         end)
       occurs.(v)
   done;
-  List.sort_uniq compare !result
+  List.sort_uniq Int.compare !result
 
 let sampled ~seed ~n sets =
   check_nonempty sets;
@@ -62,4 +62,4 @@ let sampled ~seed ~n sets =
       if not (Array.exists hits s) then
         Hashtbl.replace chosen s.(Random.State.int st (Array.length s)) ())
     sets_arr;
-  Hashtbl.fold (fun v () acc -> v :: acc) chosen [] |> List.sort compare
+  Hashtbl.fold (fun v () acc -> v :: acc) chosen [] |> List.sort Int.compare

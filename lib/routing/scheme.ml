@@ -63,6 +63,9 @@ type eval = {
   header_words_peak : int;
 }
 
+let compare_pair (u1, v1) (u2, v2) =
+  if u1 <> u2 then Int.compare u1 u2 else Int.compare v1 v2
+
 let sample_pairs ~seed ~n ~count =
   let all = n * (n - 1) in
   if count >= all then begin
@@ -97,7 +100,7 @@ let sample_pairs ~seed ~n ~count =
       pairs.(j) <- tmp
     done;
     let chosen = Array.sub pairs 0 count in
-    Array.sort compare chosen;
+    Array.sort compare_pair chosen;
     Array.to_list chosen
   end
   else begin
@@ -107,7 +110,7 @@ let sample_pairs ~seed ~n ~count =
       let u = Random.State.int st n and v = Random.State.int st n in
       if u <> v then Hashtbl.replace seen (u, v) ()
     done;
-    Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort compare
+    Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort compare_pair
   end
 
 (* Shared accumulation: samples land in a buffer preallocated to the pair

@@ -1,0 +1,168 @@
+open Cr_graph
+
+(* Each cache is a plain hashtable: the handle is consulted only from the
+   orchestrating domain (the parallel sweeps inside the cached functions
+   use their own per-domain workspaces), so no synchronization is needed. *)
+type t = {
+  g : Graph.t;
+  spts : (int, Dijkstra.tree) Hashtbl.t;
+  spt_trees : (int, Tree_routing.t) Hashtbl.t;
+  vics : (int, Vicinity.t array) Hashtbl.t;
+  cents : (int * int, Centers.t) Hashtbl.t;
+  clusters : (int * int * int, Dijkstra.tree) Hashtbl.t;
+  cluster_trees : (int * int * int, Tree_routing.t option) Hashtbl.t;
+  bunch : (int * int, int array array) Hashtbl.t;
+  mutable spt_h : int;
+  mutable spt_m : int;
+  mutable tree_h : int;
+  mutable tree_m : int;
+  mutable vic_h : int;
+  mutable vic_m : int;
+  mutable cent_h : int;
+  mutable cent_m : int;
+  mutable clus_h : int;
+  mutable clus_m : int;
+}
+
+type stats = {
+  spt_hits : int;
+  spt_misses : int;
+  spt_tree_hits : int;
+  spt_tree_misses : int;
+  vicinity_hits : int;
+  vicinity_misses : int;
+  centers_hits : int;
+  centers_misses : int;
+  cluster_hits : int;
+  cluster_misses : int;
+}
+
+let create g =
+  {
+    g;
+    spts = Hashtbl.create 64;
+    spt_trees = Hashtbl.create 64;
+    vics = Hashtbl.create 4;
+    cents = Hashtbl.create 4;
+    clusters = Hashtbl.create 64;
+    cluster_trees = Hashtbl.create 64;
+    bunch = Hashtbl.create 4;
+    spt_h = 0;
+    spt_m = 0;
+    tree_h = 0;
+    tree_m = 0;
+    vic_h = 0;
+    vic_m = 0;
+    cent_h = 0;
+    cent_m = 0;
+    clus_h = 0;
+    clus_m = 0;
+  }
+
+let graph s = s.g
+
+let for_graph sub g =
+  match sub with
+  | None -> create g
+  | Some s ->
+    if s.g != g then
+      invalid_arg "Substrate.for_graph: handle bound to a different graph";
+    s
+
+(* Mirror every lookup into the telemetry shard so a traced campaign shows
+   substrate reuse next to the routing counters. *)
+let telemetry_tick ~hit =
+  if Telemetry.enabled () then begin
+    let c = Telemetry.counters_shard () in
+    if hit then c.Telemetry.substrate_hits <- c.Telemetry.substrate_hits + 1
+    else c.Telemetry.substrate_misses <- c.Telemetry.substrate_misses + 1
+  end
+
+let memo tbl key ~hit ~miss compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+    hit ();
+    telemetry_tick ~hit:true;
+    v
+  | None ->
+    miss ();
+    telemetry_tick ~hit:false;
+    let v = compute () in
+    Hashtbl.replace tbl key v;
+    v
+
+let spt s v =
+  memo s.spts v
+    ~hit:(fun () -> s.spt_h <- s.spt_h + 1)
+    ~miss:(fun () -> s.spt_m <- s.spt_m + 1)
+    (fun () -> Dijkstra.spt s.g v)
+
+let spt_tree s v =
+  memo s.spt_trees v
+    ~hit:(fun () -> s.tree_h <- s.tree_h + 1)
+    ~miss:(fun () -> s.tree_m <- s.tree_m + 1)
+    (fun () -> Tree_routing.of_tree s.g (spt s v))
+
+let vicinities ?pool s l =
+  memo s.vics l
+    ~hit:(fun () -> s.vic_h <- s.vic_h + 1)
+    ~miss:(fun () -> s.vic_m <- s.vic_m + 1)
+    (fun () -> Vicinity.compute_all ?pool s.g l)
+
+let centers s ~seed ~target =
+  memo s.cents (seed, target)
+    ~hit:(fun () -> s.cent_h <- s.cent_h + 1)
+    ~miss:(fun () -> s.cent_m <- s.cent_m + 1)
+    (fun () -> Centers.sample ~seed s.g ~target)
+
+let cluster s ~seed ~target w =
+  memo s.clusters (seed, target, w)
+    ~hit:(fun () -> s.clus_h <- s.clus_h + 1)
+    ~miss:(fun () -> s.clus_m <- s.clus_m + 1)
+    (fun () -> Centers.cluster s.g (centers s ~seed ~target) w)
+
+let cluster_tree s ~seed ~target w =
+  memo s.cluster_trees (seed, target, w)
+    ~hit:(fun () -> s.clus_h <- s.clus_h + 1)
+    ~miss:(fun () -> s.clus_m <- s.clus_m + 1)
+    (fun () ->
+      let c = cluster s ~seed ~target w in
+      if Array.length c.Dijkstra.order = 0 then None
+      else Some (Tree_routing.of_tree s.g c))
+
+let bunches ?pool s ~seed ~target =
+  memo s.bunch (seed, target)
+    ~hit:(fun () -> s.clus_h <- s.clus_h + 1)
+    ~miss:(fun () -> s.clus_m <- s.clus_m + 1)
+    (fun () -> Centers.bunches ?pool s.g (centers s ~seed ~target))
+
+let stats s =
+  {
+    spt_hits = s.spt_h;
+    spt_misses = s.spt_m;
+    spt_tree_hits = s.tree_h;
+    spt_tree_misses = s.tree_m;
+    vicinity_hits = s.vic_h;
+    vicinity_misses = s.vic_m;
+    centers_hits = s.cent_h;
+    centers_misses = s.cent_m;
+    cluster_hits = s.clus_h;
+    cluster_misses = s.clus_m;
+  }
+
+let hits st =
+  st.spt_hits + st.spt_tree_hits + st.vicinity_hits + st.centers_hits
+  + st.cluster_hits
+
+let misses st =
+  st.spt_misses + st.spt_tree_misses + st.vicinity_misses + st.centers_misses
+  + st.cluster_misses
+
+let stats_rows st =
+  [
+    ("spt", st.spt_hits, st.spt_misses);
+    ("spt-tree", st.spt_tree_hits, st.spt_tree_misses);
+    ("vicinity", st.vicinity_hits, st.vicinity_misses);
+    ("centers", st.centers_hits, st.centers_misses);
+    ("cluster", st.cluster_hits, st.cluster_misses);
+  ]

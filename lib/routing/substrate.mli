@@ -1,0 +1,100 @@
+(** Shared preprocessing substrate cache.
+
+    Every scheme in the catalog is assembled from the same few substrates
+    over a given graph — shortest-path trees ([Dijkstra.spt]), vicinity
+    families [B(u, l)] ([Vicinity.compute_all]), center samples
+    ([Centers.sample]) and their clusters ([Centers.cluster]). The paper
+    builds its schemes out of exactly these shared objects (Section 2,
+    Lemmas 4/7/8), so deduplicating them across scheme constructions is
+    faithful by construction: a substrate is a pure function of the graph
+    and its key (root vertex, vicinity size [l], sampling [(seed, target)]),
+    so a cached result is {e the} result, bit for bit.
+
+    A [Substrate.t] is a per-graph memo handle. Thread one through the
+    scheme [preprocess] entry points (and [Catalog] builds) and each
+    distinct substrate is computed once per sweep; omit it and each build
+    creates a private handle, which still deduplicates within that build.
+    Cached structures are read-only after construction, so physical sharing
+    between scheme instances is safe.
+
+    {b Domains.} The handle is not synchronized: consult it only from the
+    domain that owns it (scheme preprocessing orchestrates from one domain;
+    the [Pool]-parallel paths inside [Vicinity.compute_all] etc. keep their
+    own per-domain workspaces and never touch the handle).
+
+    {b Accounting.} Every lookup bumps a per-handle hit or miss counter
+    ({!stats}), and mirrors into the process-wide
+    [Telemetry.counters.substrate_hits]/[substrate_misses] shards when
+    telemetry is enabled. *)
+
+open Cr_graph
+
+type t
+
+val create : Graph.t -> t
+(** A fresh, empty handle bound to [g]. *)
+
+val graph : t -> Graph.t
+(** The graph the handle is bound to. *)
+
+val for_graph : t option -> Graph.t -> t
+(** [for_graph sub g] is [sub]'s handle when given, after checking it is
+    bound to {e physically} the same graph, or a fresh handle otherwise —
+    the uniform entry for [?substrate] parameters.
+    @raise Invalid_argument if [sub] was created for a different graph. *)
+
+(** {1 Cached substrates} *)
+
+val spt : t -> int -> Dijkstra.tree
+(** Full shortest-path tree rooted at a vertex, keyed by root. *)
+
+val spt_tree : t -> int -> Tree_routing.t
+(** [Tree_routing.of_tree] of {!spt}, keyed by root. *)
+
+val vicinities : ?pool:Pool.t -> t -> int -> Vicinity.t array
+(** The vicinity family [B(u, l)] for all [u], keyed by [l]. [pool] is
+    used only on a miss; hits return the cached family regardless (the
+    result is pool-independent by the [Pool] determinism contract). *)
+
+val centers : t -> seed:int -> target:int -> Centers.t
+(** [Centers.sample], keyed by [(seed, target)]. *)
+
+val cluster : t -> seed:int -> target:int -> int -> Dijkstra.tree
+(** [cluster s ~seed ~target w] is [Centers.cluster g c w] for
+    [c = centers s ~seed ~target], keyed by [(seed, target, w)]. *)
+
+val cluster_tree : t -> seed:int -> target:int -> int -> Tree_routing.t option
+(** [Tree_routing.of_tree] of {!cluster}, keyed the same way; [None] when
+    the cluster is empty. *)
+
+val bunches : ?pool:Pool.t -> t -> seed:int -> target:int -> int array array
+(** [Centers.bunches] for {!centers}[ ~seed ~target], keyed by
+    [(seed, target)]. [pool] is used only on a miss. *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  spt_hits : int;
+  spt_misses : int;
+  spt_tree_hits : int;
+  spt_tree_misses : int;
+  vicinity_hits : int;
+  vicinity_misses : int;
+  centers_hits : int;
+  centers_misses : int;
+  cluster_hits : int;
+  cluster_misses : int;
+}
+
+val stats : t -> stats
+(** Snapshot of the handle's lookup counters. [cluster_*] covers
+    {!cluster}, {!cluster_tree} and {!bunches} lookups. *)
+
+val hits : stats -> int
+(** Total hits across all categories. *)
+
+val misses : stats -> int
+(** Total misses across all categories. *)
+
+val stats_rows : stats -> (string * int * int) list
+(** [(category, hits, misses)] rows in declaration order, for reports. *)

@@ -44,6 +44,8 @@ type counters = {
   mutable dropped : int;
   mutable corrupted : int;
   mutable retries : int;
+  mutable substrate_hits : int;
+  mutable substrate_misses : int;
 }
 
 let fresh_counters () =
@@ -58,6 +60,8 @@ let fresh_counters () =
     dropped = 0;
     corrupted = 0;
     retries = 0;
+    substrate_hits = 0;
+    substrate_misses = 0;
   }
 
 let null_counters = fresh_counters ()
@@ -72,7 +76,9 @@ let zero_counters c =
   c.delivered <- 0;
   c.dropped <- 0;
   c.corrupted <- 0;
-  c.retries <- 0
+  c.retries <- 0;
+  c.substrate_hits <- 0;
+  c.substrate_misses <- 0
 
 let add_counters ~into c =
   into.routes <- into.routes + c.routes;
@@ -84,7 +90,9 @@ let add_counters ~into c =
   into.delivered <- into.delivered + c.delivered;
   into.dropped <- into.dropped + c.dropped;
   into.corrupted <- into.corrupted + c.corrupted;
-  into.retries <- into.retries + c.retries
+  into.retries <- into.retries + c.retries;
+  into.substrate_hits <- into.substrate_hits + c.substrate_hits;
+  into.substrate_misses <- into.substrate_misses + c.substrate_misses
 
 let counter_rows c =
   [
@@ -98,6 +106,8 @@ let counter_rows c =
     ("dropped", c.dropped);
     ("corrupted", c.corrupted);
     ("retries", c.retries);
+    ("substrate_hits", c.substrate_hits);
+    ("substrate_misses", c.substrate_misses);
   ]
 
 (* --- histograms -------------------------------------------------------- *)
@@ -221,7 +231,7 @@ let histograms () =
             s.hists)
         shards;
       Hashtbl.fold (fun name h acc -> (name, h) :: acc) merged []
-      |> List.sort compare)
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 let reset () =
   with_registry

@@ -73,6 +73,10 @@ type counters = {
   mutable dropped : int;  (** messages lost to a fault [Drop] event *)
   mutable corrupted : int;  (** headers garbled by a fault [Corrupt] event *)
   mutable retries : int;  (** resilience escape-hop retransmissions *)
+  mutable substrate_hits : int;
+      (** preprocessing-substrate cache lookups served from memory *)
+  mutable substrate_misses : int;
+      (** preprocessing-substrate cache lookups that computed fresh *)
 }
 
 val counters_shard : unit -> counters

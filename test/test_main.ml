@@ -9,6 +9,7 @@ let () =
       ("vicinity", Test_vicinity.suite);
       ("tree-routing", Test_tree_routing.suite);
       ("substrate", Test_substrate.suite);
+      ("substrate-cache", Test_substrate_cache.suite);
       ("lemma7", Test_seq_routing.suite);
       ("lemma8", Test_seq_routing2.suite);
       ("schemes", Test_schemes.suite);
