@@ -1009,6 +1009,108 @@ let section_throughput () =
     (if !all_dominate then "ok" else "VIOLATED")
 
 (* ------------------------------------------------------------------ *)
+(* Serve: sustained open-loop load over the whole catalog              *)
+(* ------------------------------------------------------------------ *)
+
+let section_serve () =
+  banner "[serve] Open-loop Zipf traffic over the catalog, with fault churn";
+  let domains = Pool.domains (Pool.default ()) in
+  let g = er_graph ~seed:53 () in
+  let apsp = Apsp.compute g in
+  let budget = if quick then 6_000 else 60_000 in
+  let every = budget / 4 in
+  let traffic = Traffic.create ~zipf:1.0 ~seed:61 ~n:(Graph.n g) () in
+  let churn =
+    Traffic.churn_cycle g ~seed:62 ~every ~budget ~link_rate:0.02
+      ~vertex_rate:0.0
+  in
+  let substrate = Substrate.create g in
+  let instances =
+    List.map
+      (fun (e : Catalog.entry) ->
+        fst (e.Catalog.build ~substrate ~seed:33 ~eps:0.5 g))
+      Catalog.all
+  in
+  Format.printf
+    "Graph %a; %d queries round-robin over %d schemes; %d domain(s).@."
+    Graph.pp g budget (List.length instances) domains;
+  Printf.printf
+    "Unpaced (capacity measurement); churn every %d queries (link 2%%).\n\n"
+    every;
+  let was = Telemetry.enabled () in
+  Fun.protect ~finally:(fun () -> Telemetry.set_enabled was) @@ fun () ->
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let report =
+    Traffic.serve ~churn ~pace:false traffic ~budget ~instances ~apsp
+  in
+  Telemetry.set_enabled false;
+  let pct p =
+    match List.assoc_opt "route" (Telemetry.histograms ()) with
+    | Some h -> 1e6 *. Telemetry.Histogram.percentile h p
+    | None -> 0.0
+  in
+  let p50 = pct 0.50 and p90 = pct 0.90 and p99 = pct 0.99 in
+  (* The serve loop's chunked evals must match one batch per segment bit
+     for bit — same identity the CLI and the traffic tests pin. *)
+  let all_identical = ref true in
+  Printf.printf "%-20s %9s %10s %9s %10s\n" "scheme" "routed" "delivered"
+    "segments" "identical";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (s : Traffic.served) ->
+      let ev =
+        Scheme.concat_evals
+          (List.map (fun (sg : Traffic.segment) -> sg.Traffic.eval)
+             s.Traffic.segments)
+      in
+      let routed =
+        List.fold_left
+          (fun a (sg : Traffic.segment) -> a + List.length sg.Traffic.pairs)
+          0 s.Traffic.segments
+      in
+      let identical =
+        List.for_all
+          (fun (sg : Traffic.segment) ->
+            Scheme.evaluate_batch ?faults:sg.Traffic.plan ~fast:true
+              s.Traffic.instance apsp sg.Traffic.pairs
+            = sg.Traffic.eval)
+          s.Traffic.segments
+      in
+      if not identical then all_identical := false;
+      Printf.printf "%-20s %9d %9.1f%% %9d %10s\n%!"
+        s.Traffic.instance.Scheme.name routed
+        (100.0 *. Scheme.delivery_rate ev)
+        (List.length s.Traffic.segments)
+        (string_of_bool identical);
+      csv "serve"
+        ~header:
+          [ "scheme"; "domains"; "routed"; "delivered_rate"; "segments";
+            "identical"; "rps"; "p50_us"; "p90_us"; "p99_us" ]
+        [ s.Traffic.instance.Scheme.name; string_of_int domains;
+          string_of_int routed;
+          Printf.sprintf "%.4f" (Scheme.delivery_rate ev);
+          string_of_int (List.length s.Traffic.segments);
+          string_of_bool identical;
+          Printf.sprintf "%.1f" report.Traffic.rps;
+          Printf.sprintf "%.2f" p50; Printf.sprintf "%.2f" p90;
+          Printf.sprintf "%.2f" p99 ])
+    report.Traffic.served;
+  Printf.printf "%s\n" (String.make 64 '-');
+  Printf.printf "sustained: %.0f routes/s over %.2fs wall\n" report.Traffic.rps
+    report.Traffic.wall;
+  Printf.printf "route latency: p50 %.2fus  p90 %.2fus  p99 %.2fus\n" p50 p90
+    p99;
+  Printf.printf "verdicts: %s\n"
+    (String.concat "  "
+       (List.filter_map
+          (fun (name, c) ->
+            if c > 0 then Some (Printf.sprintf "%s=%d" name c) else None)
+          report.Traffic.verdicts));
+  Printf.printf "serve == evaluate_batch per segment: %s\n"
+    (if !all_identical then "ok" else "VIOLATED")
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry: disabled-mode overhead must stay under 5%                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1149,6 +1251,7 @@ let () =
       run "construction" section_construction;
       run "table1" section_table1;
       run "throughput" section_throughput;
+      run "serve" section_serve;
       run "telemetry" section_telemetry;
       run "families" section_families;
       run "oracles" section_oracles;

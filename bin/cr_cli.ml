@@ -560,6 +560,332 @@ let throughput_cmd =
       $ domains $ no_path)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let us x = 1e6 *. x
+
+(* The long-running query server: a catalog of compiled planes under an
+   open-loop Zipf workload, with steady-state telemetry windows, optional
+   mid-run fault churn, and SLO thresholds that decide the exit code. *)
+let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
+    domains chunk no_pace churn_every churn_rate churn_vertex_rate window
+    slo_p99 slo_rps csv_out =
+  let g = or_die (load_graph graph_file) in
+  let entries =
+    match schemes_opt with
+    | Some ids ->
+      List.map
+        (fun id ->
+          match Catalog.find id with
+          | None ->
+            or_die
+              (Error
+                 (Printf.sprintf "unknown scheme %S; known: %s" id
+                    (String.concat ", " (Catalog.ids ()))))
+          | Some e ->
+            if (not e.Catalog.weighted_ok) && not (Graph.is_unit_weighted g)
+            then
+              or_die
+                (Error
+                   (Printf.sprintf "scheme %s requires an unweighted graph" id))
+            else e)
+        ids
+    | None ->
+      List.filter
+        (fun e -> e.Catalog.weighted_ok || Graph.is_unit_weighted g)
+        Catalog.all
+  in
+  if entries = [] then or_die (Error "no schemes to serve");
+  let rate = if rate <= 0.0 then infinity else rate in
+  let budget =
+    if queries > 0 then queries
+    else if rate < infinity then int_of_float (ceil (rate *. duration))
+    else or_die (Error "--rate 0 (unpaced) needs an explicit --queries budget")
+  in
+  let traffic = Traffic.create ~zipf ~rate ~seed ~n:(Graph.n g) () in
+  let pool = Pool.create ~domains () in
+  let apsp = Apsp.compute g in
+  (* One substrate handle across the whole catalog: the builds share the
+     common preprocessing instead of recomputing it per scheme. *)
+  let substrate = Substrate.create g in
+  let instances, build_t =
+    wall (fun () ->
+        List.map
+          (fun e -> fst (e.Catalog.build ~substrate ~seed ~eps g))
+          entries)
+  in
+  let churn =
+    if churn_every > 0 then
+      Traffic.churn_cycle g ~seed:(seed + 1) ~every:churn_every ~budget
+        ~link_rate:churn_rate ~vertex_rate:churn_vertex_rate
+    else []
+  in
+  Format.printf "serve campaign on %a@." Graph.pp g;
+  Printf.printf "catalog: %s\n"
+    (String.concat ", " (List.map (fun e -> e.Catalog.id) entries));
+  Printf.printf "budget %d queries, %s, zipf %g, %d domain(s); built in %.2fs\n"
+    budget
+    (if rate = infinity then "unpaced (full speed)"
+     else Printf.sprintf "offered rate %.0f q/s (~%.1fs)" rate
+            (float_of_int budget /. rate))
+    zipf domains build_t;
+  (match churn with
+  | [] -> Printf.printf "churn: none\n\n"
+  | evs ->
+    Printf.printf
+      "churn: every %d queries (%d events; link %g%%, vertex %g%%)\n\n"
+      churn_every (List.length evs)
+      (100.0 *. churn_rate)
+      (100.0 *. churn_vertex_rate));
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  (* Steady-state windows: diffs of telemetry snapshots, so each line is
+     the rate and latency of that window alone, not a running average. *)
+  let last = ref (Telemetry.Snapshot.capture ()) in
+  let last_t = ref 0.0 in
+  let on_window ~routed:_ ~elapsed =
+    if elapsed -. !last_t >= window then begin
+      let snap = Telemetry.Snapshot.capture () in
+      let w = Telemetry.Snapshot.since ~earlier:!last snap in
+      let span = Telemetry.Snapshot.span ~earlier:!last snap in
+      (match Telemetry.Snapshot.histogram w "route" with
+      | Some h when Telemetry.Histogram.count h > 0 ->
+        Printf.printf
+          "  [%6.1fs] %8d routed %9.0f rps  p50 %8.2fus p90 %8.2fus p99 %8.2fus\n%!"
+          elapsed
+          (Telemetry.Histogram.count h)
+          (float_of_int (Telemetry.Histogram.count h) /. Float.max span 1e-9)
+          (us (Telemetry.Histogram.percentile h 0.50))
+          (us (Telemetry.Histogram.percentile h 0.90))
+          (us (Telemetry.Histogram.percentile h 0.99))
+      | _ -> ());
+      last := snap;
+      last_t := elapsed
+    end
+  in
+  let report =
+    Traffic.serve ~pool ~churn ~chunk ~pace:(not no_pace) ~on_window traffic
+      ~budget ~instances ~apsp
+  in
+  Telemetry.set_enabled false;
+  let route_hist = List.assoc_opt "route" (Telemetry.histograms ()) in
+  let pct p =
+    match route_hist with
+    | Some h -> us (Telemetry.Histogram.percentile h p)
+    | None -> 0.0
+  in
+  let p50 = pct 0.50 and p90 = pct 0.90 and p99 = pct 0.99 in
+  (* Per-scheme rows, and the identity pin: every segment's accumulated
+     eval must equal one evaluate_batch over that segment's pair sequence
+     under its plan — the serve loop may not drift from the batch engine. *)
+  let identical = ref true in
+  Printf.printf "\n%-20s %9s %10s %9s  %s\n" "scheme" "routed" "delivered"
+    "segments" "identity";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let total_eval = ref [] in
+  List.iter
+    (fun (s : Traffic.served) ->
+      let evs = List.map (fun (sg : Traffic.segment) -> sg.Traffic.eval)
+          s.Traffic.segments in
+      let ev = Scheme.concat_evals evs in
+      total_eval := ev :: !total_eval;
+      let routed =
+        List.fold_left
+          (fun a (sg : Traffic.segment) -> a + List.length sg.Traffic.pairs)
+          0 s.Traffic.segments
+      in
+      let ok =
+        List.for_all
+          (fun (sg : Traffic.segment) ->
+            Scheme.evaluate_batch ~pool ?faults:sg.Traffic.plan ~fast:true
+              s.Traffic.instance apsp sg.Traffic.pairs
+            = sg.Traffic.eval)
+          s.Traffic.segments
+      in
+      if not ok then identical := false;
+      Printf.printf "%-20s %9d %9.1f%% %9d  %s\n"
+        s.Traffic.instance.Scheme.name routed
+        (100.0 *. Scheme.delivery_rate ev)
+        (List.length s.Traffic.segments)
+        (if ok then "ok" else "VIOLATED"))
+    report.Traffic.served;
+  let overall = Scheme.concat_evals !total_eval in
+  Printf.printf "\nrouted %d queries in %.2fs -> %.0f routes/s sustained"
+    report.Traffic.routed report.Traffic.wall report.Traffic.rps;
+  if rate < infinity && not no_pace then
+    Printf.printf "  (max lag %.1fms)" (1e3 *. report.Traffic.max_lag);
+  Printf.printf "\nroute latency: p50 %.2fus  p90 %.2fus  p99 %.2fus\n" p50 p90
+    p99;
+  Printf.printf "delivery: %.2f%% of routable queries\n"
+    (100.0 *. Scheme.delivery_rate overall);
+  Printf.printf "verdicts: %s\n"
+    (String.concat "  "
+       (List.filter_map
+          (fun (name, c) ->
+            if c > 0 then Some (Printf.sprintf "%s=%d" name c) else None)
+          report.Traffic.verdicts));
+  Printf.printf "serve == evaluate_batch per segment: %s\n"
+    (if !identical then "ok" else "VIOLATED");
+  let slo_ok = ref true in
+  (match slo_p99 with
+  | None -> ()
+  | Some ms ->
+    let ok = p99 <= 1e3 *. ms in
+    if not ok then slo_ok := false;
+    Printf.printf "SLO p99 <= %gms: %s\n" ms (if ok then "ok" else "VIOLATED"));
+  (match slo_rps with
+  | None -> ()
+  | Some r ->
+    let ok = report.Traffic.rps >= r in
+    if not ok then slo_ok := false;
+    Printf.printf "SLO sustained rps >= %g: %s\n" r
+      (if ok then "ok" else "VIOLATED"));
+  (match csv_out with
+  | None -> ()
+  | Some path ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      "scheme,routed,delivered_rate,segments,identical,rps,p50_us,p90_us,p99_us,max_lag_ms\n";
+    List.iter
+      (fun (s : Traffic.served) ->
+        let ev =
+          Scheme.concat_evals
+            (List.map (fun (sg : Traffic.segment) -> sg.Traffic.eval)
+               s.Traffic.segments)
+        in
+        let routed =
+          List.fold_left
+            (fun a (sg : Traffic.segment) -> a + List.length sg.Traffic.pairs)
+            0 s.Traffic.segments
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%s,%d,%.4f,%d,%b,%.1f,%.2f,%.2f,%.2f,%.2f\n"
+             s.Traffic.instance.Scheme.name routed (Scheme.delivery_rate ev)
+             (List.length s.Traffic.segments)
+             !identical report.Traffic.rps p50 p90 p99
+             (1e3 *. report.Traffic.max_lag)))
+      report.Traffic.served;
+    write_file path (Buffer.contents b);
+    Printf.printf "wrote %s\n" path);
+  if not !identical then 2 else if not !slo_ok then 1 else 0
+
+let serve_cmd =
+  let schemes_opt =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "schemes" ] ~docv:"ID1,ID2,..."
+          ~doc:
+            "Schemes to serve (ids as in $(b,cr_cli schemes); a \
+             $(b,+res) suffix wraps with the resilience ladder). Default: \
+             every catalog scheme the graph supports.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 10.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:
+            "Length of the run; with $(b,--rate) it fixes the query budget \
+             (rate * duration) unless $(b,--queries) overrides it.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "rate" ] ~docv:"QPS"
+          ~doc:
+            "Offered load in queries/second (open loop: lag accumulates if \
+             the server cannot keep up). $(b,0) disables pacing and serves \
+             the budget flat out.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 0
+      & info [ "queries" ] ~docv:"N"
+          ~doc:"Explicit query budget (overrides rate * duration).")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 1.0
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf popularity exponent for both endpoints (0 = uniform).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int (Pool.domains (Pool.default ()))
+      & info [ "domains" ] ~docv:"D" ~doc:"Domain-pool width for routing.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 256
+      & info [ "chunk" ] ~docv:"K"
+          ~doc:"Queries per instance drained per dispatch window.")
+  in
+  let no_pace =
+    Arg.(
+      value & flag
+      & info [ "no-pace" ]
+          ~doc:"Ignore the arrival schedule and serve flat out.")
+  in
+  let churn_every =
+    Arg.(
+      value & opt int 0
+      & info [ "churn-every" ] ~docv:"Q"
+          ~doc:
+            "Alternate fault injection and healing every Q queries \
+             (0 = no churn).")
+  in
+  let churn_rate =
+    Arg.(
+      value & opt float 0.02
+      & info [ "churn-rate" ] ~docv:"R"
+          ~doc:"Link failure rate of each churn fault plan.")
+  in
+  let churn_vertex_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "churn-vertex-rate" ] ~docv:"R"
+          ~doc:"Vertex crash rate of each churn fault plan.")
+  in
+  let window =
+    Arg.(
+      value & opt float 1.0
+      & info [ "window" ] ~docv:"SECONDS"
+          ~doc:"Telemetry reporting window for the steady-state lines.")
+  in
+  let slo_p99 =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-p99" ] ~docv:"MS"
+          ~doc:"Exit nonzero if p99 route latency exceeds MS milliseconds.")
+  in
+  let slo_rps =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-rps" ] ~docv:"RPS"
+          ~doc:"Exit nonzero if sustained routes/second falls below RPS.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write per-scheme results as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived query server over a scheme catalog under an \
+          open-loop Zipf workload, with optional fault churn and SLO checks")
+    Term.(
+      const serve_impl $ graph_arg $ schemes_opt $ seed_arg $ eps_arg
+      $ duration $ rate $ queries $ zipf $ domains $ chunk $ no_pace
+      $ churn_every $ churn_rate $ churn_vertex_rate $ window $ slo_p99
+      $ slo_rps $ csv_out)
+
+(* ------------------------------------------------------------------ *)
 (* faults                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -838,7 +1164,7 @@ let main_cmd =
        ~doc:"Compact routing schemes of Roditty and Tov (PODC'15)")
     [
       generate_cmd; schemes_cmd; route_cmd; trace_cmd; stats_cmd; table1_cmd;
-      throughput_cmd; faults_cmd; oracle_cmd; spanner_cmd;
+      throughput_cmd; serve_cmd; faults_cmd; oracle_cmd; spanner_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -35,6 +35,19 @@ let verdict_name = function
   | Loop_detected _ -> "loop-detected"
   | Invalid_port _ -> "invalid-port"
 
+let verdict_class = function
+  | Delivered -> 0
+  | Dropped_at _ -> 1
+  | Dead_end_at _ -> 2
+  | Link_down_at _ -> 3
+  | Hop_budget_exhausted -> 4
+  | Loop_detected _ -> 5
+  | Invalid_port _ -> 6
+
+let verdict_classes =
+  [| "delivered"; "dropped"; "dead-end"; "link-down"; "hop-budget-exhausted";
+     "loop-detected"; "invalid-port" |]
+
 let pp_verdict ppf = function
   | Delivered -> Format.pp_print_string ppf "delivered"
   | Dropped_at v -> Format.fprintf ppf "dropped after vertex %d" v

@@ -68,6 +68,15 @@ val verdict_name : verdict -> string
 (** Short stable identifier, e.g. ["link-down"] — used by the CLI's exit
     diagnostics and the CSV mirrors. *)
 
+val verdict_class : verdict -> int
+(** Stable dense index of the verdict's constructor (payload dropped), in
+    [[0, Array.length verdict_classes)] — the per-verdict counter slot the
+    serve loop and batch engine bump. *)
+
+val verdict_classes : string array
+(** [verdict_classes.(verdict_class v) = verdict_name v] for every
+    verdict: the display names of the counter slots, in index order. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit
 (** Human-readable verdict with its location payload. *)
 

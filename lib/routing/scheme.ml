@@ -149,13 +149,14 @@ let evaluate_under_faults ?faults inst apsp pairs =
 let evaluate inst apsp pairs = evaluate_under_faults inst apsp pairs
 
 (* Per-pair results of the parallel sweep; one slot per pair, written once
-   by whichever domain drew the index. *)
+   by whichever domain drew the index. Failures keep their verdict so the
+   serial merge can also maintain per-verdict counters for the caller. *)
 type slot =
   | Skipped
   | Sample of float * float * int (* distance, routed length, header peak *)
-  | Failure of int
+  | Failure of Port_model.verdict * int
 
-let evaluate_batch ?pool ?faults ?(fast = true) inst apsp pairs =
+let evaluate_batch ?pool ?faults ?(fast = true) ?verdicts inst apsp pairs =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let pairs = Array.of_list pairs in
   let np = Array.length pairs in
@@ -192,21 +193,44 @@ let evaluate_batch ?pool ?faults ?(fast = true) inst apsp pairs =
         slots.(i) <-
           (if Port_model.delivered_to o v then
              Sample (d, o.Port_model.length, o.Port_model.header_words_peak)
-           else Failure o.Port_model.header_words_peak)
+           else Failure (o.Port_model.verdict, o.Port_model.header_words_peak))
       end);
   (* Merge in pair order — the schedule cannot leak into the result, so the
-     eval is bit-identical to the serial sweep over the same router. *)
+     eval is bit-identical to the serial sweep over the same router. The
+     optional verdict counters are bumped here, on the single merging
+     domain, so they need no synchronization and cannot perturb the eval. *)
+  let bump v =
+    match verdicts with
+    | None -> ()
+    | Some counts ->
+      let k = Port_model.verdict_class v in
+      counts.(k) <- counts.(k) + 1
+  in
   collect ~len:np (fun ~sample ~failure ~observe_peak ->
       Array.iter
         (function
           | Skipped -> ()
           | Sample (d, l, p) ->
             observe_peak p;
+            bump Port_model.Delivered;
             sample d l
-          | Failure p ->
+          | Failure (v, p) ->
             observe_peak p;
+            bump v;
             failure ())
         slots)
+
+(* Chronological concatenation: equals one evaluation over the
+   concatenated pair lists (samples keep pair order; failures add; peaks
+   max) — what lets the serve loop evaluate in chunks yet report an eval
+   bit-identical to a single batch over the whole stream. *)
+let concat_evals evs =
+  {
+    samples = Array.concat (List.map (fun e -> e.samples) evs);
+    failures = List.fold_left (fun a e -> a + e.failures) 0 evs;
+    header_words_peak =
+      List.fold_left (fun a e -> max a e.header_words_peak) 0 evs;
+  }
 
 let eval_is_empty e = Array.length e.samples = 0 && e.failures = 0
 

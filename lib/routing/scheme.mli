@@ -106,6 +106,7 @@ val evaluate_batch :
   ?pool:Pool.t ->
   ?faults:Fault.plan ->
   ?fast:bool ->
+  ?verdicts:int array ->
   instance ->
   Apsp.t ->
   (int * int) list ->
@@ -124,7 +125,23 @@ val evaluate_batch :
     histogram and counted on the worker domain's own shard;
     {!Telemetry.totals} merges the shards, so the merged counters equal a
     serial run's regardless of domain count. Telemetry never changes the
-    eval. *)
+    eval.
+
+    [?verdicts] is a caller-owned counter array indexed by
+    {!Port_model.verdict_class} (length
+    [Array.length Port_model.verdict_classes]): each routed pair bumps its
+    verdict's slot — a pair that ends [Delivered] at the wrong vertex
+    counts under ["delivered"] but is still an eval failure. The bumps
+    happen during the serial pair-order merge, never on worker domains,
+    and have no effect on the returned eval. *)
+
+val concat_evals : eval list -> eval
+(** Chronological concatenation: [concat_evals [e1; e2]] equals the eval
+    of one sweep over the concatenated pair lists (samples keep pair
+    order, failures add, header peaks max). The serve loop evaluates its
+    stream in chunks and concatenates, so its per-segment evals are
+    bit-identical to one {!evaluate_batch} over the segment's whole pair
+    sequence. The empty list is the empty eval. *)
 
 val eval_is_empty : eval -> bool
 (** No data at all: zero samples {e and} zero failures (e.g. every sampled

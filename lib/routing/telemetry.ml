@@ -179,6 +179,23 @@ module Histogram = struct
       if h.counts.(k) > 0 then acc := (k, h.counts.(k)) :: !acc
     done;
     !acc
+
+  let copy h =
+    { counts = Array.copy h.counts; n = h.n; sum = h.sum; vmax = h.vmax }
+
+  (* Windowed delta: [a] must be a later capture of the same (merged)
+     histogram as [b], so the bucket counts are pointwise >=. The exact
+     maximum is not differentiable — a window inherits the max seen up to
+     its end, which only over-reports; percentiles stay window-exact. *)
+  let sub a b =
+    let r = create () in
+    for k = 0 to buckets - 1 do
+      r.counts.(k) <- a.counts.(k) - b.counts.(k)
+    done;
+    r.n <- a.n - b.n;
+    r.sum <- a.sum -. b.sum;
+    r.vmax <- a.vmax;
+    r
 end
 
 (* --- shards ------------------------------------------------------------ *)
@@ -238,6 +255,61 @@ let reset () =
     (List.iter (fun s ->
          zero_counters s.c;
          Hashtbl.reset s.hists))
+
+(* --- snapshots --------------------------------------------------------- *)
+
+let sub_counters a b =
+  {
+    routes = a.routes - b.routes;
+    hops = a.hops - b.hops;
+    table_lookups = a.table_lookups - b.table_lookups;
+    bounces = a.bounces - b.bounces;
+    detour_entries = a.detour_entries - b.detour_entries;
+    fast_plane_hits = a.fast_plane_hits - b.fast_plane_hits;
+    delivered = a.delivered - b.delivered;
+    dropped = a.dropped - b.dropped;
+    corrupted = a.corrupted - b.corrupted;
+    retries = a.retries - b.retries;
+    substrate_hits = a.substrate_hits - b.substrate_hits;
+    substrate_misses = a.substrate_misses - b.substrate_misses;
+  }
+
+module Snapshot = struct
+  type s = { at : float; c : counters; hists : (string * Histogram.t) list }
+
+  type t = s
+
+  let capture () =
+    {
+      at = Unix.gettimeofday ();
+      c = totals ();
+      hists = List.map (fun (n, h) -> (n, Histogram.copy h)) (histograms ());
+    }
+
+  let at s = s.at
+
+  let counters s = s.c
+
+  let histogram s name = List.assoc_opt name s.hists
+
+  (* Counters and bucket counts are cumulative, so the per-window view is
+     a plain field-wise / bucket-wise difference. A histogram that only
+     exists in the later capture diffs against zero. *)
+  let since ~earlier later =
+    {
+      at = later.at;
+      c = sub_counters later.c earlier.c;
+      hists =
+        List.map
+          (fun (name, h) ->
+            match List.assoc_opt name earlier.hists with
+            | None -> (name, Histogram.copy h)
+            | Some h0 -> (name, Histogram.sub h h0))
+          later.hists;
+    }
+
+  let span ~earlier later = later.at -. earlier.at
+end
 
 let record_span name seconds =
   if !on then begin

@@ -139,6 +139,40 @@ module Histogram : sig
   (** [(bucket index, count)] for every occupied bucket, ascending. *)
 end
 
+(** {1 Windowed snapshots} *)
+
+module Snapshot : sig
+  (** Frozen view of the merged counters and histograms, for steady-state
+      window reporting: capture one snapshot per window boundary and
+      {!since} two captures to get that window's counters and latency
+      histograms in isolation. The serve loop ([cr_cli serve]) prints one
+      line per window from these. *)
+
+  type t
+
+  val capture : unit -> t
+  (** Merge every shard right now and freeze the result (with a wall-clock
+      stamp). Cheap enough to call once per reporting window; not meant
+      for per-route use. *)
+
+  val at : t -> float
+  (** Wall-clock capture time ({!now} units). *)
+
+  val since : earlier:t -> t -> t
+  (** [since ~earlier later] is the window between the two captures:
+      counters and histogram buckets are cumulative, so the delta is exact
+      field-wise / bucket-wise. The one caveat: a window histogram's
+      {!Histogram.max_value} is the max up to the {e later} capture (the
+      exact max is not differentiable); percentiles are window-exact. *)
+
+  val span : earlier:t -> t -> float
+  (** Seconds between the two captures. *)
+
+  val counters : t -> counters
+
+  val histogram : t -> string -> Histogram.t option
+end
+
 val record_span : string -> float -> unit
 (** [record_span name seconds] records into this domain's shard of the
     named histogram (created on first use). No-op when disabled. *)

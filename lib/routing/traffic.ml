@@ -1,0 +1,265 @@
+(* SplitMix64 finalizer, same construction as Fault's event hashing: the
+   k-th query is a pure function of (seed, k), so any point of the
+   schedule can be recomputed without replaying the stream. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash4 a b c d =
+  let open Int64 in
+  let h = mix64 (add (of_int a) 0x9e3779b97f4a7c15L) in
+  let h = mix64 (logxor h (of_int b)) in
+  let h = mix64 (logxor h (of_int c)) in
+  mix64 (logxor h (of_int d))
+
+let u01 h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+(* Tags keep the source / destination / arrival-jitter streams independent. *)
+let tag_src = 1
+let tag_dst = 2
+let tag_jitter = 3
+
+type t = {
+  n : int;
+  seed : int;
+  zipf : float;
+  rate : float;
+  cdf : float array;  (* cdf.(r) = P(rank <= r); cdf.(n-1) = 1.0 *)
+  src_of_rank : int array;
+  dst_of_rank : int array;
+  rank_of_src : int array;  (* inverse of src_of_rank, for the tests *)
+}
+
+let permutation st n =
+  let p = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  p
+
+let create ?(zipf = 1.0) ?(rate = infinity) ~seed ~n () =
+  if n < 2 then invalid_arg "Traffic.create: need at least two vertices";
+  if not (zipf >= 0.0) then invalid_arg "Traffic.create: zipf must be >= 0";
+  if not (rate > 0.0) then invalid_arg "Traffic.create: rate must be > 0";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (float_of_int (r + 1) ** -.zipf);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
+  cdf.(n - 1) <- 1.0;
+  (* Independent popularity permutations: a hot source is not thereby a hot
+     destination. Seeded Random.State, so the spec is a pure function of
+     the seed. *)
+  let src_of_rank = permutation (Random.State.make [| seed; 0x7473 |]) n in
+  let dst_of_rank = permutation (Random.State.make [| seed; 0x7464 |]) n in
+  let rank_of_src = Array.make n 0 in
+  Array.iteri (fun r v -> rank_of_src.(v) <- r) src_of_rank;
+  { n; seed; zipf; rate; cdf; src_of_rank; dst_of_rank; rank_of_src }
+
+let n t = t.n
+let seed t = t.seed
+let zipf t = t.zipf
+let rate t = t.rate
+let rank_of_source t v = t.rank_of_src.(v)
+
+(* Smallest rank r with u < cdf.(r): binary search over the prefix sums. *)
+let rank_of t u =
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if u < t.cdf.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pair t k =
+  let u = t.src_of_rank.(rank_of t (u01 (hash4 t.seed tag_src k 0))) in
+  let rec draw attempt =
+    if attempt < 32 then begin
+      let v = t.dst_of_rank.(rank_of t (u01 (hash4 t.seed tag_dst k attempt))) in
+      if v <> u then (u, v) else draw (attempt + 1)
+    end
+    else begin
+      (* Degenerate skew (tiny n under a heavy exponent) can hash to the
+         same hot vertex 32 times; probe deterministically from the last
+         drawn rank — n >= 2 guarantees termination. *)
+      let r0 = rank_of t (u01 (hash4 t.seed tag_dst k 32)) in
+      let rec probe i =
+        let v = t.dst_of_rank.((r0 + i) mod t.n) in
+        if v <> u then (u, v) else probe (i + 1)
+      in
+      probe 1
+    end
+  in
+  draw 0
+
+let arrival t k =
+  if t.rate = infinity then 0.0
+  else (float_of_int k +. u01 (hash4 t.seed tag_jitter k 0)) /. t.rate
+
+let pairs t ~count = List.init count (pair t)
+
+type churn_event = { at_query : int; plan : Fault.plan option }
+
+let churn_cycle g ~seed ~every ~budget ~link_rate ~vertex_rate =
+  if every <= 0 then []
+  else begin
+    let events = ref [] in
+    let i = ref 0 in
+    while (!i + 1) * every < budget do
+      let at_query = (!i + 1) * every in
+      let plan =
+        if !i mod 2 = 0 then
+          Some
+            (Fault.compile
+               (Fault.spec ~seed:(seed + (7919 * !i))
+                  ~link_failure_rate:link_rate ~vertex_failure_rate:vertex_rate
+                  ())
+               g)
+        else None
+      in
+      events := { at_query; plan } :: !events;
+      incr i
+    done;
+    List.rev !events
+  end
+
+type segment = {
+  plan : Fault.plan option;
+  pairs : (int * int) list;
+  eval : Scheme.eval;
+}
+
+type served = {
+  instance : Scheme.instance;
+  segments : segment list;
+}
+
+type report = {
+  served : served list;
+  routed : int;
+  wall : float;
+  rps : float;
+  verdicts : (string * int) list;
+  max_lag : float;
+}
+
+let serve ?pool ?(churn = []) ?(chunk = 256) ?(pace = true) ?on_window t
+    ~budget ~instances ~apsp =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let insts = Array.of_list instances in
+  let ns = Array.length insts in
+  if ns = 0 then invalid_arg "Traffic.serve: need at least one instance";
+  if budget < 0 then invalid_arg "Traffic.serve: negative budget";
+  if chunk < 1 then invalid_arg "Traffic.serve: chunk must be >= 1";
+  let churn =
+    List.sort (fun a b -> Int.compare a.at_query b.at_query) churn
+    |> List.filter (fun ev -> ev.at_query > 0 && ev.at_query < budget)
+  in
+  let verdict_counts = Array.make (Array.length Port_model.verdict_classes) 0 in
+  (* Per-instance accumulators: the open segment is a reversed list of
+     evaluated chunks; a churn boundary closes it (concatenating chunks in
+     chronological order, so the segment eval is bit-identical to one batch
+     over the segment's whole pair sequence). *)
+  let seg_plan = ref None in
+  let seg_pairs = Array.make ns [] in
+  let seg_evals = Array.make ns [] in
+  let closed = Array.make ns [] in
+  let close_segments () =
+    for i = 0 to ns - 1 do
+      if seg_evals.(i) <> [] then begin
+        closed.(i) <-
+          {
+            plan = !seg_plan;
+            pairs = List.concat (List.rev seg_pairs.(i));
+            eval = Scheme.concat_evals (List.rev seg_evals.(i));
+          }
+          :: closed.(i);
+        seg_pairs.(i) <- [];
+        seg_evals.(i) <- []
+      end
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let max_lag = ref 0.0 in
+  let routed = ref 0 in
+  let pending_churn = ref churn in
+  let k = ref 0 in
+  while !k < budget do
+    (* Apply every churn event due at this index; each swap closes the open
+       segments so per-segment evals stay pinned to one plan. *)
+    let rec apply () =
+      match !pending_churn with
+      | ev :: rest when ev.at_query <= !k ->
+        close_segments ();
+        seg_plan := ev.plan;
+        pending_churn := rest;
+        apply ()
+      | _ -> ()
+    in
+    apply ();
+    let next_boundary =
+      match !pending_churn with [] -> budget | ev :: _ -> ev.at_query
+    in
+    let k1 = min next_boundary (min budget (!k + (chunk * ns))) in
+    (* Open-loop pacing: sleep until the window's first query is due. We
+       never sleep to let a lagging server catch up — lag is recorded, not
+       absorbed. *)
+    if pace && t.rate < infinity then begin
+      let wait = arrival t !k -. (Unix.gettimeofday () -. t0) in
+      if wait > 0.0 then Unix.sleepf wait
+    end;
+    (* Round-robin dispatch: query q goes to instance q mod ns, each
+       instance's pairs kept in arrival order. *)
+    let bufs = Array.make ns [] in
+    for q = k1 - 1 downto !k do
+      bufs.(q mod ns) <- pair t q :: bufs.(q mod ns)
+    done;
+    for i = 0 to ns - 1 do
+      if bufs.(i) <> [] then begin
+        let ev =
+          Scheme.evaluate_batch ~pool ?faults:!seg_plan ~fast:true
+            ~verdicts:verdict_counts insts.(i) apsp bufs.(i)
+        in
+        seg_pairs.(i) <- bufs.(i) :: seg_pairs.(i);
+        seg_evals.(i) <- ev :: seg_evals.(i)
+      end
+    done;
+    routed := !routed + (k1 - !k);
+    k := k1;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if t.rate < infinity then begin
+      let lag = elapsed -. arrival t (k1 - 1) in
+      if lag > !max_lag then max_lag := lag
+    end;
+    match on_window with
+    | Some f -> f ~routed:!routed ~elapsed
+    | None -> ()
+  done;
+  close_segments ();
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    served =
+      Array.to_list
+        (Array.mapi
+           (fun i inst -> { instance = inst; segments = List.rev closed.(i) })
+           insts);
+    routed = !routed;
+    wall;
+    rps = (if wall > 0.0 then float_of_int !routed /. wall else 0.0);
+    verdicts =
+      Array.to_list
+        (Array.mapi
+           (fun c name -> (name, verdict_counts.(c)))
+           Port_model.verdict_classes);
+    max_lag = !max_lag;
+  }

@@ -1,24 +1,70 @@
 open Cr_graph
 
-let all_connected_pairs apsp n =
-  let acc = ref [] in
+(* Connected ordered pairs flattened into preallocated parallel arrays
+   (pair, distance). A counting pass sizes the buffers exactly, so building
+   a workload allocates the two result arrays and nothing else — the old
+   implementation consed an O(n^2) list and converted it per call, which
+   dominated workload construction at bench sizes. *)
+let connected_pairs apsp n =
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Apsp.dist apsp u v < infinity then incr count
+    done
+  done;
+  let total = !count in
+  let pairs = Array.make (max 1 total) (0, 0) in
+  let dist = Array.make (max 1 total) 0.0 in
+  let m = ref 0 in
   for u = 0 to n - 1 do
     for v = 0 to n - 1 do
       if u <> v then begin
         let d = Apsp.dist apsp u v in
-        if d < infinity then acc := ((u, v), d) :: !acc
+        if d < infinity then begin
+          pairs.(!m) <- (u, v);
+          dist.(!m) <- d;
+          incr m
+        end
       end
     done
   done;
-  !acc
+  (pairs, dist, total)
+
+(* Index permutation sorted by distance ([Float.compare], never the
+   polymorphic compare — distances are floats, and the polymorphic order
+   both is slower and mis-handles any NaN that slips in). Ties break on
+   the enumeration index, so the order is fully specified: among equal
+   distances, pairs come in (u, v) lexicographic enumeration order. *)
+let order_by_distance ?(descending = false) dist total =
+  let order = Array.init total (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c =
+        if descending then Float.compare dist.(j) dist.(i)
+        else Float.compare dist.(i) dist.(j)
+      in
+      if c <> 0 then c else Int.compare i j)
+    order;
+  order
+
+(* Partial Fisher-Yates: after the loop, [a.(0 .. budget-1)] is a uniform
+   sample without replacement from the whole array — exact, deterministic
+   per [st], and O(budget) swaps. This replaces rejection sampling into a
+   hashtable, which bailed out after [50 * budget] attempts and silently
+   under-delivered on small or heavily-tied ranges. *)
+let partial_shuffle st a budget =
+  let k = Array.length a in
+  for i = 0 to budget - 1 do
+    let j = i + Random.State.int st (k - i) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
 
 let stratified apsp ~seed ~n ~buckets ~per_bucket =
   if buckets < 1 then invalid_arg "Workload.stratified: need buckets >= 1";
-  let pairs = all_connected_pairs apsp n in
-  let sorted =
-    List.sort (fun (_, d1) (_, d2) -> compare d1 d2) pairs |> Array.of_list
-  in
-  let total = Array.length sorted in
+  let pairs, dist, total = connected_pairs apsp n in
+  let order = order_by_distance dist total in
   let st = Random.State.make [| seed; 0x776b |] in
   Array.init buckets (fun b ->
       let lo_idx = b * total / buckets in
@@ -26,43 +72,43 @@ let stratified apsp ~seed ~n ~buckets ~per_bucket =
       let size = hi_idx - lo_idx in
       if size <= 0 then ((0.0, 0.0), [])
       else begin
-        let lo = snd sorted.(lo_idx) and hi = snd sorted.(hi_idx - 1) in
-        let chosen = Hashtbl.create (2 * per_bucket) in
+        let lo = dist.(order.(lo_idx)) and hi = dist.(order.(hi_idx - 1)) in
         let budget = min per_bucket size in
-        (* Sample without replacement from the bucket's index range. *)
-        let guard = ref 0 in
-        while Hashtbl.length chosen < budget && !guard < 50 * budget do
-          incr guard;
-          Hashtbl.replace chosen (lo_idx + Random.State.int st size) ()
+        (* Exactly [budget] pairs, sampled without replacement from the
+           bucket's slice of the sorted order. *)
+        let slice = Array.sub order lo_idx size in
+        partial_shuffle st slice budget;
+        let picked = ref [] in
+        for i = budget - 1 downto 0 do
+          picked := pairs.(slice.(i)) :: !picked
         done;
-        let picked =
-          Hashtbl.fold (fun i () acc -> fst sorted.(i) :: acc) chosen []
-        in
-        ((lo, hi), picked)
+        ((lo, hi), !picked)
       end)
 
 let farthest apsp ~n ~count =
-  let pairs = all_connected_pairs apsp n in
-  let sorted = List.sort (fun (_, d1) (_, d2) -> compare d2 d1) pairs in
-  List.filteri (fun i _ -> i < count) sorted |> List.map fst
+  let pairs, dist, total = connected_pairs apsp n in
+  let order = order_by_distance ~descending:true dist total in
+  List.init (min count total) (fun i -> pairs.(order.(i)))
 
 let within_distance apsp ~seed ~n ~lo ~hi ~count =
-  let eligible =
-    all_connected_pairs apsp n
-    |> List.filter (fun (_, d) -> d >= lo && d <= hi)
-    |> List.map fst
-    |> Array.of_list
-  in
-  let k = Array.length eligible in
+  let pairs, dist, total = connected_pairs apsp n in
+  let eligible_count = ref 0 in
+  for i = 0 to total - 1 do
+    if dist.(i) >= lo && dist.(i) <= hi then incr eligible_count
+  done;
+  let k = !eligible_count in
   if k = 0 then []
   else begin
-    let st = Random.State.make [| seed; 0x7764 |] in
-    let chosen = Hashtbl.create (2 * count) in
-    let budget = min count k in
-    let guard = ref 0 in
-    while Hashtbl.length chosen < budget && !guard < 50 * budget do
-      incr guard;
-      Hashtbl.replace chosen eligible.(Random.State.int st k) ()
+    let eligible = Array.make k 0 in
+    let m = ref 0 in
+    for i = 0 to total - 1 do
+      if dist.(i) >= lo && dist.(i) <= hi then begin
+        eligible.(!m) <- i;
+        incr m
+      end
     done;
-    Hashtbl.fold (fun p () acc -> p :: acc) chosen []
+    let st = Random.State.make [| seed; 0x7764 |] in
+    let budget = min count k in
+    partial_shuffle st eligible budget;
+    List.init budget (fun i -> pairs.(eligible.(i)))
   end

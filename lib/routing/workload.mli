@@ -4,22 +4,32 @@ open Cr_graph
 
     Uniform pair sampling (see {!Scheme.sample_pairs}) under-represents the
     far pairs where stretch accumulates; these helpers build
-    distance-aware workloads from an exact APSP oracle. *)
+    distance-aware workloads from an exact APSP oracle.
+
+    {b Exactness.} Every sampler here draws {e without replacement} via a
+    partial Fisher–Yates shuffle over the index range, so it returns
+    exactly [min budget population] pairs — never silently fewer — and the
+    result is a deterministic function of the seed. Distances are ordered
+    with [Float.compare] (ties broken by the [(u, v)] enumeration order),
+    so the bucketing is a total, reproducible order even in the presence
+    of repeated or non-finite distances. *)
 
 val stratified :
   Apsp.t -> seed:int -> n:int -> buckets:int -> per_bucket:int ->
   ((float * float) * (int * int) list) array
 (** [stratified apsp ~seed ~n ~buckets ~per_bucket] splits the connected
     ordered pairs into [buckets] equal-population distance ranges and
-    samples up to [per_bucket] pairs from each. Returns, per bucket, the
-    distance range [(lo, hi)] and the sampled pairs (source <> target). *)
+    samples {e exactly} [min per_bucket bucket_size] pairs from each,
+    without replacement. Returns, per bucket, the distance range
+    [(lo, hi)] and the sampled pairs (source <> target). *)
 
 val farthest : Apsp.t -> n:int -> count:int -> (int * int) list
 (** [farthest apsp ~n ~count] is the [count] most distant connected ordered
-    pairs — the worst-case probes. *)
+    pairs — the worst-case probes. Ordered by descending distance
+    ([Float.compare]), ties in enumeration order. *)
 
 val within_distance :
   Apsp.t -> seed:int -> n:int -> lo:float -> hi:float -> count:int ->
   (int * int) list
-(** Random connected pairs whose distance lies in [[lo, hi]] (fewer if the
-    range is thin). *)
+(** Random connected pairs whose distance lies in [[lo, hi]]: exactly
+    [min count eligible] of them, sampled without replacement. *)

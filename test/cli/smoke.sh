@@ -49,6 +49,19 @@ expect "stats csv has the route histogram" 0 $?
 "$CLI" throughput -g "$tmp/g.gr" -s tz-k2 --pairs 100 --domains 2 >/dev/null
 expect "throughput identity check (exit 0)" 0 $?
 
+"$CLI" serve -g "$tmp/g.gr" --schemes tz-k2,rt-3eps --rate 0 --queries 400 \
+  --chunk 32 --churn-every 150 --slo-p99 10000 --slo-rps 1 \
+  --csv "$tmp/serve.csv" >"$tmp/serve.out"
+expect "serve within SLO (exit 0)" 0 $?
+grep -q "serve == evaluate_batch per segment: ok" "$tmp/serve.out"
+expect "serve pins the batch-engine identity" 0 $?
+grep -q '^thorup-zwick-k2,' "$tmp/serve.csv"
+expect "serve csv has per-scheme rows" 0 $?
+
+"$CLI" serve -g "$tmp/g.gr" --schemes tz-k2 --rate 0 --queries 200 \
+  --slo-rps 999999999999 >/dev/null
+expect "serve SLO violation (exit 1)" 1 $?
+
 "$CLI" route -g "$tmp/g.gr" -s no-such-scheme --src 0 --dst 1 >/dev/null 2>&1
 rc=$?
 [ "$rc" -ne 0 ]

@@ -28,5 +28,6 @@ let () =
       ("compiled", Test_compiled.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
+      ("traffic", Test_traffic.suite);
       ("graph-io", Test_graph_io.suite);
     ]

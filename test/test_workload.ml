@@ -52,6 +52,69 @@ let test_within_distance () =
   checkb "empty range" true
     (Workload.within_distance apsp ~seed:7 ~n:10 ~lo:100.0 ~hi:200.0 ~count:5 = [])
 
+(* Regression pins for the exact-sampling rewrite: every sampler must
+   return exactly [min budget population] pairs (the old rejection loop
+   could silently under-deliver on small or heavily-tied ranges). *)
+let test_exact_counts () =
+  let g = Generators.torus 5 5 in
+  let apsp = Apsp.compute g in
+  (* 600 connected ordered pairs, 150 per bucket: every bucket must yield
+     exactly its budget, and exactly its population when the budget
+     exceeds it. *)
+  let strata = Workload.stratified apsp ~seed:3 ~n:25 ~buckets:4 ~per_bucket:30 in
+  Array.iter
+    (fun (_, pairs) -> checki "exactly per_bucket pairs" 30 (List.length pairs))
+    strata;
+  let all = Workload.stratified apsp ~seed:3 ~n:25 ~buckets:4 ~per_bucket:1000 in
+  checki "budget above population returns the population" 600
+    (Array.fold_left (fun a (_, ps) -> a + List.length ps) 0 all);
+  let path = Generators.path 10 in
+  let papsp = Apsp.compute path in
+  (* Distances 3 and 4 on a 10-path: 7 + 6 ordered pairs each way = 26. *)
+  let eligible =
+    Workload.within_distance papsp ~seed:7 ~n:10 ~lo:3.0 ~hi:4.0 ~count:1000
+  in
+  checki "within_distance delivers the whole population" 26
+    (List.length eligible);
+  checki "within_distance honors a small budget exactly" 5
+    (List.length
+       (Workload.within_distance papsp ~seed:7 ~n:10 ~lo:3.0 ~hi:4.0 ~count:5))
+
+let test_bucket_bounds_ordered () =
+  let g = Generators.caveman ~seed:5 ~cliques:5 ~size:6 ~rewire:0.1 in
+  let apsp = Apsp.compute g in
+  let strata =
+    Workload.stratified apsp ~seed:13 ~n:(Graph.n g) ~buckets:5 ~per_bucket:20
+  in
+  let prev_hi = ref neg_infinity in
+  Array.iter
+    (fun ((lo, hi), pairs) ->
+      if pairs <> [] then begin
+        checkb "lo <= hi within a bucket" true (lo <= hi);
+        checkb "buckets ordered by distance" true (lo >= !prev_hi);
+        prev_hi := hi
+      end)
+    strata
+
+(* All distances tie on a complete graph; the Float.compare sort breaks
+   ties on enumeration order, so farthest is fully specified — pin it. *)
+let test_ties_fully_specified () =
+  let g = Generators.complete 8 in
+  let apsp = Apsp.compute g in
+  checkb "farthest under total ties follows enumeration order" true
+    (Workload.farthest apsp ~n:8 ~count:5
+    = [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ]);
+  let s1 = Workload.stratified apsp ~seed:11 ~n:8 ~buckets:3 ~per_bucket:4 in
+  let s2 = Workload.stratified apsp ~seed:11 ~n:8 ~buckets:3 ~per_bucket:4 in
+  checkb "stratified deterministic per seed" true (s1 = s2);
+  Array.iter
+    (fun ((lo, hi), pairs) ->
+      if pairs <> [] then begin
+        checkf "all-ties bucket lo" 1.0 lo;
+        checkf "all-ties bucket hi" 1.0 hi
+      end)
+    s1
+
 let prop_stratified_covers_all_distances =
   qcheck ~count:20 "strata jointly span the distance range"
     arb_weighted_connected_graph (fun g ->
@@ -88,5 +151,8 @@ let suite =
     case "stratified per-bucket budget" test_stratified_budget;
     case "farthest pairs" test_farthest;
     case "within_distance filtering" test_within_distance;
+    case "samplers deliver exact counts" test_exact_counts;
+    case "bucket bounds ordered" test_bucket_bounds_ordered;
+    case "ties are fully specified" test_ties_fully_specified;
     prop_stratified_covers_all_distances;
   ]
