@@ -565,37 +565,51 @@ let throughput_cmd =
 
 let us x = 1e6 *. x
 
-(* The long-running query server: a catalog of compiled planes under an
-   open-loop Zipf workload, with steady-state telemetry windows, optional
-   mid-run fault churn, and SLO thresholds that decide the exit code. *)
-let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
-    domains chunk no_pace churn_every churn_rate churn_vertex_rate window
-    slo_p99 slo_rps csv_out =
-  let g = or_die (load_graph graph_file) in
-  let entries =
-    match schemes_opt with
-    | Some ids ->
-      List.map
-        (fun id ->
-          match Catalog.find id with
-          | None ->
+(* Scheme-id list -> catalog entries, shared by serve and delta: unknown
+   ids and weighted-graph mismatches die with the same message route gives;
+   [None] selects every scheme the graph supports. *)
+let resolve_entries g = function
+  | Some ids ->
+    List.map
+      (fun id ->
+        match Catalog.find id with
+        | None ->
+          or_die
+            (Error
+               (Printf.sprintf "unknown scheme %S; known: %s" id
+                  (String.concat ", " (Catalog.ids ()))))
+        | Some e ->
+          if (not e.Catalog.weighted_ok) && not (Graph.is_unit_weighted g)
+          then
             or_die
               (Error
-                 (Printf.sprintf "unknown scheme %S; known: %s" id
-                    (String.concat ", " (Catalog.ids ()))))
-          | Some e ->
-            if (not e.Catalog.weighted_ok) && not (Graph.is_unit_weighted g)
-            then
-              or_die
-                (Error
-                   (Printf.sprintf "scheme %s requires an unweighted graph" id))
-            else e)
-        ids
-    | None ->
-      List.filter
-        (fun e -> e.Catalog.weighted_ok || Graph.is_unit_weighted g)
-        Catalog.all
-  in
+                 (Printf.sprintf "scheme %s requires an unweighted graph" id))
+          else e)
+      ids
+  | None ->
+    List.filter
+      (fun e -> e.Catalog.weighted_ok || Graph.is_unit_weighted g)
+      Catalog.all
+
+let schemes_opt_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "schemes" ] ~docv:"ID1,ID2,..."
+        ~doc:
+          "Schemes to use (ids as in $(b,cr_cli schemes); a \
+           $(b,+res) suffix wraps with the resilience ladder). Default: \
+           every catalog scheme the graph supports.")
+
+(* The long-running query server: a catalog of compiled planes under an
+   open-loop Zipf workload, with steady-state telemetry windows, optional
+   mid-run fault churn, optional topology churn with hot-swap repair, and
+   SLO thresholds that decide the exit code. *)
+let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
+    domains chunk no_pace churn_every churn_rate churn_vertex_rate topo_every
+    topo_ops repair_deadline strict window slo_p99 slo_rps csv_out =
+  let g = or_die (load_graph graph_file) in
+  let entries = resolve_entries g schemes_opt in
   if entries = [] then or_die (Error "no schemes to serve");
   let rate = if rate <= 0.0 then infinity else rate in
   let budget =
@@ -621,6 +635,70 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
         ~link_rate:churn_rate ~vertex_rate:churn_vertex_rate
     else []
   in
+  let topo =
+    if topo_every > 0 then
+      Traffic.topo_cycle ~seed:(seed + 2) ~every:topo_every ~budget
+        ~ops:topo_ops
+    else []
+  in
+  (* The repairer the serve loop hands each topology event to: incremental
+     Catalog.repair against the previous epoch's (still warm) substrate,
+     carried across events so every repair starts from the caches the last
+     one left behind. The oracle recomputation lands in the serve loop's
+     blackout figure, not in sw_wall. *)
+  let cur_sub = ref substrate in
+  let repairer _g ops =
+    let r =
+      Catalog.repair ?deadline:repair_deadline ~entries ~substrate:!cur_sub
+        ~seed ~eps ops
+    in
+    cur_sub := r.Catalog.substrate;
+    let reused, dropped =
+      match r.Catalog.invalidation with
+      | Some inv -> (Substrate.reused inv, Substrate.dropped inv)
+      | None -> (0, 0)
+    in
+    {
+      Traffic.sw_graph = r.Catalog.graph;
+      sw_instances = List.map (fun (_, i, _) -> i) r.Catalog.instances;
+      sw_apsp = Apsp.compute r.Catalog.graph;
+      sw_wall = r.Catalog.wall;
+      sw_full_rebuild = r.Catalog.full_rebuild;
+      sw_reused = reused;
+      sw_dropped = dropped;
+    }
+  in
+  (* CSV channels open before the run and every row is flushed as it is
+     written, so an exception (or SLO-driven exit) mid-campaign leaves
+     valid, closed files instead of silently dropping the buffered output
+     — same discipline as the bench harness's csv_close. *)
+  let csv_oc = Option.map open_out csv_out in
+  let epochs_path path =
+    let ext = Filename.extension path in
+    (if ext = "" then path else Filename.remove_extension path)
+    ^ "_epochs" ^ ext
+  in
+  let epochs_oc =
+    if topo = [] then None
+    else Option.map (fun p -> open_out (epochs_path p)) csv_out
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter close_out csv_oc;
+      Option.iter close_out epochs_oc)
+  @@ fun () ->
+  let emit oc_opt line =
+    Option.iter
+      (fun oc ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+      oc_opt
+  in
+  emit csv_oc
+    "scheme,routed,delivered_rate,segments,identical,rps,p50_us,p90_us,p99_us,max_lag_ms";
+  emit epochs_oc
+    "epoch,started_at,ops,repair_wall_s,blackout_s,full_rebuild,reused,dropped,stale_queries,stale_delivery_rate";
   Format.printf "serve campaign on %a@." Graph.pp g;
   Printf.printf "catalog: %s\n"
     (String.concat ", " (List.map (fun e -> e.Catalog.id) entries));
@@ -631,13 +709,21 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
             (float_of_int budget /. rate))
     zipf domains build_t;
   (match churn with
-  | [] -> Printf.printf "churn: none\n\n"
+  | [] -> Printf.printf "churn: none\n"
   | evs ->
     Printf.printf
-      "churn: every %d queries (%d events; link %g%%, vertex %g%%)\n\n"
+      "churn: every %d queries (%d events; link %g%%, vertex %g%%)\n"
       churn_every (List.length evs)
       (100.0 *. churn_rate)
       (100.0 *. churn_vertex_rate));
+  (match topo with
+  | [] -> Printf.printf "topology churn: none\n\n"
+  | evs ->
+    Printf.printf "topology churn: every %d queries x %d edge ops (%d events%s)\n\n"
+      topo_every topo_ops (List.length evs)
+      (match repair_deadline with
+      | None -> ""
+      | Some d -> Printf.sprintf "; repair deadline %gs" d));
   Telemetry.reset ();
   Telemetry.set_enabled true;
   (* Steady-state windows: diffs of telemetry snapshots, so each line is
@@ -665,8 +751,8 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
     end
   in
   let report =
-    Traffic.serve ~pool ~churn ~chunk ~pace:(not no_pace) ~on_window traffic
-      ~budget ~instances ~apsp
+    Traffic.serve ~pool ~churn ~topo ~repairer ~chunk ~pace:(not no_pace)
+      ~on_window traffic ~budget ~instances ~apsp
   in
   Telemetry.set_enabled false;
   let route_hist = List.assoc_opt "route" (Telemetry.histograms ()) in
@@ -684,32 +770,54 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
     "segments" "identity";
   Printf.printf "%s\n" (String.make 64 '-');
   let total_eval = ref [] in
-  List.iter
-    (fun (s : Traffic.served) ->
-      let evs = List.map (fun (sg : Traffic.segment) -> sg.Traffic.eval)
-          s.Traffic.segments in
-      let ev = Scheme.concat_evals evs in
+  (* One row per instance, segments pooled across epochs. Each epoch's
+     segments are replayed against that epoch's own oracle — after a
+     hot-swap the old apsp no longer describes the served graph. *)
+  List.iteri
+    (fun i _ ->
+      let eps_served =
+        List.map
+          (fun (ep : Traffic.epoch) -> (ep, List.nth ep.Traffic.served i))
+          report.Traffic.epochs
+      in
+      let segs =
+        List.concat_map
+          (fun (_, (s : Traffic.served)) -> s.Traffic.segments)
+          eps_served
+      in
+      let ev =
+        Scheme.concat_evals
+          (List.map (fun (sg : Traffic.segment) -> sg.Traffic.eval) segs)
+      in
       total_eval := ev :: !total_eval;
       let routed =
         List.fold_left
           (fun a (sg : Traffic.segment) -> a + List.length sg.Traffic.pairs)
-          0 s.Traffic.segments
+          0 segs
       in
       let ok =
         List.for_all
-          (fun (sg : Traffic.segment) ->
-            Scheme.evaluate_batch ~pool ?faults:sg.Traffic.plan ~fast:true
-              s.Traffic.instance apsp sg.Traffic.pairs
-            = sg.Traffic.eval)
-          s.Traffic.segments
+          (fun ((ep : Traffic.epoch), (s : Traffic.served)) ->
+            List.for_all
+              (fun (sg : Traffic.segment) ->
+                Scheme.evaluate_batch ~pool ?faults:sg.Traffic.plan ~fast:true
+                  s.Traffic.instance ep.Traffic.apsp sg.Traffic.pairs
+                = sg.Traffic.eval)
+              s.Traffic.segments)
+          eps_served
       in
       if not ok then identical := false;
-      Printf.printf "%-20s %9d %9.1f%% %9d  %s\n"
-        s.Traffic.instance.Scheme.name routed
+      let name = (snd (List.hd eps_served)).Traffic.instance.Scheme.name in
+      Printf.printf "%-20s %9d %9.1f%% %9d  %s\n" name routed
         (100.0 *. Scheme.delivery_rate ev)
-        (List.length s.Traffic.segments)
-        (if ok then "ok" else "VIOLATED"))
-    report.Traffic.served;
+        (List.length segs)
+        (if ok then "ok" else "VIOLATED");
+      emit csv_oc
+        (Printf.sprintf "%s,%d,%.4f,%d,%b,%.1f,%.2f,%.2f,%.2f,%.2f" name
+           routed (Scheme.delivery_rate ev) (List.length segs) ok
+           report.Traffic.rps p50 p90 p99
+           (1e3 *. report.Traffic.max_lag)))
+    instances;
   let overall = Scheme.concat_evals !total_eval in
   Printf.printf "\nrouted %d queries in %.2fs -> %.0f routes/s sustained"
     report.Traffic.routed report.Traffic.wall report.Traffic.rps;
@@ -727,6 +835,82 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
           report.Traffic.verdicts));
   Printf.printf "serve == evaluate_batch per segment: %s\n"
     (if !identical then "ok" else "VIOLATED");
+  (* Per-epoch repair accounting: the staleness window, how long the
+     repair blocked the loop, what the dirty-region pass salvaged, and
+     how the old tables delivered while the repair ran. *)
+  let repair_identical = ref true in
+  if topo <> [] then begin
+    Printf.printf "\n%-5s %8s %5s %9s %10s %8s %8s %8s %8s %10s\n" "epoch"
+      "start" "ops" "repair-s" "blackout-s" "rebuild" "reused" "dropped"
+      "stale-q" "stale-del%";
+    Printf.printf "%s\n" (String.make 88 '-');
+    List.iter
+      (fun (ep : Traffic.epoch) ->
+        let stale_del =
+          match ep.Traffic.stale_eval with
+          | Some ev -> Some (Scheme.delivery_rate ev)
+          | None -> None
+        in
+        Printf.printf "%-5d %8d %5d %9.3f %10.3f %8s %8d %8d %8d %10s\n"
+          ep.Traffic.index ep.Traffic.started_at
+          (List.length ep.Traffic.ops)
+          ep.Traffic.repair_wall ep.Traffic.blackout
+          (if ep.Traffic.index = 0 then "-"
+           else if ep.Traffic.full_rebuild then "full"
+           else "incr")
+          ep.Traffic.reused ep.Traffic.dropped ep.Traffic.stale_queries
+          (match stale_del with
+          | Some r -> Printf.sprintf "%.1f%%" (100.0 *. r)
+          | None -> "-");
+        emit epochs_oc
+          (Printf.sprintf "%d,%d,%d,%.4f,%.4f,%b,%d,%d,%d,%s"
+             ep.Traffic.index ep.Traffic.started_at
+             (List.length ep.Traffic.ops)
+             ep.Traffic.repair_wall ep.Traffic.blackout
+             ep.Traffic.full_rebuild ep.Traffic.reused ep.Traffic.dropped
+             ep.Traffic.stale_queries
+             (match stale_del with
+             | Some r -> Printf.sprintf "%.4f" r
+             | None -> "")))
+      report.Traffic.epochs;
+    (* --strict: replay a pair sample on every post-churn epoch's repaired
+       instances and on instances built fresh on that epoch's graph — the
+       incremental path must be bit-identical to a cold build. *)
+    if strict then begin
+      let ident_pairs =
+        Scheme.sample_pairs ~seed:(seed + 5) ~n:(Graph.n g) ~count:500
+      in
+      List.iter
+        (fun (ep : Traffic.epoch) ->
+          if ep.Traffic.index > 0 then begin
+            let fresh_sub = Substrate.create ep.Traffic.graph in
+            List.iter2
+              (fun (ent : Catalog.entry) (s : Traffic.served) ->
+                let fresh, _ =
+                  ent.Catalog.build ~substrate:fresh_sub ~seed ~eps
+                    ep.Traffic.graph
+                in
+                let ev_rep =
+                  Scheme.evaluate_batch ~pool ~fast:true s.Traffic.instance
+                    ep.Traffic.apsp ident_pairs
+                in
+                let ev_fresh =
+                  Scheme.evaluate_batch ~pool ~fast:true fresh ep.Traffic.apsp
+                    ident_pairs
+                in
+                if ev_rep <> ev_fresh then begin
+                  repair_identical := false;
+                  Printf.printf
+                    "epoch %d: %s diverges from a fresh rebuild\n"
+                    ep.Traffic.index ent.Catalog.id
+                end)
+              entries ep.Traffic.served
+          end)
+        report.Traffic.epochs;
+      Printf.printf "repaired instances == fresh rebuild per epoch: %s\n"
+        (if !repair_identical then "ok" else "VIOLATED")
+    end
+  end;
   let slo_ok = ref true in
   (match slo_p99 with
   | None -> ()
@@ -744,43 +928,13 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
   (match csv_out with
   | None -> ()
   | Some path ->
-    let b = Buffer.create 256 in
-    Buffer.add_string b
-      "scheme,routed,delivered_rate,segments,identical,rps,p50_us,p90_us,p99_us,max_lag_ms\n";
-    List.iter
-      (fun (s : Traffic.served) ->
-        let ev =
-          Scheme.concat_evals
-            (List.map (fun (sg : Traffic.segment) -> sg.Traffic.eval)
-               s.Traffic.segments)
-        in
-        let routed =
-          List.fold_left
-            (fun a (sg : Traffic.segment) -> a + List.length sg.Traffic.pairs)
-            0 s.Traffic.segments
-        in
-        Buffer.add_string b
-          (Printf.sprintf "%s,%d,%.4f,%d,%b,%.1f,%.2f,%.2f,%.2f,%.2f\n"
-             s.Traffic.instance.Scheme.name routed (Scheme.delivery_rate ev)
-             (List.length s.Traffic.segments)
-             !identical report.Traffic.rps p50 p90 p99
-             (1e3 *. report.Traffic.max_lag)))
-      report.Traffic.served;
-    write_file path (Buffer.contents b);
-    Printf.printf "wrote %s\n" path);
-  if not !identical then 2 else if not !slo_ok then 1 else 0
+    Printf.printf "wrote %s%s\n" path
+      (if Option.is_none epochs_oc then "" else " and " ^ epochs_path path));
+  if not !identical || not !repair_identical then 2
+  else if not !slo_ok then 1
+  else 0
 
 let serve_cmd =
-  let schemes_opt =
-    Arg.(
-      value
-      & opt (some (list string)) None
-      & info [ "schemes" ] ~docv:"ID1,ID2,..."
-          ~doc:
-            "Schemes to serve (ids as in $(b,cr_cli schemes); a \
-             $(b,+res) suffix wraps with the resilience ladder). Default: \
-             every catalog scheme the graph supports.")
-  in
   let duration =
     Arg.(
       value & opt float 10.0
@@ -848,6 +1002,41 @@ let serve_cmd =
       & info [ "churn-vertex-rate" ] ~docv:"R"
           ~doc:"Vertex crash rate of each churn fault plan.")
   in
+  let topo_every =
+    Arg.(
+      value & opt int 0
+      & info [ "topo-churn-every" ] ~docv:"Q"
+          ~doc:
+            "Change the topology itself every Q queries: a random edge \
+             delta is applied, the catalog is repaired incrementally, and \
+             the repaired world is hot-swapped in while overdue queries \
+             are answered on the old tables (0 = no topology churn).")
+  in
+  let topo_ops =
+    Arg.(
+      value & opt int 4
+      & info [ "topo-churn-ops" ] ~docv:"N"
+          ~doc:"Edge operations per topology-churn delta batch.")
+  in
+  let repair_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "repair-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Budget for the incremental dirty-region pass; when exceeded \
+             (or non-positive) the repair degrades to a full rebuild \
+             behind the same hot-swap.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "After the run, verify each post-churn epoch's repaired \
+             instances against instances built fresh on that epoch's \
+             graph; exit 2 on any divergence.")
+  in
   let window =
     Arg.(
       value & opt float 1.0
@@ -878,12 +1067,173 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run a long-lived query server over a scheme catalog under an \
-          open-loop Zipf workload, with optional fault churn and SLO checks")
+          open-loop Zipf workload, with optional fault and topology churn \
+          (hot-swap repair) and SLO checks")
     Term.(
-      const serve_impl $ graph_arg $ schemes_opt $ seed_arg $ eps_arg
+      const serve_impl $ graph_arg $ schemes_opt_arg $ seed_arg $ eps_arg
       $ duration $ rate $ queries $ zipf $ domains $ chunk $ no_pace
-      $ churn_every $ churn_rate $ churn_vertex_rate $ window $ slo_p99
-      $ slo_rps $ csv_out)
+      $ churn_every $ churn_rate $ churn_vertex_rate $ topo_every $ topo_ops
+      $ repair_deadline $ strict $ window $ slo_p99 $ slo_rps $ csv_out)
+
+(* ------------------------------------------------------------------ *)
+(* delta                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply one batched topology delta and repair the catalog on the warm
+   substrate, against the full-rebuild baseline: walls, per-category
+   reuse, and a routed identity check between the two instance sets. *)
+let delta_impl graph_file schemes_opt seed eps ops_n inserts removes reweights
+    deadline pairs_n out =
+  let g = or_die (load_graph graph_file) in
+  let explicit =
+    List.map (fun (u, v, w) -> Graph.Insert (u, v, w)) inserts
+    @ List.map (fun (u, v) -> Graph.Remove (u, v)) removes
+    @ List.map (fun (u, v, w) -> Graph.Reweight (u, v, w)) reweights
+  in
+  let ops =
+    if explicit <> [] then explicit
+    else Delta.random ~seed:(seed + 3) ~size:ops_n g
+  in
+  (* Validate the batch up front and resolve schemes against whichever
+     side of the delta is weighted: the warm build runs on [g], the
+     repair on the post-delta graph, and an insert can make a unit graph
+     weighted — a scheme must support both to ride through. *)
+  let g' =
+    try Graph.apply_delta g ops with Invalid_argument m -> or_die (Error m)
+  in
+  let entries =
+    resolve_entries (if Graph.is_unit_weighted g then g' else g) schemes_opt
+  in
+  if entries = [] then or_die (Error "no schemes to repair");
+  Printf.printf "delta batch (%d op%s):\n" (List.length ops)
+    (if List.length ops = 1 then "" else "s");
+  List.iter
+    (fun op ->
+      match op with
+      | Graph.Insert (u, v, w) ->
+        Printf.printf "  insert   %d -- %d  w=%g\n" u v w
+      | Graph.Remove (u, v) -> Printf.printf "  remove   %d -- %d\n" u v
+      | Graph.Reweight (u, v, w) ->
+        Printf.printf "  reweight %d -- %d  w=%g\n" u v w)
+    ops;
+  (* Warm start: the catalog is built once against the substrate, the
+     state a long-running server is in when churn arrives. *)
+  let substrate = Substrate.create g in
+  let _, warm_t =
+    wall (fun () ->
+        List.map (fun e -> fst (e.Catalog.build ~substrate ~seed ~eps g))
+          entries)
+  in
+  let inc =
+    try Catalog.repair ?deadline ~entries ~substrate ~seed ~eps ops
+    with Invalid_argument m -> or_die (Error m)
+  in
+  let full =
+    Catalog.repair ~force_full:true ~entries ~substrate ~seed ~eps ops
+  in
+  Format.printf "graph: %a -> %a@." Graph.pp g Graph.pp inc.Catalog.graph;
+  Printf.printf "warm catalog build:  %.3fs (%d scheme%s)\n" warm_t
+    (List.length entries)
+    (if List.length entries = 1 then "" else "s");
+  Printf.printf "incremental repair:  %.3fs%s\n" inc.Catalog.wall
+    (if inc.Catalog.full_rebuild then "  (fell back to a full rebuild)"
+     else "");
+  Printf.printf "full rebuild:        %.3fs\n" full.Catalog.wall;
+  Printf.printf "speedup:             %.2fx\n"
+    (full.Catalog.wall /. Float.max inc.Catalog.wall 1e-9);
+  (match inc.Catalog.invalidation with
+  | None -> ()
+  | Some inv ->
+    Printf.printf "substrate carried across the delta: %d reused, %d dropped\n"
+      (Substrate.reused inv) (Substrate.dropped inv);
+    List.iter
+      (fun (cat, r, d) -> Printf.printf "  %-14s %6d reused %6d dropped\n" cat r d)
+      (Substrate.invalidation_rows inv));
+  (* Identity: both instance sets must route a pair sample on the
+     post-delta graph bit-identically — the dirty-region pass may only
+     change wall-clock, never an answer. *)
+  let apsp' = Apsp.compute inc.Catalog.graph in
+  let pairs =
+    Scheme.sample_pairs ~seed:(seed + 4) ~n:(Graph.n g) ~count:pairs_n
+  in
+  let ok = ref true in
+  Printf.printf "\n%-20s %s\n" "scheme" "incremental == full rebuild";
+  Printf.printf "%s\n" (String.make 48 '-');
+  List.iter2
+    (fun (e1, i1, _) (_, i2, _) ->
+      let ev1 = Scheme.evaluate_batch ~fast:true i1 apsp' pairs in
+      let ev2 = Scheme.evaluate_batch ~fast:true i2 apsp' pairs in
+      let same = ev1 = ev2 in
+      if not same then ok := false;
+      Printf.printf "%-20s %s\n" e1.Catalog.id
+        (if same then "ok" else "VIOLATED"))
+    inc.Catalog.instances full.Catalog.instances;
+  (match out with
+  | None -> ()
+  | Some path ->
+    Graph_io.save inc.Catalog.graph path;
+    Printf.printf "\nwrote %s\n" path);
+  if !ok then 0 else 1
+
+let delta_cmd =
+  let ops_n =
+    Arg.(
+      value & opt int 8
+      & info [ "ops" ] ~docv:"N"
+          ~doc:
+            "Size of the random delta batch (connectivity-preserving, \
+             seed-derived); ignored when explicit operations are given.")
+  in
+  let inserts =
+    Arg.(
+      value
+      & opt_all (t3 ~sep:',' int int float) []
+      & info [ "insert" ] ~docv:"U,V,W"
+          ~doc:"Insert edge (U,V) with weight W (repeatable).")
+  in
+  let removes =
+    Arg.(
+      value
+      & opt_all (pair ~sep:',' int int) []
+      & info [ "remove" ] ~docv:"U,V" ~doc:"Remove edge (U,V) (repeatable).")
+  in
+  let reweights =
+    Arg.(
+      value
+      & opt_all (t3 ~sep:',' int int float) []
+      & info [ "reweight" ] ~docv:"U,V,W"
+          ~doc:"Set edge (U,V)'s weight to W (repeatable).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Budget for the incremental pass; exceeding it degrades to \
+             the full-rebuild fallback.")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 500
+      & info [ "pairs" ] ~docv:"K"
+          ~doc:"Sampled pairs for the identity check.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE"
+          ~doc:"Write the post-delta graph.")
+  in
+  Cmd.v
+    (Cmd.info "delta"
+       ~doc:
+         "Apply a batched topology delta and repair the scheme catalog \
+          incrementally against a full-rebuild baseline")
+    Term.(
+      const delta_impl $ graph_arg $ schemes_opt_arg $ seed_arg $ eps_arg
+      $ ops_n $ inserts $ removes $ reweights $ deadline $ pairs $ out)
 
 (* ------------------------------------------------------------------ *)
 (* faults                                                              *)
@@ -1164,7 +1514,8 @@ let main_cmd =
        ~doc:"Compact routing schemes of Roditty and Tov (PODC'15)")
     [
       generate_cmd; schemes_cmd; route_cmd; trace_cmd; stats_cmd; table1_cmd;
-      throughput_cmd; serve_cmd; faults_cmd; oracle_cmd; spanner_cmd;
+      throughput_cmd; serve_cmd; delta_cmd; faults_cmd; oracle_cmd;
+      spanner_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -210,3 +210,55 @@ let find id =
     | None -> None)
 
 let ids () = List.map (fun e -> e.id) all
+
+(* --- churn repair --------------------------------------------------------
+
+   One topology delta, one call: invalidate the substrate's dirty region,
+   then rebuild the requested entries on the surviving caches. Everything
+   is bit-identical to a fresh build on the post-delta graph — the
+   substrate only carries structures proven unchanged — so "incremental"
+   here is purely a wall-clock statement. The deadline bounds the
+   incremental bookkeeping: if the invalidation pass alone exceeds it (or
+   the deadline is non-positive), the repair degrades to a plain full
+   rebuild on a fresh substrate behind the same API. *)
+
+type repaired = {
+  graph : Cr_graph.Graph.t;
+  substrate : Substrate.t;
+  instances : (entry * Scheme.instance * (float * float)) list;
+  invalidation : Substrate.invalidation option;
+  full_rebuild : bool;
+  wall : float;
+}
+
+let repair ?deadline ?(force_full = false) ?(entries = all) ~substrate ~seed
+    ~eps ops =
+  let t0 = Unix.gettimeofday () in
+  let wall () = Unix.gettimeofday () -. t0 in
+  let over () = match deadline with Some dl -> wall () > dl | None -> false in
+  let degenerate =
+    match deadline with Some dl -> dl <= 0.0 | None -> false
+  in
+  let g = Substrate.graph substrate in
+  let sub, invalidation, full_rebuild =
+    if force_full || degenerate then
+      (Substrate.create (Cr_graph.Graph.apply_delta g ops), None, true)
+    else begin
+      let s', inv = Substrate.invalidate substrate ops in
+      if over () then
+        (* The dirty-region pass already blew the budget: discard it and
+           pay the predictable full rebuild instead. *)
+        (Substrate.create (Substrate.graph s'), None, true)
+      else (s', Some inv, false)
+    end
+  in
+  let g' = Substrate.graph sub in
+  let instances =
+    List.map
+      (fun e ->
+        let inst, bound = e.build ~substrate:sub ~seed ~eps g' in
+        (e, inst, bound))
+      entries
+  in
+  { graph = g'; substrate = sub; instances; invalidation; full_rebuild;
+    wall = wall () }

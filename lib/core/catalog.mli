@@ -41,3 +41,41 @@ val find : string -> entry option
     {!resilient}-wrapped base entry. *)
 
 val ids : unit -> string list
+
+(** {1 Churn repair} *)
+
+type repaired = {
+  graph : Graph.t;           (** the post-delta graph *)
+  substrate : Substrate.t;   (** handle bound to it (warm after the builds) *)
+  instances : (entry * Scheme.instance * (float * float)) list;
+  invalidation : Substrate.invalidation option;
+      (** reuse accounting; [None] when the repair fell back to a full
+          rebuild *)
+  full_rebuild : bool;       (** whether the fallback path was taken *)
+  wall : float;              (** seconds spent, invalidation + builds *)
+}
+
+val repair :
+  ?deadline:float ->
+  ?force_full:bool ->
+  ?entries:entry list ->
+  substrate:Substrate.t ->
+  seed:int ->
+  eps:float ->
+  Graph.delta_op list ->
+  repaired
+(** [repair ~substrate ~seed ~eps ops] applies the delta batch to the
+    substrate's graph ({!Graph.apply_delta}), invalidates only the dirty
+    region of the cached preprocessing ({!Substrate.invalidate}) and
+    rebuilds [entries] (default: the whole catalog) on the surviving
+    caches. Every returned instance is bit-identical to a fresh build with
+    the same [seed]/[eps] on the post-delta graph — the substrate carries
+    only structures proven unchanged — so the incremental path differs
+    from a full rebuild in wall-clock only.
+
+    [deadline] (seconds) bounds the incremental bookkeeping: when the
+    invalidation pass alone exceeds it, or the deadline is non-positive,
+    the repair degrades to a full rebuild on a fresh substrate behind the
+    same API ([full_rebuild] reports which path ran). [force_full] takes
+    the fallback unconditionally — the benchmark uses it as the
+    full-rebuild baseline. *)

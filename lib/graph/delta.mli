@@ -1,0 +1,75 @@
+(** Classified batched deltas and dirty-region bounds.
+
+    A {!t} pairs the old and new graph of one {!Graph.apply_delta} batch
+    with the machinery the incremental repair path needs: an exact test for
+    whether a cached shortest-path tree survives the delta, a distance
+    {e cone} bounding which vertices' truncated structures (vicinities) can
+    change, and a port-patching helper for surviving trees. *)
+
+type t
+
+val classify : Graph.t -> Graph.delta_op list -> t
+(** [classify g ops] applies the batch (see {!Graph.apply_delta} for the
+    validation rules) and classifies it: removals and weight increases act
+    like deletions, inserts and weight decreases like insertions, an
+    equal-weight reweight like nothing at all. *)
+
+val old_graph : t -> Graph.t
+val new_graph : t -> Graph.t
+(** The graph after the batch; [new_graph (classify g ops)] is
+    [Graph.apply_delta g ops]. *)
+
+val ops : t -> Graph.delta_op list
+val structural : t -> bool
+(** Whether the batch contains any [Insert] or [Remove] (a pure reweight
+    batch never renumbers a port). *)
+
+val ports_shifted : t -> int -> bool
+(** [ports_shifted d u]: whether [u]'s port numbering may differ between
+    the old and new graph — true exactly for endpoints of structural ops
+    (every other vertex keeps its slice verbatim). *)
+
+val removals : t -> (int * int) list
+(** Removed or weight-increased edges (old endpoints). *)
+
+val inserts : t -> (int * int * float) list
+(** Inserted or weight-decreased edges, with their new weight. *)
+
+val is_empty : t -> bool
+(** No distance can change and no port can shift (e.g. an equal-weight
+    reweight batch). *)
+
+val reaches : t -> int -> bound:float -> bool
+(** [reaches d u ~bound]: whether the delta can change any distance from
+    [u] within radius [bound]. Sound, not exact: any vertex whose distance
+    from [u] changes lies on a path through a delta edge, so its old (for
+    increases) or new (for decreases) distance from [u] is at least the
+    multi-source distance from [u] to the delta's entry points; [false]
+    therefore guarantees every distance [<= bound] from [u] — and, for a
+    vicinity whose farthest member sits at [bound], its members, distances
+    and radius — is unchanged. Forces one Dijkstra per delta side on first
+    use (lazy, shared across calls). *)
+
+val cone : t -> bound:(int -> float) -> bool array
+(** [cone d ~bound] is the dirty region: entry [u] is [false] only if
+    [u]'s ports are unshifted and [reaches d u ~bound:(bound u)] is
+    [false] — i.e. every structure of [u] looking no farther than
+    [bound u] is untouched by the delta. *)
+
+val spt_affected : t -> Dijkstra.tree -> bool
+(** Exact keep/drop test for a full shortest-path tree: [false] guarantees
+    the tree's distances, parents and settle order are bit-identical on the
+    new graph (ports may still shift; see {!patch_tree}). *)
+
+val patch_tree : Graph.t -> Dijkstra.tree -> Dijkstra.tree
+(** [patch_tree g' t] relabels a kept tree's [parent_port]/[first_port]
+    arrays against the new graph [g'] (fresh arrays; [t] is not mutated).
+    Only sound when [spt_affected] returned [false] for [t]. *)
+
+val random : ?seed:int -> ?size:int -> Graph.t -> Graph.delta_op list
+(** [random ~seed ~size g] is a deterministic pseudo-random batch of at
+    most [size] ops: a mix of inserts, removals and (on weighted graphs)
+    reweights. Removals that would split a connected component are
+    rejected, so a connected graph stays connected and the repaired
+    catalog can be rebuilt on the result. May return fewer than [size]
+    ops on tiny or saturated graphs. *)

@@ -189,6 +189,163 @@ let of_edges ?n:(n_opt = -1) edge_list =
 let of_unweighted_edges ?n edge_list =
   of_edges ?n (List.map (fun (u, v) -> (u, v, 1.0)) edge_list)
 
+(* --- batched deltas ----------------------------------------------------
+
+   [of_edges] numbers the ports of every vertex in ascending neighbor
+   order: the global fill walks edges sorted by (min, max), so vertex [u]
+   receives first its neighbors below [u] (ascending, from the (x, u)
+   edges) and then its neighbors above [u] (ascending, from the (u, v)
+   edges). [apply_delta] rebuilds each touched slice by an ascending
+   merge, which therefore reproduces exactly the numbering a fresh
+   [of_edges] over the edited edge list would produce — and an untouched
+   vertex keeps its slice (and every port) verbatim. *)
+
+type delta_op =
+  | Insert of int * int * float
+  | Remove of int * int
+  | Reweight of int * int * float
+
+let apply_delta g ops =
+  if ops = [] then g
+  else begin
+    (* Validate and key each op by its unordered pair; at most one op per
+       pair per batch, so sequential and batch application agree. *)
+    let tbl = Hashtbl.create (2 * List.length ops) in
+    let pair_key kind u v =
+      if u < 0 || u >= g.n || v < 0 || v >= g.n then
+        invalid_arg
+          (Printf.sprintf "Graph.apply_delta: %s (%d, %d): vertex out of range"
+             kind u v);
+      if u = v then
+        invalid_arg
+          (Printf.sprintf "Graph.apply_delta: %s (%d, %d): self-loop" kind u v);
+      let key = (min u v, max u v) in
+      if Hashtbl.mem tbl key then
+        invalid_arg
+          (Printf.sprintf "Graph.apply_delta: duplicate op on pair (%d, %d)"
+             (fst key) (snd key));
+      key
+    in
+    List.iter
+      (fun op ->
+        match op with
+        | Insert (u, v, w) ->
+          let key = pair_key "insert" u v in
+          if not (w > 0.0) then
+            invalid_arg
+              (Printf.sprintf
+                 "Graph.apply_delta: insert (%d, %d): non-positive weight" u v);
+          if has_edge g u v then
+            invalid_arg
+              (Printf.sprintf
+                 "Graph.apply_delta: insert (%d, %d): edge already present" u v);
+          Hashtbl.replace tbl key op
+        | Remove (u, v) ->
+          let key = pair_key "remove" u v in
+          if not (has_edge g u v) then
+            invalid_arg
+              (Printf.sprintf "Graph.apply_delta: remove (%d, %d): not an edge"
+                 u v);
+          Hashtbl.replace tbl key op
+        | Reweight (u, v, w) ->
+          let key = pair_key "reweight" u v in
+          if not (w > 0.0) then
+            invalid_arg
+              (Printf.sprintf
+                 "Graph.apply_delta: reweight (%d, %d): non-positive weight" u v);
+          if not (has_edge g u v) then
+            invalid_arg
+              (Printf.sprintf
+                 "Graph.apply_delta: reweight (%d, %d): not an edge" u v);
+          Hashtbl.replace tbl key op)
+      ops;
+    (* Per-vertex structural changes. *)
+    let ins = Array.make g.n [] in
+    let rem = Array.make g.n [] in
+    let n_ins = ref 0 and n_rem = ref 0 in
+    Hashtbl.iter
+      (fun (a, b) op ->
+        match op with
+        | Insert (_, _, w) ->
+          ins.(a) <- (b, w) :: ins.(a);
+          ins.(b) <- (a, w) :: ins.(b);
+          incr n_ins
+        | Remove _ ->
+          rem.(a) <- b :: rem.(a);
+          rem.(b) <- a :: rem.(b);
+          incr n_rem
+        | Reweight _ -> ())
+      tbl;
+    let m' = g.m + !n_ins - !n_rem in
+    let off' = Array.make (g.n + 1) 0 in
+    for u = 0 to g.n - 1 do
+      off'.(u + 1) <-
+        off'.(u) + degree g u + List.length ins.(u) - List.length rem.(u)
+    done;
+    let dst' = Array.make (2 * m') (-1) in
+    let wgt' = Array.make (2 * m') 0.0 in
+    for u = 0 to g.n - 1 do
+      let base = g.off.(u) and deg = degree g u in
+      let base' = off'.(u) in
+      match (ins.(u), rem.(u)) with
+      | [], [] ->
+        Array.blit g.dst base dst' base' deg;
+        Array.blit g.wgt base wgt' base' deg
+      | inserts, removed ->
+        (* Merge the (ascending) old slice with the sorted inserts,
+           skipping removed neighbors: the result is the canonical
+           ascending numbering of the new neighbor set. *)
+        let pending =
+          ref (List.sort (fun (a, _) (b, _) -> Int.compare a b) inserts)
+        in
+        let idx = ref base' in
+        let emit v w =
+          dst'.(!idx) <- v;
+          wgt'.(!idx) <- w;
+          incr idx
+        in
+        let flush_below v =
+          let rec go () =
+            match !pending with
+            | (x, w) :: rest when x < v ->
+              emit x w;
+              pending := rest;
+              go ()
+            | _ -> ()
+          in
+          go ()
+        in
+        for p = 0 to deg - 1 do
+          let v = g.dst.(base + p) in
+          if not (List.mem v removed) then begin
+            flush_below v;
+            emit v g.wgt.(base + p)
+          end
+        done;
+        List.iter (fun (x, w) -> emit x w) !pending;
+        assert (!idx = off'.(u + 1))
+    done;
+    let srt_dst, srt_port = build_sorted_index g.n off' dst' in
+    let g' =
+      { n = g.n; m = m'; off = off'; dst = dst'; wgt = wgt'; srt_dst; srt_port;
+        unit_weighted = false }
+    in
+    (* Reweights last: the sorted index is weight-independent, so the
+       surviving edge is located through the new graph's own [port_to]. *)
+    Hashtbl.iter
+      (fun (a, b) op ->
+        match op with
+        | Reweight (_, _, w) -> (
+          match (port_to g' a b, port_to g' b a) with
+          | Some p, Some q ->
+            wgt'.(off'.(a) + p) <- w;
+            wgt'.(off'.(b) + q) <- w
+          | _ -> assert false)
+        | _ -> ())
+      tbl;
+    { g' with unit_weighted = Array.for_all (fun w -> w = 1.0) wgt' }
+  end
+
 let reweight g f =
   let wgt = Array.copy g.wgt in
   let unit_weighted = ref true in

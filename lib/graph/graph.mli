@@ -99,6 +99,29 @@ val min_edge_weight : t -> float
 val max_edge_weight : t -> float
 (** Maximum edge weight. @raise Invalid_argument on an edgeless graph. *)
 
+(** {1 Batched deltas}
+
+    The dynamic-graph entry point: a batch of edge changes applied in one
+    step. Endpoints may be given in either orientation; at most one op per
+    unordered pair is allowed per batch, so applying the ops sequentially
+    and as a batch agree. *)
+
+type delta_op =
+  | Insert of int * int * float  (** new edge with a strictly positive weight *)
+  | Remove of int * int          (** delete an existing edge *)
+  | Reweight of int * int * float  (** replace the weight of an existing edge *)
+
+val apply_delta : t -> delta_op list -> t
+(** [apply_delta g ops] is the graph after the batch. The port numbering of
+    every vertex not incident to an [Insert] or [Remove] is preserved
+    verbatim (a [Reweight] never renumbers), and the result is structurally
+    identical — same ports everywhere — to [of_edges ~n] over the edited
+    edge list. [apply_delta g []] is [g] itself (physically).
+    @raise Invalid_argument on an out-of-range or equal endpoint pair, a
+    non-positive weight, an [Insert] of an edge already present (duplicate
+    edge), a [Remove]/[Reweight] of an absent edge, or two ops on the same
+    unordered pair in one batch. *)
+
 (** {1 Transformation} *)
 
 val reweight : t -> (int -> int -> float -> float) -> t

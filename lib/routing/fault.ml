@@ -109,19 +109,22 @@ let empty g = compile (spec ()) g
 let of_failures ?spec:(sp = spec ()) g ~links ~vertices =
   let n = Graph.n g in
   let tbl = Hashtbl.create 16 in
-  List.iter
-    (fun (u, v) ->
+  List.iteri
+    (fun i (u, v) ->
       if not (Graph.has_edge g u v) then
         invalid_arg
-          (Printf.sprintf "Fault.of_failures: (%d, %d) is not an edge" u v);
+          (Printf.sprintf "Fault.of_failures: links[%d] = (%d, %d) is not an edge"
+             (i + 1) u v);
       Hashtbl.replace tbl (canon u v) ())
     links;
   let varr = Array.make (max n 1) false in
   let down_count = ref 0 in
-  List.iter
-    (fun v ->
+  List.iteri
+    (fun i v ->
       if v < 0 || v >= n then
-        invalid_arg (Printf.sprintf "Fault.of_failures: vertex %d out of range" v);
+        invalid_arg
+          (Printf.sprintf "Fault.of_failures: vertices[%d] = %d out of range"
+             (i + 1) v);
       if not varr.(v) then begin
         varr.(v) <- true;
         incr down_count

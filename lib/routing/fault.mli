@@ -54,7 +54,9 @@ val of_failures :
     listed edges and vertices — the hand-built-plan entry point the unit
     tests use. Probabilistic rates are taken from [spec] (default: none).
     @raise Invalid_argument if a listed link is not an edge of [g] or a
-    vertex is out of range. *)
+    vertex is out of range; the message names the offending entry by its
+    1-based position in the list (["links[3] = (0, 9) is not an edge"]),
+    so a bad element in a long generated failure list is findable. *)
 
 val empty : Graph.t -> plan
 (** A compiled plan with no faults at all ([compile (spec ()) g]). *)

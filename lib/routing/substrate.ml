@@ -136,6 +136,154 @@ let bunches ?pool s ~seed ~target =
     ~miss:(fun () -> s.clus_m <- s.clus_m + 1)
     (fun () -> Centers.bunches ?pool s.g (centers s ~seed ~target))
 
+(* --- delta invalidation -------------------------------------------------
+
+   Dirty-region repair after a topology delta: every cached structure is
+   kept unless the delta provably can touch it.
+
+   - A full SPT survives iff [Delta.spt_affected] says its distances and
+     parents are bit-identical on the new graph; survivors get their port
+     labels re-derived ([Delta.patch_tree]) when the batch renumbered any
+     ports. The derived [Tree_routing] is then re-extracted from the kept
+     tree (structural, O(n)) instead of re-running Dijkstra.
+   - A vicinity of [u] survives iff the delta cannot change any distance
+     from [u] within its own farthest-member radius ([Delta.reaches] with
+     bound [max_dist], or unbounded when the vicinity swallowed its whole
+     component); a surviving vicinity whose source had ports renumbered
+     gets its first-hop ports remapped in place.
+   - Center samples (and everything derived: clusters, cluster trees,
+     bunches) are dropped on any distance-relevant delta: the sampling
+     refinement loop consumes seeded random coins conditioned on cluster
+     sizes, so there is no sound reuse argument short of re-running it.
+
+   An equal-weight-only batch (no distance and no port can change) carries
+   every cache across verbatim. *)
+
+type invalidation = {
+  spt_reused : int;
+  spt_dropped : int;
+  spt_tree_reused : int;
+  spt_tree_dropped : int;
+  vicinity_reused : int;
+  vicinity_dropped : int;
+  centers_dropped : int;
+  cluster_dropped : int;
+}
+
+let reused inv = inv.spt_reused + inv.spt_tree_reused + inv.vicinity_reused
+
+let dropped inv =
+  inv.spt_dropped + inv.spt_tree_dropped + inv.vicinity_dropped
+  + inv.centers_dropped + inv.cluster_dropped
+
+let invalidation_rows inv =
+  [
+    ("spt", inv.spt_reused, inv.spt_dropped);
+    ("spt-tree", inv.spt_tree_reused, inv.spt_tree_dropped);
+    ("vicinity", inv.vicinity_reused, inv.vicinity_dropped);
+    ("centers", 0, inv.centers_dropped);
+    ("cluster", 0, inv.cluster_dropped);
+  ]
+
+let invalidate s ops =
+  let d = Delta.classify s.g ops in
+  let g' = Delta.new_graph d in
+  let s' = create g' in
+  let inv =
+    if Delta.is_empty d then begin
+      (* Nothing observable changed: carry every cache across. *)
+      Hashtbl.iter (Hashtbl.replace s'.spts) s.spts;
+      Hashtbl.iter (Hashtbl.replace s'.spt_trees) s.spt_trees;
+      Hashtbl.iter (Hashtbl.replace s'.vics) s.vics;
+      Hashtbl.iter (Hashtbl.replace s'.cents) s.cents;
+      Hashtbl.iter (Hashtbl.replace s'.clusters) s.clusters;
+      Hashtbl.iter (Hashtbl.replace s'.cluster_trees) s.cluster_trees;
+      Hashtbl.iter (Hashtbl.replace s'.bunch) s.bunch;
+      {
+        spt_reused = Hashtbl.length s.spts;
+        spt_dropped = 0;
+        spt_tree_reused = Hashtbl.length s.spt_trees;
+        spt_tree_dropped = 0;
+        vicinity_reused =
+          Hashtbl.fold (fun _ a acc -> acc + Array.length a) s.vics 0;
+        vicinity_dropped = 0;
+        centers_dropped = 0;
+        cluster_dropped = 0;
+      }
+    end
+    else begin
+      let structural = Delta.structural d in
+      let spt_reused = ref 0 and spt_dropped = ref 0 in
+      Hashtbl.iter
+        (fun root tr ->
+          if Delta.spt_affected d tr then incr spt_dropped
+          else begin
+            Hashtbl.replace s'.spts root
+              (if structural then Delta.patch_tree g' tr else tr);
+            incr spt_reused
+          end)
+        s.spts;
+      let tree_reused = ref 0 and tree_dropped = ref 0 in
+      Hashtbl.iter
+        (fun root tt ->
+          match Hashtbl.find_opt s'.spts root with
+          | Some tr' ->
+            Hashtbl.replace s'.spt_trees root
+              (if structural then Tree_routing.of_tree g' tr' else tt);
+            incr tree_reused
+          | None -> incr tree_dropped)
+        s.spt_trees;
+      let vic_reused = ref 0 and vic_dropped = ref 0 in
+      Hashtbl.iter
+        (fun l arr ->
+          let arr' =
+            Array.mapi
+              (fun u vic ->
+                let bound =
+                  if Vicinity.size vic < l then infinity
+                  else Vicinity.max_dist vic
+                in
+                if Delta.reaches d u ~bound then begin
+                  incr vic_dropped;
+                  Vicinity.compute g' u l
+                end
+                else begin
+                  incr vic_reused;
+                  if structural && Delta.ports_shifted d u then
+                    Vicinity.remap_ports vic (fun p ->
+                        match Graph.port_to g' u (Graph.endpoint s.g u p) with
+                        | Some q -> q
+                        | None -> assert false)
+                  else vic
+                end)
+              arr
+          in
+          Hashtbl.replace s'.vics l arr')
+        s.vics;
+      {
+        spt_reused = !spt_reused;
+        spt_dropped = !spt_dropped;
+        spt_tree_reused = !tree_reused;
+        spt_tree_dropped = !tree_dropped;
+        vicinity_reused = !vic_reused;
+        vicinity_dropped = !vic_dropped;
+        centers_dropped = Hashtbl.length s.cents;
+        cluster_dropped =
+          Hashtbl.length s.clusters
+          + Hashtbl.length s.cluster_trees
+          + Hashtbl.length s.bunch;
+      }
+    end
+  in
+  if Telemetry.enabled () then begin
+    let c = Telemetry.counters_shard () in
+    c.Telemetry.substrate_reused_after_delta <-
+      c.Telemetry.substrate_reused_after_delta + reused inv;
+    c.Telemetry.substrate_dropped_after_delta <-
+      c.Telemetry.substrate_dropped_after_delta + dropped inv
+  end;
+  (s', inv)
+
 let stats s =
   {
     spt_hits = s.spt_h;

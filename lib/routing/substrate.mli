@@ -71,6 +71,45 @@ val bunches : ?pool:Pool.t -> t -> seed:int -> target:int -> int array array
 (** [Centers.bunches] for {!centers}[ ~seed ~target], keyed by
     [(seed, target)]. [pool] is used only on a miss. *)
 
+(** {1 Delta invalidation} *)
+
+type invalidation = {
+  spt_reused : int;
+  spt_dropped : int;
+  spt_tree_reused : int;
+  spt_tree_dropped : int;
+  vicinity_reused : int;
+  vicinity_dropped : int;
+  centers_dropped : int;  (** center samples are never carried across *)
+  cluster_dropped : int;  (** clusters + cluster trees + bunches *)
+}
+
+val invalidate : t -> Graph.delta_op list -> t * invalidation
+(** [invalidate s ops] applies the batch to the handle's graph (see
+    {!Graph.apply_delta}) and returns a fresh handle bound to the new
+    graph, pre-seeded with every cached structure the delta provably
+    cannot touch: shortest-path trees whose distances and parents are
+    bit-identical on the new graph (port labels re-derived when the batch
+    renumbered ports), their derived routing trees (re-extracted from the
+    kept tree without re-running Dijkstra), and vicinities whose
+    dirty-region cone the delta does not reach — dropped vicinities are
+    recomputed eagerly so the family array stays complete. Center samples
+    and their derivatives are always dropped. Every carried structure is
+    exactly what a fresh handle on the new graph would compute, so
+    downstream scheme builds are bit-identical to an uncached build.
+    Bumps [Telemetry.counters.substrate_reused_after_delta] /
+    [substrate_dropped_after_delta] when telemetry is enabled.
+    @raise Invalid_argument on an invalid batch (see {!Graph.apply_delta}). *)
+
+val reused : invalidation -> int
+(** Structures carried across the delta. *)
+
+val dropped : invalidation -> int
+(** Structures discarded (or eagerly recomputed) because of the delta. *)
+
+val invalidation_rows : invalidation -> (string * int * int) list
+(** [(category, reused, dropped)] rows, for reports. *)
+
 (** {1 Accounting} *)
 
 type stats = {

@@ -46,6 +46,8 @@ type counters = {
   mutable retries : int;
   mutable substrate_hits : int;
   mutable substrate_misses : int;
+  mutable substrate_reused_after_delta : int;
+  mutable substrate_dropped_after_delta : int;
 }
 
 let fresh_counters () =
@@ -62,6 +64,8 @@ let fresh_counters () =
     retries = 0;
     substrate_hits = 0;
     substrate_misses = 0;
+    substrate_reused_after_delta = 0;
+    substrate_dropped_after_delta = 0;
   }
 
 let null_counters = fresh_counters ()
@@ -78,7 +82,9 @@ let zero_counters c =
   c.corrupted <- 0;
   c.retries <- 0;
   c.substrate_hits <- 0;
-  c.substrate_misses <- 0
+  c.substrate_misses <- 0;
+  c.substrate_reused_after_delta <- 0;
+  c.substrate_dropped_after_delta <- 0
 
 let add_counters ~into c =
   into.routes <- into.routes + c.routes;
@@ -92,7 +98,11 @@ let add_counters ~into c =
   into.corrupted <- into.corrupted + c.corrupted;
   into.retries <- into.retries + c.retries;
   into.substrate_hits <- into.substrate_hits + c.substrate_hits;
-  into.substrate_misses <- into.substrate_misses + c.substrate_misses
+  into.substrate_misses <- into.substrate_misses + c.substrate_misses;
+  into.substrate_reused_after_delta <-
+    into.substrate_reused_after_delta + c.substrate_reused_after_delta;
+  into.substrate_dropped_after_delta <-
+    into.substrate_dropped_after_delta + c.substrate_dropped_after_delta
 
 let counter_rows c =
   [
@@ -108,6 +118,8 @@ let counter_rows c =
     ("retries", c.retries);
     ("substrate_hits", c.substrate_hits);
     ("substrate_misses", c.substrate_misses);
+    ("substrate_reused_after_delta", c.substrate_reused_after_delta);
+    ("substrate_dropped_after_delta", c.substrate_dropped_after_delta);
   ]
 
 (* --- histograms -------------------------------------------------------- *)
@@ -272,6 +284,10 @@ let sub_counters a b =
     retries = a.retries - b.retries;
     substrate_hits = a.substrate_hits - b.substrate_hits;
     substrate_misses = a.substrate_misses - b.substrate_misses;
+    substrate_reused_after_delta =
+      a.substrate_reused_after_delta - b.substrate_reused_after_delta;
+    substrate_dropped_after_delta =
+      a.substrate_dropped_after_delta - b.substrate_dropped_after_delta;
   }
 
 module Snapshot = struct

@@ -77,6 +77,12 @@ type counters = {
       (** preprocessing-substrate cache lookups served from memory *)
   mutable substrate_misses : int;
       (** preprocessing-substrate cache lookups that computed fresh *)
+  mutable substrate_reused_after_delta : int;
+      (** cached structures carried across a topology delta by
+          [Substrate.invalidate] *)
+  mutable substrate_dropped_after_delta : int;
+      (** cached structures discarded by [Substrate.invalidate] because the
+          delta touched their cone *)
 }
 
 val counters_shard : unit -> counters

@@ -133,6 +133,45 @@ let churn_cycle g ~seed ~every ~budget ~link_rate ~vertex_rate =
     List.rev !events
   end
 
+(* --- topology churn ----------------------------------------------------
+
+   A [topo_event] changes the graph itself, not just a fault overlay. The
+   ops are generated lazily against whatever graph is current when the
+   event fires — with several events in flight, each delta must be valid
+   against the previous repair's output, not the original graph. *)
+
+type topo_event = {
+  at_query : int;
+  ops_of : Cr_graph.Graph.t -> Cr_graph.Graph.delta_op list;
+}
+
+let topo_cycle ~seed ~every ~budget ~ops =
+  if every <= 0 || ops <= 0 then []
+  else begin
+    let events = ref [] in
+    let i = ref 0 in
+    while (!i + 1) * every < budget do
+      let at_query = (!i + 1) * every in
+      let s = seed + (7919 * !i) in
+      events := { at_query; ops_of = (fun g -> Cr_graph.Delta.random ~seed:s ~size:ops g) } :: !events;
+      incr i
+    done;
+    List.rev !events
+  end
+
+(* What a repairer hands back: the post-delta world, atomically. The serve
+   loop installs all four fields between two chunks, so every query
+   evaluates against exactly one epoch's (graph, instances, apsp). *)
+type swap = {
+  sw_graph : Cr_graph.Graph.t;
+  sw_instances : Scheme.instance list;
+  sw_apsp : Cr_graph.Apsp.t;
+  sw_wall : float;      (* seconds the repair proper took *)
+  sw_full_rebuild : bool;
+  sw_reused : int;      (* substrate structures carried across the delta *)
+  sw_dropped : int;
+}
+
 type segment = {
   plan : Fault.plan option;
   pairs : (int * int) list;
@@ -144,8 +183,28 @@ type served = {
   segments : segment list;
 }
 
+type epoch = {
+  index : int;
+  started_at : int;  (* first query index of this epoch *)
+  ops : Cr_graph.Graph.delta_op list;  (* the delta that opened it; [] for epoch 0 *)
+  repair_wall : float;   (* repairer-reported rebuild seconds; 0 for epoch 0 *)
+  blackout : float;      (* seconds the loop was blocked inside the repairer *)
+  full_rebuild : bool;
+  reused : int;
+  dropped : int;
+  stale_queries : int;
+      (* queries answered on the pre-swap tables while the repair ran *)
+  stale_eval : Scheme.eval option;
+      (* their aggregate evaluation: +res-wrapped old instances, old apsp,
+         removed links failed — the delivery-during-repair measurement *)
+  graph : Cr_graph.Graph.t;
+  apsp : Cr_graph.Apsp.t;
+  served : served list;  (* per-instance segments of this epoch *)
+}
+
 type report = {
   served : served list;
+  epochs : epoch list;
   routed : int;
   wall : float;
   rps : float;
@@ -153,17 +212,33 @@ type report = {
   max_lag : float;
 }
 
-let serve ?pool ?(churn = []) ?(chunk = 256) ?(pace = true) ?on_window t
-    ~budget ~instances ~apsp =
+let serve ?pool ?(churn = []) ?(topo = []) ?repairer ?(chunk = 256)
+    ?(pace = true) ?on_window t ~budget ~instances ~apsp =
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  let insts = Array.of_list instances in
-  let ns = Array.length insts in
+  let insts = ref (Array.of_list instances) in
+  let ns = Array.length !insts in
   if ns = 0 then invalid_arg "Traffic.serve: need at least one instance";
   if budget < 0 then invalid_arg "Traffic.serve: negative budget";
   if chunk < 1 then invalid_arg "Traffic.serve: chunk must be >= 1";
   let churn =
-    List.sort (fun a b -> Int.compare a.at_query b.at_query) churn
-    |> List.filter (fun ev -> ev.at_query > 0 && ev.at_query < budget)
+    List.sort
+      (fun (a : churn_event) b -> Int.compare a.at_query b.at_query)
+      churn
+    |> List.filter (fun (ev : churn_event) ->
+           ev.at_query > 0 && ev.at_query < budget)
+  in
+  let topo =
+    List.sort (fun (a : topo_event) b -> Int.compare a.at_query b.at_query) topo
+    |> List.filter (fun (ev : topo_event) ->
+           ev.at_query > 0 && ev.at_query < budget)
+  in
+  let repairer =
+    match repairer with
+    | Some f -> f
+    | None ->
+      if topo <> [] then
+        invalid_arg "Traffic.serve: topology churn requires a repairer";
+      fun _ _ -> invalid_arg "Traffic.serve: no repairer"
   in
   let verdict_counts = Array.make (Array.length Port_model.verdict_classes) 0 in
   (* Per-instance accumulators: the open segment is a reversed list of
@@ -193,13 +268,134 @@ let serve ?pool ?(churn = []) ?(chunk = 256) ?(pace = true) ?on_window t
   let max_lag = ref 0.0 in
   let routed = ref 0 in
   let pending_churn = ref churn in
+  let pending_topo = ref topo in
   let k = ref 0 in
+  (* Per-epoch bookkeeping. Epoch 0 is the pre-churn world; every topo
+     event closes the current epoch and opens the next with the repaired
+     (graph, instances, apsp) triple installed between two chunks. *)
+  let cur_graph = ref (!insts).(0).Scheme.graph in
+  let cur_apsp = ref apsp in
+  let epochs = ref [] in
+  let ep_index = ref 0 and ep_start = ref 0 in
+  let ep_ops = ref [] and ep_repair = ref 0.0 and ep_blackout = ref 0.0 in
+  let ep_full = ref false and ep_reused = ref 0 and ep_dropped = ref 0 in
+  let ep_stale_q = ref 0 and ep_stale = ref None in
+  let close_epoch () =
+    close_segments ();
+    let served_now =
+      Array.to_list
+        (Array.mapi
+           (fun i inst -> { instance = inst; segments = List.rev closed.(i) })
+           !insts)
+    in
+    Array.fill closed 0 ns [];
+    epochs :=
+      {
+        index = !ep_index;
+        started_at = !ep_start;
+        ops = !ep_ops;
+        repair_wall = !ep_repair;
+        blackout = !ep_blackout;
+        full_rebuild = !ep_full;
+        reused = !ep_reused;
+        dropped = !ep_dropped;
+        stale_queries = !ep_stale_q;
+        stale_eval = !ep_stale;
+        graph = !cur_graph;
+        apsp = !cur_apsp;
+        served = served_now;
+      }
+      :: !epochs
+  in
   while !k < budget do
+    (* Topology churn first: a due event closes the epoch, runs the repair
+       while overdue queries are answered on the (+res-wrapped) old tables,
+       then hot-swaps the repaired world. Supersedes any fault-churn
+       boundary falling inside the repair window. *)
+    let rec apply_topo () =
+      match !pending_topo with
+      | ev :: rest when ev.at_query <= !k ->
+        pending_topo := rest;
+        close_epoch ();
+        let ops = ev.ops_of !cur_graph in
+        let tr0 = Unix.gettimeofday () in
+        let sw = repairer !cur_graph ops in
+        let blackout = Unix.gettimeofday () -. tr0 in
+        if List.length sw.sw_instances <> ns then
+          invalid_arg
+            "Traffic.serve: repairer must return one instance per served one";
+        (* Staleness window: the queries that piled up while the repair
+           ran are served on the old instances, wrapped in the resilience
+           ladder, with the delta's removed links failed — measured
+           against the old apsp. Unpaced runs take one representative
+           round of chunks instead of a wall-clock backlog. *)
+        let removed =
+          List.filter_map
+            (function Cr_graph.Graph.Remove (u, v) -> Some (u, v) | _ -> None)
+            ops
+        in
+        let stale_plan =
+          if removed = [] then None
+          else Some (Fault.of_failures !cur_graph ~links:removed ~vertices:[])
+        in
+        let due =
+          if t.rate < infinity then begin
+            let elapsed = Unix.gettimeofday () -. t0 in
+            let rec count j =
+              if j < budget && arrival t j < elapsed then count (j + 1) else j
+            in
+            max (count !k - !k) ns
+          end
+          else min (ns * chunk) (budget - !k)
+        in
+        let due = min due (budget - !k) in
+        let stale_q = ref 0 and stale_ev = ref None in
+        if due > 0 then begin
+          let wrapped =
+            Array.map
+              (fun i -> Resilient.instance (Resilient.wrap i))
+              !insts
+          in
+          let bufs = Array.make ns [] in
+          for q = !k + due - 1 downto !k do
+            bufs.(q mod ns) <- pair t q :: bufs.(q mod ns)
+          done;
+          let evals = ref [] in
+          for i = 0 to ns - 1 do
+            if bufs.(i) <> [] then
+              evals :=
+                Scheme.evaluate_batch ~pool ?faults:stale_plan ~fast:true
+                  ~verdicts:verdict_counts wrapped.(i) !cur_apsp bufs.(i)
+                :: !evals
+          done;
+          stale_ev := Some (Scheme.concat_evals (List.rev !evals));
+          stale_q := due;
+          routed := !routed + due;
+          k := !k + due
+        end;
+        (* Hot swap: all of (graph, instances, apsp) change together. *)
+        insts := Array.of_list sw.sw_instances;
+        cur_graph := sw.sw_graph;
+        cur_apsp := sw.sw_apsp;
+        incr ep_index;
+        ep_start := !k;
+        ep_ops := ops;
+        ep_repair := sw.sw_wall;
+        ep_blackout := blackout;
+        ep_full := sw.sw_full_rebuild;
+        ep_reused := sw.sw_reused;
+        ep_dropped := sw.sw_dropped;
+        ep_stale_q := !stale_q;
+        ep_stale := !stale_ev;
+        apply_topo ()
+      | _ -> ()
+    in
+    apply_topo ();
     (* Apply every churn event due at this index; each swap closes the open
        segments so per-segment evals stay pinned to one plan. *)
     let rec apply () =
       match !pending_churn with
-      | ev :: rest when ev.at_query <= !k ->
+      | (ev : churn_event) :: rest when ev.at_query <= !k ->
         close_segments ();
         seg_plan := ev.plan;
         pending_churn := rest;
@@ -207,8 +403,17 @@ let serve ?pool ?(churn = []) ?(chunk = 256) ?(pace = true) ?on_window t
       | _ -> ()
     in
     apply ();
+    if !k >= budget then ()
+    else begin
     let next_boundary =
-      match !pending_churn with [] -> budget | ev :: _ -> ev.at_query
+      match !pending_churn with
+      | [] -> budget
+      | (ev : churn_event) :: _ -> ev.at_query
+    in
+    let next_boundary =
+      match !pending_topo with
+      | [] -> next_boundary
+      | ev :: _ -> min next_boundary ev.at_query
     in
     let k1 = min next_boundary (min budget (!k + (chunk * ns))) in
     (* Open-loop pacing: sleep until the window's first query is due. We
@@ -228,7 +433,7 @@ let serve ?pool ?(churn = []) ?(chunk = 256) ?(pace = true) ?on_window t
       if bufs.(i) <> [] then begin
         let ev =
           Scheme.evaluate_batch ~pool ?faults:!seg_plan ~fast:true
-            ~verdicts:verdict_counts insts.(i) apsp bufs.(i)
+            ~verdicts:verdict_counts (!insts).(i) !cur_apsp bufs.(i)
         in
         seg_pairs.(i) <- bufs.(i) :: seg_pairs.(i);
         seg_evals.(i) <- ev :: seg_evals.(i)
@@ -241,18 +446,17 @@ let serve ?pool ?(churn = []) ?(chunk = 256) ?(pace = true) ?on_window t
       let lag = elapsed -. arrival t (k1 - 1) in
       if lag > !max_lag then max_lag := lag
     end;
-    match on_window with
+    (match on_window with
     | Some f -> f ~routed:!routed ~elapsed
-    | None -> ()
+    | None -> ())
+    end
   done;
-  close_segments ();
+  close_epoch ();
+  let epochs = List.rev !epochs in
   let wall = Unix.gettimeofday () -. t0 in
   {
-    served =
-      Array.to_list
-        (Array.mapi
-           (fun i inst -> { instance = inst; segments = List.rev closed.(i) })
-           insts);
+    served = List.concat_map (fun (e : epoch) -> e.served) epochs;
+    epochs;
     routed = !routed;
     wall;
     rps = (if wall > 0.0 then float_of_int !routed /. wall else 0.0);

@@ -76,6 +76,38 @@ val churn_cycle :
     fault plan (rotating seeds, so each outage fails different elements)
     and full health. Empty when [every <= 0] or [every >= budget]. *)
 
+(** {1 Topology churn} *)
+
+type topo_event = {
+  at_query : int;
+  ops_of : Graph.t -> Graph.delta_op list;
+      (** the delta batch, generated against whatever graph is current
+          when the event fires — with several events in flight each batch
+          must be valid against the previous repair's output, not the
+          original graph *)
+}
+(** At query index [at_query] the topology itself changes: the serve loop
+    asks the repairer for a repaired world and hot-swaps it in. *)
+
+val topo_cycle : seed:int -> every:int -> budget:int -> ops:int -> topo_event list
+(** Topology churn for a [budget]-query run: at queries [every],
+    [2 * every], ... apply a {!Delta.random} batch of [ops] edge changes
+    (rotating seeds). Empty when [every <= 0], [ops <= 0] or
+    [every >= budget]. *)
+
+type swap = {
+  sw_graph : Graph.t;
+  sw_instances : Scheme.instance list;
+      (** repaired instances, same order/length as the served ones *)
+  sw_apsp : Apsp.t;  (** oracle for the new graph *)
+  sw_wall : float;  (** seconds the repair proper took (excl. the oracle) *)
+  sw_full_rebuild : bool;  (** whether the repair fell back to full rebuild *)
+  sw_reused : int;  (** substrate structures carried across the delta *)
+  sw_dropped : int;
+}
+(** What a repairer returns. The serve loop installs all fields between
+    two chunks — no query ever observes a half-swapped world. *)
+
 (** {1 The serve loop} *)
 
 type segment = {
@@ -93,8 +125,37 @@ type served = {
   segments : segment list;  (** chronological; a new one per churn event *)
 }
 
+type epoch = {
+  index : int;  (** 0 for the pre-churn world *)
+  started_at : int;  (** first query index served in this epoch *)
+  ops : Graph.delta_op list;  (** the delta that opened it; [[]] for epoch 0 *)
+  repair_wall : float;  (** the repairer's [sw_wall]; [0.] for epoch 0 *)
+  blackout : float;
+      (** wall seconds the serve loop was blocked inside the repairer
+          (includes oracle recomputation and other measurement overhead) *)
+  full_rebuild : bool;
+  reused : int;  (** substrate structures carried across the delta *)
+  dropped : int;
+  stale_queries : int;
+      (** queries answered on the {e pre-swap} tables while this epoch's
+          repair ran — the staleness window *)
+  stale_eval : Scheme.eval option;
+      (** their aggregate evaluation: old instances wrapped in
+          {!Resilient}, the delta's removed links failed, measured against
+          the old oracle — the delivery-during-repair figure *)
+  graph : Graph.t;  (** this epoch's graph *)
+  apsp : Apsp.t;  (** and its oracle, for post-hoc identity checks *)
+  served : served list;  (** per-instance segments of this epoch *)
+}
+(** One interval of topological stability. Without topology churn the run
+    is a single epoch 0. *)
+
 type report = {
-  served : served list;  (** same order as the [instances] argument *)
+  served : served list;
+      (** per-epoch [served] lists concatenated chronologically — without
+          topology churn, exactly one entry per instance, in the
+          [instances] argument's order *)
+  epochs : epoch list;  (** chronological; singleton without topo churn *)
   routed : int;  (** queries dispatched (= budget) *)
   wall : float;  (** wall seconds for the whole loop, pacing included *)
   rps : float;  (** sustained routed queries per second, [routed / wall] *)
@@ -111,6 +172,8 @@ type report = {
 val serve :
   ?pool:Pool.t ->
   ?churn:churn_event list ->
+  ?topo:topo_event list ->
+  ?repairer:(Graph.t -> Graph.delta_op list -> swap) ->
   ?chunk:int ->
   ?pace:bool ->
   ?on_window:(routed:int -> elapsed:float -> unit) ->
@@ -140,5 +203,20 @@ val serve :
     with {!Resilient} (catalog ["+res"] ids) and the recovery ladder runs
     under whatever plan the churn has made active.
 
-    @raise Invalid_argument on an empty instance list, [budget < 0] or
-    [chunk < 1]. *)
+    [topo] events change the graph itself. When one fires the loop closes
+    the current {!epoch}, calls [repairer graph ops] (mandatory whenever
+    [topo] is non-empty), and answers the queries that piled up while it
+    ran — the staleness window — on the old instances wrapped in
+    {!Resilient}, under a fault plan failing the delta's removed links,
+    against the old oracle: delivery never stops during a repair. Then it
+    installs the repaired (graph, instances, apsp) atomically between two
+    chunks and opens the next epoch. Unpaced runs use one round of chunks
+    as the staleness window; paced runs use the actual wall-clock backlog
+    (at least one query per instance). Fault-churn boundaries falling
+    inside a repair window are applied as soon as it closes; fault plans
+    compiled against an older epoch's graph stay legal — links they name
+    that no longer exist are simply never traversed.
+
+    @raise Invalid_argument on an empty instance list, [budget < 0],
+    [chunk < 1], topology churn without a [repairer], or a repairer
+    returning a different number of instances. *)

@@ -103,6 +103,12 @@ let nearest_of b pred =
 
 let step vicinities ~at ~dst = first_port vicinities.(at) dst
 
+let remap_ports b f =
+  {
+    b with
+    first_ports = Array.map (fun p -> if p < 0 then p else f p) b.first_ports;
+  }
+
 (* --- compiled form ------------------------------------------------------
 
    [first_port] is the hot lookup of every Via hop; the compiled form

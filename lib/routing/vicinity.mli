@@ -69,6 +69,13 @@ val step : t array -> at:int -> dst:int -> int
     [step] at each intermediate vertex; Property 1 guarantees membership is
     preserved along the way. @raise Not_found if [dst] is not in [B(at, l)]. *)
 
+val remap_ports : t -> (int -> int) -> t
+(** [remap_ports b f] replaces every stored first-hop port [p] of the
+    source by [f p] (members, distances and radius are shared, not
+    copied). Used by the substrate's delta invalidation when a surviving
+    vicinity's source had its ports renumbered: [f] maps an old port of
+    the source to the same physical link's port on the new graph. *)
+
 (** {1 Compiled form} *)
 
 type compiled

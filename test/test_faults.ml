@@ -52,16 +52,20 @@ let test_plan_of_failures () =
     (Fault.link_down p 1 2 && Fault.link_down p 2 1);
   checkb "other link up" false (Fault.link_down p 0 1);
   checkb "vertex down" true (Fault.vertex_down p 3);
-  checkb "rejects a non-edge" true
+  (* Rejection messages carry the 1-based list position of the offending
+     entry, so a bad element in a long generated failure list is findable. *)
+  checkb "rejects a non-edge, naming its position" true
     (try
-       ignore (Fault.of_failures g ~links:[ (0, 3) ] ~vertices:[]);
+       ignore (Fault.of_failures g ~links:[ (0, 1); (0, 3) ] ~vertices:[]);
        false
-     with Invalid_argument _ -> true);
-  checkb "rejects a bad vertex" true
+     with Invalid_argument m ->
+       m = "Fault.of_failures: links[2] = (0, 3) is not an edge");
+  checkb "rejects a bad vertex, naming its position" true
     (try
-       ignore (Fault.of_failures g ~links:[] ~vertices:[ 9 ]);
+       ignore (Fault.of_failures g ~links:[] ~vertices:[ 0; 2; 9 ]);
        false
-     with Invalid_argument _ -> true)
+     with Invalid_argument m ->
+       m = "Fault.of_failures: vertices[3] = 9 out of range")
 
 let test_decide_pure () =
   let g = Generators.path 3 in

@@ -27,6 +27,7 @@ let () =
       ("bits", Test_bits.suite);
       ("compiled", Test_compiled.suite);
       ("parallel", Test_parallel.suite);
+      ("delta", Test_delta.suite);
       ("telemetry", Test_telemetry.suite);
       ("traffic", Test_traffic.suite);
       ("graph-io", Test_graph_io.suite);

@@ -201,7 +201,7 @@ let test_churn_cycle () =
   in
   checki "events strictly inside the budget" 4 (List.length churn);
   List.iteri
-    (fun i ev ->
+    (fun i (ev : Traffic.churn_event) ->
       checki "event position" ((i + 1) * 100) ev.Traffic.at_query;
       checkb "alternating fail/heal" true
         (if i mod 2 = 0 then ev.Traffic.plan <> None else ev.Traffic.plan = None))
