@@ -123,7 +123,13 @@ let eval_instance apsp (inst : Scheme.instance) =
    columns; uncached-vs-cached rows do the reverse. *)
 let construction_csv_header =
   [ "scheme"; "phase"; "domains"; "base_wall_s"; "other_wall_s"; "identical";
-    "substrate_hits"; "substrate_misses"; "alloc_mb_saved" ]
+    "substrate_hits"; "substrate_misses"; "alloc_mb_saved";
+    "peak_rss_mb"; "gc_alloc_mb" ]
+
+(* Bench hygiene: every construction row carries the process peak RSS (or
+   the heap fallback on non-procfs platforms) so memory regressions show
+   up in the CSV history, not just wall time. *)
+let peak_rss_mb () = float_of_int (Mem_probe.peak ()).Mem_probe.bytes /. 1e6
 
 let section_construction () =
   banner "[construction] Preprocessing wall time: 1 domain vs CR_DOMAINS";
@@ -140,10 +146,12 @@ let section_construction () =
   Printf.printf "%s\n" (String.make 60 '-');
   let total_serial = ref 0.0 and total_par = ref 0.0 and all_same = ref true in
   let row name build check_same =
+    let a0 = Gc.allocated_bytes () in
     Pool.set_default_domains 1;
     let serial, ts = wall build in
     Pool.set_default_domains par_domains;
     let par, tp = wall build in
+    let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1048576.0 in
     let same = check_same serial par in
     total_serial := !total_serial +. ts;
     total_par := !total_par +. tp;
@@ -155,7 +163,9 @@ let section_construction () =
       ~header:construction_csv_header
       [ name; "serial-vs-parallel"; string_of_int par_domains;
         Printf.sprintf "%.4f" ts; Printf.sprintf "%.4f" tp;
-        string_of_bool same; "0"; "0"; "0.0" ]
+        string_of_bool same; "0"; "0"; "0.0";
+        Printf.sprintf "%.1f" (peak_rss_mb ());
+        Printf.sprintf "%.1f" alloc_mb ]
   in
   row "apsp"
     (fun () -> Apsp.compute g)
@@ -237,7 +247,9 @@ let section_construction () =
         [ e.Catalog.id; "uncached-vs-cached"; string_of_int par_domains;
           Printf.sprintf "%.4f" tu; Printf.sprintf "%.4f" tc;
           string_of_bool same; string_of_int hits; string_of_int misses;
-          Printf.sprintf "%.2f" alloc_mb ])
+          Printf.sprintf "%.2f" alloc_mb;
+          Printf.sprintf "%.1f" (peak_rss_mb ());
+          Printf.sprintf "%.1f" ((a2 -. a0) /. 1048576.0) ])
     Catalog.all;
   Printf.printf "%s\n" (String.make 84 '-');
   let st = Substrate.stats sub in
@@ -253,6 +265,169 @@ let section_construction () =
   Printf.printf "\nidentity check: %s\n"
     (if !sweep_ok then "OK — cached and uncached builds are bit-identical"
      else "VIOLATED — cached builds diverge from uncached builds")
+
+(* ------------------------------------------------------------------ *)
+(* Scale: the million-vertex tier                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The subquadratic story measured end to end: power-law (Internet-like)
+   graphs built through the streaming CSR path, packed to int32/float32
+   storage, preprocessed by the TZ-style schemes whose tables are o(n^2),
+   and evaluated with the APSP-free sampled workload — no n^2 structure
+   anywhere in the sweep. Ceilings: CR_SCALE_MAX_N caps the size list (the
+   CI smoke job sets 20000); per-scheme caps below keep inherently
+   super-linear table bounds (tz-k2: Theta(n^1.5) total words) off the
+   sizes where they would dominate the run. *)
+
+let scale_csv_header =
+  [ "scheme"; "n"; "m"; "domains"; "serial_wall_s"; "par_wall_s"; "identical";
+    "graph_bytes_per_vertex"; "plane_bytes_per_vertex"; "peak_rss_mb";
+    "rss_exact"; "samples"; "p50"; "p95"; "p99"; "max_stretch" ]
+
+let section_scale () =
+  banner "[scale] Million-vertex tier: streaming build, packed CSR, APSP-free eval";
+  let par_domains = Pool.domains (Pool.default ()) in
+  let max_n =
+    match Sys.getenv_opt "CR_SCALE_MAX_N" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> v
+      | _ -> 1_000_000)
+    | None -> if quick then 5_000 else 1_000_000
+  in
+  (* The decade ladder up to the ceiling; a ceiling that is not itself a
+     decade still runs as the top size (the CI smoke sets 20000). *)
+  let sizes =
+    let below = List.filter (fun n -> n < max_n) [ 10_000; 100_000; 1_000_000 ] in
+    if max_n <= 1_000_000 then below @ [ max_n ]
+    else below @ [ 1_000_000 ]
+  in
+  (* Schemes with their size ceilings: tz-k2 stores Theta(sqrt n) words per
+     vertex, super-linear in total, so it stops at 10^5; tz-k3's n^(1/3)
+     tables carry to the million-vertex tier. *)
+  let schemes = [ ("tz-k2", 100_000); ("tz-k3", 1_000_000) ] in
+  Printf.printf
+    "Power-law graphs (Chung-Lu, exponent 2.1), streamed into packed\n\
+     int32/float32 CSR storage; preprocess wall serial vs %d domain(s);\n\
+     stretch from %s sampled source SPTs — no APSP matrix at any size.\n"
+    par_domains
+    (if quick then "8x8" else "64x32");
+  (* Identity checks ride the smallest size, where the reference paths
+     (edge-list construction, boxed storage) are still cheap. *)
+  let n0 = List.hd sizes in
+  let g0 = Generators.power_law ~seed:91 n0 in
+  let streaming_ok =
+    let g_list = Graph.of_edges ~n:n0 (Graph.edges g0) in
+    Graph.csr_off g0 = Graph.csr_off g_list
+    && Graph.csr_dst g0 = Graph.csr_dst g_list
+    && Graph.csr_wgt g0 = Graph.csr_wgt g_list
+  in
+  let packed_ok =
+    let gp = Graph.pack ~float32:true g0 in
+    Graph.edges gp = Graph.edges g0
+    &&
+    let db = Dijkstra.spt g0 0 and dp = Dijkstra.spt gp 0 in
+    db.Dijkstra.dist = dp.Dijkstra.dist
+  in
+  Printf.printf "identity streaming-vs-of_edges (n=%d): %s\n" n0
+    (if streaming_ok then "OK" else "VIOLATED");
+  Printf.printf "identity packed-vs-boxed (n=%d): %s\n" n0
+    (if packed_ok then "OK" else "VIOLATED");
+  let sources = if quick then 8 else 64
+  and per_source = if quick then 8 else 32 in
+  Printf.printf "\n%-8s %9s %10s %9s %9s %6s %8s %8s %7s %7s %7s %9s\n"
+    "scheme" "n" "m" "serial-s" "par-s" "ident" "graph-B/v" "plane-B/v"
+    "p50" "p95" "p99" "rss-MB";
+  Printf.printf "%s\n" (String.make 108 '-');
+  List.iter
+    (fun nsize ->
+      let g, tgen =
+        wall (fun () ->
+            Graph.pack ~float32:true (Generators.power_law ~seed:91 nsize))
+      in
+      let graph_bpv =
+        float_of_int (Graph.storage_bytes g) /. float_of_int nsize
+      in
+      Printf.printf
+        "-- n=%d: m=%d built+packed in %.1fs (%.1f graph bytes/vertex)\n%!"
+        nsize (Graph.m g) tgen graph_bpv;
+      let pairs, tw =
+        wall (fun () -> Workload.sampled_pairs ~seed:7 ~sources ~per_source g)
+      in
+      Printf.printf "   %d sampled (pair, distance) probes in %.1fs\n%!"
+        (List.length pairs) tw;
+      let graph_words = Obj.reachable_words (Obj.repr g) in
+      List.iter
+        (fun (id, cap) ->
+          if nsize > cap then
+            Printf.printf
+              "%-8s %9d   skipped (tables super-linear beyond n=%d)\n%!" id
+              nsize cap
+          else begin
+            let e = Option.get (Catalog.find id) in
+            let build () = fst (e.Catalog.build ~seed:31 ~eps:0.5 g) in
+            Pool.set_default_domains 1;
+            let serial, ts = wall build in
+            (* A 1-domain pool rebuild would measure the same code path
+               twice; only pay for the second build when it can differ. *)
+            let par, tp =
+              if par_domains = 1 then (serial, ts)
+              else begin
+                Pool.set_default_domains par_domains;
+                wall build
+              end
+            in
+            Pool.set_default_domains par_domains;
+            let same =
+              serial.Scheme.table_words = par.Scheme.table_words
+              && serial.Scheme.label_words = par.Scheme.label_words
+            in
+            let plane_bpv =
+              float_of_int
+                (8 * max 0 (Obj.reachable_words (Obj.repr par) - graph_words))
+              /. float_of_int nsize
+            in
+            let ev = Scheme.evaluate_sampled par pairs in
+            let ps = Scheme.percentiles ev [ 0.5; 0.95; 0.99 ] in
+            let p50, p95, p99 =
+              match ps with [ a; b; c ] -> (a, b, c) | _ -> (1.0, 1.0, 1.0)
+            in
+            let rss = Mem_probe.peak () in
+            let rss_mb = float_of_int rss.Mem_probe.bytes /. 1e6 in
+            Printf.printf
+              "%-8s %9d %10d %9.1f %9.1f %6s %8.1f %8.1f %7.3f %7.3f %7.3f %9.0f\n%!"
+              id nsize (Graph.m g) ts tp
+              (if same then "true" else "VIOLATED")
+              graph_bpv plane_bpv p50 p95 p99 rss_mb;
+            csv "scale" ~header:scale_csv_header
+              [ id; string_of_int nsize; string_of_int (Graph.m g);
+                string_of_int par_domains; Printf.sprintf "%.4f" ts;
+                Printf.sprintf "%.4f" tp; string_of_bool same;
+                Printf.sprintf "%.1f" graph_bpv;
+                Printf.sprintf "%.1f" plane_bpv;
+                Printf.sprintf "%.1f" rss_mb;
+                string_of_bool rss.Mem_probe.exact;
+                string_of_int (Array.length ev.Scheme.samples);
+                Printf.sprintf "%.4f" p50; Printf.sprintf "%.4f" p95;
+                Printf.sprintf "%.4f" p99;
+                Printf.sprintf "%.4f" (Scheme.max_stretch ev) ]
+          end)
+        schemes)
+    sizes;
+  Printf.printf "%s\n" (String.make 108 '-');
+  (* Peak RSS is a process-wide high-water mark: per-row readings are
+     cumulative, which is why the sizes run smallest first. The probe
+     status line is what the CI smoke job asserts on. *)
+  let p = Mem_probe.peak () in
+  Printf.printf "rss-probe: %s (peak %.0f MB, %s)\n"
+    (if p.Mem_probe.bytes > 0 then "OK" else "FAILED")
+    (float_of_int p.Mem_probe.bytes /. 1e6)
+    (if p.Mem_probe.exact then "VmHWM" else "heap fallback");
+  Printf.printf "identity check: %s\n"
+    (if streaming_ok && packed_ok then
+       "OK — streaming construction and packed storage agree with the \
+        reference paths"
+     else "VIOLATED — construction paths diverge")
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -1405,6 +1580,7 @@ let () =
      CR_BENCH_CSV file buffered so far. *)
   Fun.protect ~finally:csv_close (fun () ->
       run "construction" section_construction;
+      run "scale" section_scale;
       run "table1" section_table1;
       run "throughput" section_throughput;
       run "serve" section_serve;

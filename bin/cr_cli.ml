@@ -61,7 +61,7 @@ let or_die = function
 let family_conv =
   let families =
     [ "path"; "cycle"; "grid"; "torus"; "hypercube"; "tree"; "gnp"; "gnm";
-      "ba"; "caveman" ]
+      "ba"; "caveman"; "power-law"; "glp" ]
   in
   Arg.enum (List.map (fun f -> (f, f)) families)
 
@@ -87,6 +87,8 @@ let generate family n seed weights out =
     | "ba" -> Generators.barabasi_albert ~seed n 3
     | "caveman" ->
       Generators.caveman ~seed ~cliques:(max 2 (n / 16)) ~size:16 ~rewire:0.1
+    | "power-law" -> Generators.power_law ~seed n
+    | "glp" -> Generators.glp ~seed n
     | _ -> assert false
   in
   let g =

@@ -7,6 +7,7 @@ type t = {
 }
 
 let preprocess ?substrate g =
+  Apsp.guard_quadratic ~who:"Full_tables.preprocess" (Graph.n g);
   if not (Bfs.is_connected g) then
     invalid_arg "Full_tables.preprocess: graph must be connected";
   let sub = Substrate.for_graph substrate g in

@@ -1,6 +1,36 @@
 type t = { d : float array array }
 
+(* Entry points that allocate Θ(n^2) memory refuse to run past a size
+   threshold instead of OOM-ing minutes later: at the default 8192
+   vertices a distance matrix is already 512 MB. The [scale] tier uses
+   sampled oracles ([Workload.sampled_pairs]) instead. *)
+let default_quadratic_max_n = 8192
+
+let quadratic_max_n () =
+  match Sys.getenv_opt "CR_QUADRATIC_MAX_N" with
+  | None | Some "" -> default_quadratic_max_n
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v when v > 0 -> v
+    | _ -> default_quadratic_max_n)
+
+let quadratic_allowed () =
+  match Sys.getenv_opt "CR_ALLOW_QUADRATIC" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let guard_quadratic ~who n =
+  let limit = quadratic_max_n () in
+  if n > limit && not (quadratic_allowed ()) then
+    failwith
+      (Printf.sprintf
+         "%s: n = %d exceeds the O(n^2)-memory threshold %d; set \
+          CR_ALLOW_QUADRATIC=1 to proceed anyway, or raise the limit with \
+          CR_QUADRATIC_MAX_N"
+         who n limit)
+
 let compute ?pool g =
+  guard_quadratic ~who:"Apsp.compute" (Graph.n g);
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   let n = Graph.n g in
   let d =

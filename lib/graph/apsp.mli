@@ -6,11 +6,19 @@
 
 type t
 
+val guard_quadratic : who:string -> int -> unit
+(** [guard_quadratic ~who n] raises [Failure] when [n] exceeds the
+    O(n^2)-memory size threshold (default 8192; override with the
+    [CR_QUADRATIC_MAX_N] env var, or disable the guard entirely with
+    [CR_ALLOW_QUADRATIC=1]). Shared by every entry point that allocates a
+    full n-by-n matrix, so a million-vertex run fails fast with a clear
+    message instead of OOM-ing. *)
+
 val compute : ?pool:Parallel.t -> Graph.t -> t
 (** [compute g] runs a single-source search from every vertex (BFS when the
     graph is unit-weighted, Dijkstra otherwise), fanned out over [pool]
     (default {!Parallel.default}); the result is identical to a serial
-    run. *)
+    run. @raise Failure past the {!guard_quadratic} threshold. *)
 
 val dist : t -> int -> int -> float
 (** [dist t u v] is d(u, v), or [infinity] when disconnected. *)

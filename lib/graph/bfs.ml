@@ -14,8 +14,40 @@ let run g s =
   let first_port = Array.make n (-1) in
   let order = Array.make n (-1) in
   let queue = Queue.create () in
-  let off = Graph.csr_off g
-  and adj = Graph.csr_dst g in
+  (* One representation dispatch per search; the per-edge loop reads the
+     concrete arrays directly. *)
+  let scan =
+    match Graph.view g with
+    | Graph.Boxed (off, adj, _) ->
+      fun u ->
+        let base = off.(u) in
+        for idx = base to off.(u + 1) - 1 do
+          let v = adj.(idx) in
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            parent.(v) <- u;
+            let port = idx - base in
+            parent_port.(v) <- port;
+            first_port.(v) <- (if u = s then port else first_port.(u));
+            Queue.add v queue
+          end
+        done
+    | Graph.Packed (off, adj, _) ->
+      fun u ->
+        let base = Int32.to_int (Bigarray.Array1.get off u) in
+        let stop = Int32.to_int (Bigarray.Array1.get off (u + 1)) - 1 in
+        for idx = base to stop do
+          let v = Int32.to_int (Bigarray.Array1.get adj idx) in
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            parent.(v) <- u;
+            let port = idx - base in
+            parent_port.(v) <- port;
+            first_port.(v) <- (if u = s then port else first_port.(u));
+            Queue.add v queue
+          end
+        done
+  in
   dist.(s) <- 0;
   Queue.add s queue;
   let count = ref 0 in
@@ -23,18 +55,7 @@ let run g s =
     let u = Queue.pop queue in
     order.(!count) <- u;
     incr count;
-    let base = off.(u) in
-    for idx = base to off.(u + 1) - 1 do
-      let v = adj.(idx) in
-      if dist.(v) = max_int then begin
-        dist.(v) <- dist.(u) + 1;
-        parent.(v) <- u;
-        let port = idx - base in
-        parent_port.(v) <- port;
-        first_port.(v) <- (if u = s then port else first_port.(u));
-        Queue.add v queue
-      end
-    done
+    scan u
   done;
   let order = Array.sub order 0 !count in
   { dist; parent; parent_port; first_port; order }
@@ -43,16 +64,46 @@ let dist g u v =
   let r = run g u in
   if r.dist.(v) = max_int then None else Some r.dist.(v)
 
+(* One shared traversal over all components: a single label array and a
+   single queue, instead of a fresh 5-array BFS result per component (which
+   made disconnected million-vertex graphs quadratic-ish in allocation). *)
 let components g =
   let n = Graph.n g in
   let comp = Array.make n (-1) in
+  let queue = Queue.create () in
+  let scan =
+    match Graph.view g with
+    | Graph.Boxed (off, adj, _) ->
+      fun u id ->
+        for idx = off.(u) to off.(u + 1) - 1 do
+          let v = adj.(idx) in
+          if comp.(v) = -1 then begin
+            comp.(v) <- id;
+            Queue.add v queue
+          end
+        done
+    | Graph.Packed (off, adj, _) ->
+      fun u id ->
+        let base = Int32.to_int (Bigarray.Array1.get off u) in
+        let stop = Int32.to_int (Bigarray.Array1.get off (u + 1)) - 1 in
+        for idx = base to stop do
+          let v = Int32.to_int (Bigarray.Array1.get adj idx) in
+          if comp.(v) = -1 then begin
+            comp.(v) <- id;
+            Queue.add v queue
+          end
+        done
+  in
   let next = ref 0 in
   for s = 0 to n - 1 do
     if comp.(s) = -1 then begin
       let id = !next in
       incr next;
-      let r = run g s in
-      Array.iter (fun v -> comp.(v) <- id) r.order
+      comp.(s) <- id;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        scan (Queue.pop queue) id
+      done
     end
   done;
   comp

@@ -56,20 +56,35 @@ let offset_multi_source g seeds =
         Heap.insert_or_decrease heap s o
       end)
     seeds;
-  let off = Graph.csr_off g and dst = Graph.csr_dst g and wgt = Graph.csr_wgt g in
+  let scan =
+    match Graph.view g with
+    | Graph.Boxed (off, dst_a, wgt) ->
+      fun u du ->
+        for idx = off.(u) to off.(u + 1) - 1 do
+          let v = dst_a.(idx) in
+          let dv = du +. wgt.(idx) in
+          if dv < dist.(v) then begin
+            dist.(v) <- dv;
+            Heap.insert_or_decrease heap v dv
+          end
+        done
+    | Graph.Packed (off, dst_a, wgt) ->
+      fun u du ->
+        let base = Int32.to_int (Bigarray.Array1.get off u) in
+        let stop = Int32.to_int (Bigarray.Array1.get off (u + 1)) - 1 in
+        for idx = base to stop do
+          let v = Int32.to_int (Bigarray.Array1.get dst_a idx) in
+          let dv = du +. Graph.weight wgt idx in
+          if dv < dist.(v) then begin
+            dist.(v) <- dv;
+            Heap.insert_or_decrease heap v dv
+          end
+        done
+  in
   let rec loop () =
     match Heap.pop_min heap with
     | None -> ()
-    | Some (u, du) ->
-      for idx = off.(u) to off.(u + 1) - 1 do
-        let v = dst.(idx) in
-        let dv = du +. wgt.(idx) in
-        if dv < dist.(v) then begin
-          dist.(v) <- dv;
-          Heap.insert_or_decrease heap v dv
-        end
-      done;
-      loop ()
+    | Some (u, du) -> scan u du; loop ()
   in
   loop ();
   dist

@@ -69,7 +69,11 @@ let reset ws =
 (* Core loop shared by all single-source variants. [admit v d] decides
    whether a vertex with final distance [d] may be settled; returns the
    number of settled vertices (a prefix of [ws_order]). The caller must
-   [reset] the workspace when done with the scratch arrays. *)
+   [reset] the workspace when done with the scratch arrays.
+
+   The edge scan dispatches on the storage representation once per call:
+   [scan] is a closure bound to the concrete arrays (boxed or packed), so
+   the per-edge work stays free of representation tests. *)
 let run_core ws g s ~admit =
   ws.ws_gen <- ws.ws_gen + 1;
   let dist = ws.ws_dist
@@ -79,22 +83,10 @@ let run_core ws g s ~admit =
   and order = ws.ws_order
   and settled = ws.ws_settled
   and heap = ws.ws_heap in
-  let off = Graph.csr_off g
-  and dst = Graph.csr_dst g
-  and wgt = Graph.csr_wgt g in
-  touch ws s;
-  dist.(s) <- 0.0;
-  Heap.insert heap s 0.0;
-  let count = ref 0 in
-  let continue = ref true in
-  while !continue do
-    match Heap.pop_min heap with
-    | None -> continue := false
-    | Some (u, d) ->
-      if admit u d then begin
-        settled.(u) <- true;
-        order.(!count) <- u;
-        incr count;
+  let scan =
+    match Graph.view g with
+    | Graph.Boxed (off, dst, wgt) ->
+      fun u d ->
         let base = off.(u) in
         for idx = base to off.(u + 1) - 1 do
           let v = dst.(idx) in
@@ -109,6 +101,38 @@ let run_core ws g s ~admit =
             Heap.insert_or_decrease heap v d'
           end
         done
+    | Graph.Packed (off, dst, wgt) ->
+      fun u d ->
+        let base = Int32.to_int (Bigarray.Array1.get off u) in
+        let stop = Int32.to_int (Bigarray.Array1.get off (u + 1)) - 1 in
+        for idx = base to stop do
+          let v = Int32.to_int (Bigarray.Array1.get dst idx) in
+          let d' = d +. Graph.weight wgt idx in
+          if (not settled.(v)) && d' < dist.(v) then begin
+            touch ws v;
+            dist.(v) <- d';
+            parent.(v) <- u;
+            let port = idx - base in
+            parent_port.(v) <- port;
+            first_port.(v) <- (if u = s then port else first_port.(u));
+            Heap.insert_or_decrease heap v d'
+          end
+        done
+  in
+  touch ws s;
+  dist.(s) <- 0.0;
+  Heap.insert heap s 0.0;
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min heap with
+    | None -> continue := false
+    | Some (u, d) ->
+      if admit u d then begin
+        settled.(u) <- true;
+        order.(!count) <- u;
+        incr count;
+        scan u d
       end
       else dist.(u) <- infinity
       (* A rejected vertex keeps [infinity] so callers can treat it as
@@ -180,9 +204,38 @@ let truncated_ws ws g s l =
   and order = ws.ws_order
   and settled = ws.ws_settled
   and heap = ws.ws_heap in
-  let off = Graph.csr_off g
-  and dst = Graph.csr_dst g
-  and wgt = Graph.csr_wgt g in
+  let scan =
+    match Graph.view g with
+    | Graph.Boxed (off, dst, wgt) ->
+      fun u d ->
+        let base = off.(u) in
+        for idx = base to off.(u + 1) - 1 do
+          let v = dst.(idx) in
+          let d' = d +. wgt.(idx) in
+          if (not settled.(v)) && d' < dist.(v) then begin
+            touch ws v;
+            dist.(v) <- d';
+            parent.(v) <- u;
+            first_port.(v) <- (if u = s then idx - base else first_port.(u));
+            Heap.insert_or_decrease heap v d'
+          end
+        done
+    | Graph.Packed (off, dst, wgt) ->
+      fun u d ->
+        let base = Int32.to_int (Bigarray.Array1.get off u) in
+        let stop = Int32.to_int (Bigarray.Array1.get off (u + 1)) - 1 in
+        for idx = base to stop do
+          let v = Int32.to_int (Bigarray.Array1.get dst idx) in
+          let d' = d +. Graph.weight wgt idx in
+          if (not settled.(v)) && d' < dist.(v) then begin
+            touch ws v;
+            dist.(v) <- d';
+            parent.(v) <- u;
+            first_port.(v) <- (if u = s then idx - base else first_port.(u));
+            Heap.insert_or_decrease heap v d'
+          end
+        done
+  in
   touch ws s;
   dist.(s) <- 0.0;
   Heap.insert heap s 0.0;
@@ -195,18 +248,7 @@ let truncated_ws ws g s l =
       settled.(u) <- true;
       order.(!count) <- u;
       incr count;
-      let base = off.(u) in
-      for idx = base to off.(u + 1) - 1 do
-        let v = dst.(idx) in
-        let d' = d +. wgt.(idx) in
-        if (not settled.(v)) && d' < dist.(v) then begin
-          touch ws v;
-          dist.(v) <- d';
-          parent.(v) <- u;
-          first_port.(v) <- (if u = s then idx - base else first_port.(u));
-          Heap.insert_or_decrease heap v d'
-        end
-      done
+      scan u d
   done;
   (* The nearest vertex of the component left out of B(s, l), if any: a
      non-destructive peek — the heap min's tentative distance is final by
@@ -250,9 +292,39 @@ let multi_source g centers =
   let mparent = Array.make n (-1) in
   let settled = Array.make n false in
   let heap = Heap.create n in
-  let off = Graph.csr_off g
-  and dst = Graph.csr_dst g
-  and wgt = Graph.csr_wgt g in
+  let scan =
+    match Graph.view g with
+    | Graph.Boxed (off, dst, wgt) ->
+      fun u d ->
+        for idx = off.(u) to off.(u + 1) - 1 do
+          let v = dst.(idx) in
+          let d' = d +. wgt.(idx) in
+          if not settled.(v) then
+            if d' < dist.(v) || (d' = dist.(v) && nearest.(u) < nearest.(v))
+            then begin
+              dist.(v) <- d';
+              nearest.(v) <- nearest.(u);
+              mparent.(v) <- u;
+              Heap.insert_or_decrease heap v d'
+            end
+        done
+    | Graph.Packed (off, dst, wgt) ->
+      fun u d ->
+        let base = Int32.to_int (Bigarray.Array1.get off u) in
+        let stop = Int32.to_int (Bigarray.Array1.get off (u + 1)) - 1 in
+        for idx = base to stop do
+          let v = Int32.to_int (Bigarray.Array1.get dst idx) in
+          let d' = d +. Graph.weight wgt idx in
+          if not settled.(v) then
+            if d' < dist.(v) || (d' = dist.(v) && nearest.(u) < nearest.(v))
+            then begin
+              dist.(v) <- d';
+              nearest.(v) <- nearest.(u);
+              mparent.(v) <- u;
+              Heap.insert_or_decrease heap v d'
+            end
+        done
+  in
   (* Initialize centers in increasing id order so ties prefer smaller ids. *)
   let centers = List.sort_uniq Int.compare centers in
   List.iter
@@ -267,16 +339,6 @@ let multi_source g centers =
     | None -> continue := false
     | Some (u, d) ->
       settled.(u) <- true;
-      for idx = off.(u) to off.(u + 1) - 1 do
-        let v = dst.(idx) in
-        let d' = d +. wgt.(idx) in
-        if not settled.(v) then
-          if d' < dist.(v) || (d' = dist.(v) && nearest.(u) < nearest.(v)) then begin
-            dist.(v) <- d';
-            nearest.(v) <- nearest.(u);
-            mparent.(v) <- u;
-            Heap.insert_or_decrease heap v d'
-          end
-      done
+      scan u d
   done;
   { dist_to_set = dist; nearest; mparent }

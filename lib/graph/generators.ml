@@ -126,13 +126,16 @@ let random_tree ~seed n =
 let barabasi_albert ~seed n k =
   if k < 1 || n <= k then invalid_arg "Generators.barabasi_albert: need n > k >= 1";
   let st = Random.State.make [| seed; 0x6261 |] in
-  let edges = ref [] in
+  (* Edges stream straight into the CSR builder — no edge list. The RNG
+     draw sequence is unchanged from the historical list-based version, so
+     seeds produce the same graphs. *)
+  let b = Graph.Builder.create ~n ~hint:(((k + 1) * k / 2) + (k * (n - k))) () in
   (* [targets] holds one entry per edge endpoint: sampling uniformly from it
      is degree-proportional sampling. Seed with a (k+1)-clique. *)
   let targets = ref [] in
   for u = 0 to k do
     for v = u + 1 to k do
-      edges := (u, v) :: !edges;
+      Graph.Builder.add_edge b u v 1.0;
       targets := u :: v :: !targets
     done
   done;
@@ -155,12 +158,12 @@ let barabasi_albert ~seed n k =
     done;
     Hashtbl.iter
       (fun v () ->
-        edges := (u, v) :: !edges;
+        Graph.Builder.add_edge b u v 1.0;
         push u;
         push v)
       chosen
   done;
-  Graph.of_unweighted_edges ~n !edges
+  Graph.Builder.finish b
 
 let random_geometric ~seed n ~radius =
   if radius <= 0.0 then invalid_arg "Generators.random_geometric: bad radius";
@@ -236,9 +239,152 @@ let connect ~seed g =
       let l = members.(c) in
       List.nth l (Random.State.int st (List.length l))
     in
-    let extra = List.init (k - 1) (fun c -> (pick c, pick (c + 1), 1.0)) in
-    Graph.of_edges ~n:(Graph.n g) (extra @ Graph.edges g)
+    (* Components are disjoint, so the k-1 bridge pairs are distinct and
+       absent: a single delta batch links them without ever materializing
+       the existing edge list. *)
+    let extra =
+      List.init (k - 1) (fun c -> Graph.Insert (pick c, pick (c + 1), 1.0))
+    in
+    Graph.apply_delta g extra
   end
+
+(* Chung–Lu expected-degree power law, sampled with the Miller–Hagberg
+   skip algorithm (O(n + m) instead of O(n^2)): vertex i gets target
+   weight w_i ∝ (i+1)^(-1/(exponent-1)), scaled so the expected average
+   degree matches, and each pair (u, v) is an edge independently with
+   probability min(1, w_u w_v / S). Because the weights are non-increasing
+   in the vertex id, the inner loop over v can jump geometrically between
+   successes at the current probability bound and correct by rejection —
+   the standard efficient Chung–Lu sampler. *)
+let power_law ~seed ?(exponent = 2.1) ?(avg_degree = 8.0) ?(connected = true) n =
+  if n < 1 then invalid_arg "Generators.power_law: need n >= 1";
+  if exponent <= 2.0 then invalid_arg "Generators.power_law: need exponent > 2";
+  if avg_degree <= 0.0 then
+    invalid_arg "Generators.power_law: need avg_degree > 0";
+  let st = Random.State.make [| seed; 0x706c |] in
+  let alpha = 1.0 /. (exponent -. 1.0) in
+  let w = Array.init n (fun i -> float_of_int (i + 1) ** -.alpha) in
+  let sum = Array.fold_left ( +. ) 0.0 w in
+  let scale = avg_degree *. float_of_int n /. sum in
+  for i = 0 to n - 1 do
+    w.(i) <- w.(i) *. scale
+  done;
+  let s = Array.fold_left ( +. ) 0.0 w in
+  (* Cap at sqrt(S) so every pairwise probability is at most 1 and the
+     weights stay non-increasing. *)
+  let cap = sqrt s in
+  for i = 0 to n - 1 do
+    if w.(i) > cap then w.(i) <- cap
+  done;
+  let b =
+    Graph.Builder.create ~n
+      ~hint:(max 16 (int_of_float (avg_degree *. float_of_int n /. 2.0)))
+      ()
+  in
+  for u = 0 to n - 2 do
+    let v = ref (u + 1) in
+    let p = ref (Float.min 1.0 (w.(u) *. w.(!v) /. s)) in
+    while !v < n && !p > 0.0 do
+      if !p < 1.0 then begin
+        (* Geometric skip over the failures; 1 - U is in (0, 1], so the
+           log never hits -inf. *)
+        let r = 1.0 -. Random.State.float st 1.0 in
+        v := !v + int_of_float (log r /. log (1.0 -. !p))
+      end;
+      if !v < n then begin
+        let q = Float.min 1.0 (w.(u) *. w.(!v) /. s) in
+        if Random.State.float st 1.0 *. !p < q then
+          Graph.Builder.add_edge b u !v 1.0;
+        p := q;
+        incr v
+      end
+    done
+  done;
+  let g = Graph.Builder.finish b in
+  if connected then connect ~seed g else g
+
+(* GLP (Generalized Linear Preference, Bu–Towsley 2002): preferential
+   attachment with probability proportional to (degree - beta), mixing
+   new-vertex steps with edge-densification steps between existing
+   vertices. The default parameters are the paper's fit to the Internet
+   AS topology. Sampling from (d - beta) rides a degree-proportional
+   endpoint array with rejection, so each draw is O(1) expected. *)
+let glp ~seed ?(m = 2) ?(p = 0.4695) ?(beta = 0.6469) n =
+  if m < 1 || n <= m + 1 then invalid_arg "Generators.glp: need n > m + 1";
+  if p < 0.0 || p >= 1.0 then invalid_arg "Generators.glp: need 0 <= p < 1";
+  if beta >= 1.0 then invalid_arg "Generators.glp: need beta < 1";
+  let st = Random.State.make [| seed; 0x676c |] in
+  let b = Graph.Builder.create ~n ~hint:(max 16 (2 * m * n)) () in
+  let deg = Array.make n 0 in
+  let targets = ref (Array.make 16 0) in
+  let tlen = ref 0 in
+  let push x =
+    if !tlen >= Array.length !targets then begin
+      let bigger = Array.make (2 * Array.length !targets) 0 in
+      Array.blit !targets 0 bigger 0 !tlen;
+      targets := bigger
+    end;
+    !targets.(!tlen) <- x;
+    incr tlen
+  in
+  (* Unordered pairs already present, keyed as a single immediate int. *)
+  let seen = Hashtbl.create (4 * m * n) in
+  let add_edge u v =
+    let key = (min u v * n) + max u v in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Graph.Builder.add_edge b u v 1.0;
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1;
+      push u;
+      push v;
+      true
+    end
+    else false
+  in
+  (* Seed: a path on m + 1 vertices. *)
+  let m0 = m + 1 in
+  for i = 0 to m0 - 2 do
+    ignore (add_edge i (i + 1))
+  done;
+  (* Acceptance bound: (d - beta) / (d * c) <= 1 for all d >= 1. *)
+  let c = Float.max 1.0 (1.0 -. beta) in
+  let pick_pref () =
+    let rec go tries =
+      let cand = !targets.(Random.State.int st !tlen) in
+      let d = float_of_int deg.(cand) in
+      if tries > 10_000 || Random.State.float st 1.0 *. c *. d < d -. beta
+      then cand
+      else go (tries + 1)
+    in
+    go 0
+  in
+  let live = ref m0 in
+  while !live < n do
+    if Random.State.float st 1.0 < p then
+      (* Densification: m new edges between existing vertices. *)
+      for _ = 1 to m do
+        let rec attempt tries =
+          if tries < 32 then
+            if not (add_edge (pick_pref ()) (pick_pref ())) then
+              attempt (tries + 1)
+        in
+        attempt 0
+      done
+    else begin
+      (* Growth: a new vertex attaches to m distinct existing vertices.
+         The first attachment always succeeds, so the graph stays
+         connected. *)
+      let u = !live in
+      incr live;
+      let got = ref 0 and tries = ref 0 in
+      while !got < m && !tries < 64 * m do
+        incr tries;
+        if add_edge u (pick_pref ()) then incr got
+      done
+    end
+  done;
+  Graph.Builder.finish b
 
 let with_random_weights ~seed ~lo ~hi g =
   if not (0.0 < lo && lo <= hi) then invalid_arg "Generators.with_random_weights";

@@ -65,6 +65,32 @@ val caveman : seed:int -> cliques:int -> size:int -> rewire:float -> Graph.t
     intra-clique edge independently rewired to a random vertex with
     probability [rewire]. A stand-in for community-structured networks. *)
 
+(** {1 Internet-like / scale tier}
+
+    Generators built for the million-vertex [scale] experiments: they
+    stream edges straight into {!Graph.Builder} (no edge list) and run in
+    O(n + m) expected time. *)
+
+val power_law :
+  seed:int -> ?exponent:float -> ?avg_degree:float -> ?connected:bool ->
+  int -> Graph.t
+(** [power_law ~seed n] samples a Chung–Lu expected-degree graph whose
+    degree distribution follows a power law with the given [exponent]
+    (default 2.1, the Internet AS value; must be > 2) and expected average
+    degree [avg_degree] (default 8.0), using the O(n + m) Miller–Hagberg
+    skip sampler. When [connected] (the default) the {!connect} post-pass
+    links the components. *)
+
+val glp :
+  seed:int -> ?m:int -> ?p:float -> ?beta:float -> int -> Graph.t
+(** [glp ~seed n] grows a Generalized Linear Preference graph
+    (Bu–Towsley): with probability [p] a step adds [m] extra edges
+    between existing vertices, otherwise a new vertex joins with [m]
+    edges; endpoints are sampled proportionally to [degree - beta]
+    ([beta < 1]; negative values flatten, positive values sharpen the
+    tail). Defaults are the paper's Internet-AS fit. Connected by
+    construction. *)
+
 (** {1 Post-processing} *)
 
 val connect : seed:int -> Graph.t -> Graph.t

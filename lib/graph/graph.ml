@@ -5,31 +5,72 @@
    ranges directly — one bounds-checked load per edge, no per-vertex array
    dereference and no closure allocation.
 
-   [srt_dst]/[srt_port] are a parallel per-vertex index for [port_to]:
-   within each vertex slice the neighbors are sorted ascending, paired with
-   the port they sit behind, so resolving a neighbor to a port is a binary
-   search over the slice instead of a linear scan. *)
+   Two storage representations share the layout:
+
+   - [Boxed]: plain OCaml [int array]/[float array] — the default, and
+     what every construction path fills first.
+   - [Packed]: int32 bigarrays for [off]/[dst] (and optionally float32
+     weights), halving CSR memory when [2m] fits in 31 bits. Produced by
+     {!pack}; hot loops dispatch on {!view} once per call.
+
+   Invariant relied on throughout: within each vertex slice the neighbors
+   are strictly ascending. Every constructor establishes it ([finalize]
+   sorts, [of_sorted_arrays] fills from lexicographically sorted pairs,
+   [apply_delta] merges ascending), so [port_to] is a binary search over
+   the [dst] slice itself — no side index needed. *)
+
+type int32_array = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float32_array = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type weights = W64 of float array | W32 of float32_array
+
+type view =
+  | Boxed of int array * int array * float array
+  | Packed of int32_array * int32_array * weights
+
 type t = {
   n : int;
   m : int;
-  off : int array;       (* length n+1; off.(n) = 2m *)
-  dst : int array;       (* dst.(off.(u) + p) = endpoint of port p of u *)
-  wgt : float array;     (* wgt.(off.(u) + p) = weight of that edge *)
-  srt_dst : int array;   (* per-vertex slice, neighbors ascending *)
-  srt_port : int array;  (* port behind srt_dst at the same index *)
+  store : view;
   unit_weighted : bool;
 }
+
+let i32 (a : int32_array) i = Int32.to_int (Bigarray.Array1.get a i)
+
+let weight w i =
+  match w with
+  | W64 a -> a.(i)
+  | W32 b -> Bigarray.Array1.get b i
+
+let view g = g.store
+let storage g = match g.store with Boxed _ -> `Boxed | Packed _ -> `Packed
+let is_packed g = match g.store with Boxed _ -> false | Packed _ -> true
 
 let n g = g.n
 
 let m g = g.m
 
-let degree g u = g.off.(u + 1) - g.off.(u)
+let off_at g u =
+  match g.store with
+  | Boxed (off, _, _) -> off.(u)
+  | Packed (off, _, _) -> i32 off u
+
+let dst_at g idx =
+  match g.store with
+  | Boxed (_, dst, _) -> dst.(idx)
+  | Packed (_, dst, _) -> i32 dst idx
+
+let wgt_at g idx =
+  match g.store with
+  | Boxed (_, _, wgt) -> wgt.(idx)
+  | Packed (_, _, wgt) -> weight wgt idx
+
+let degree g u = off_at g (u + 1) - off_at g u
 
 let max_degree g =
   let best = ref 0 in
   for u = 0 to g.n - 1 do
-    let d = g.off.(u + 1) - g.off.(u) in
+    let d = degree g u in
     if d > !best then best := d
   done;
   !best
@@ -37,65 +78,106 @@ let max_degree g =
 let avg_degree g =
   if g.n = 0 then 0.0 else 2.0 *. float_of_int g.m /. float_of_int g.n
 
-let csr_off g = g.off
-
-let csr_dst g = g.dst
-
-let csr_wgt g = g.wgt
+let storage_bytes g =
+  (* Payload bytes of the CSR triple (headers excluded): what the [scale]
+     bench reports as graph bytes/vertex. *)
+  match g.store with
+  | Boxed (off, dst, wgt) ->
+    8 * (Array.length off + Array.length dst + Array.length wgt)
+  | Packed (off, dst, wgt) ->
+    (4 * (Bigarray.Array1.dim off + Bigarray.Array1.dim dst))
+    + (match wgt with
+      | W64 a -> 8 * Array.length a
+      | W32 b -> 4 * Bigarray.Array1.dim b)
 
 let endpoint g u p =
-  if p < 0 || p >= g.off.(u + 1) - g.off.(u) then
-    invalid_arg "Graph.endpoint: bad port";
-  g.dst.(g.off.(u) + p)
+  if p < 0 || p >= degree g u then invalid_arg "Graph.endpoint: bad port";
+  dst_at g (off_at g u + p)
 
 let port_weight g u p =
-  if p < 0 || p >= g.off.(u + 1) - g.off.(u) then
-    invalid_arg "Graph.port_weight: bad port";
-  g.wgt.(g.off.(u) + p)
+  if p < 0 || p >= degree g u then invalid_arg "Graph.port_weight: bad port";
+  wgt_at g (off_at g u + p)
 
-(* Binary search for [v] in the sorted slice of [u]. Neighbors are unique
-   (the constructor deduplicates), so the first hit is the only hit. *)
+(* Binary search for [v] in the (ascending) slice of [u]. Neighbors are
+   unique, so the first hit is the only hit; the port is the offset of the
+   hit inside the slice. *)
 let port_to g u v =
-  let lo = ref g.off.(u) and hi = ref (g.off.(u + 1) - 1) in
-  let found = ref (-1) in
-  while !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let x = g.srt_dst.(mid) in
-    if x = v then begin
-      found := g.srt_port.(mid);
-      lo := !hi + 1
-    end
-    else if x < v then lo := mid + 1
-    else hi := mid - 1
-  done;
-  if !found < 0 then None else Some !found
+  match g.store with
+  | Boxed (off, dst, _) ->
+    let base = off.(u) in
+    let lo = ref base and hi = ref (off.(u + 1) - 1) in
+    let found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let x = dst.(mid) in
+      if x = v then begin
+        found := mid - base;
+        lo := !hi + 1
+      end
+      else if x < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    if !found < 0 then None else Some !found
+  | Packed (off, dst, _) ->
+    let base = i32 off u in
+    let lo = ref base and hi = ref (i32 off (u + 1) - 1) in
+    let found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let x = i32 dst mid in
+      if x = v then begin
+        found := mid - base;
+        lo := !hi + 1
+      end
+      else if x < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    if !found < 0 then None else Some !found
 
 let has_edge g u v = port_to g u v <> None
 
 let edge_weight g u v =
   match port_to g u v with
   | None -> None
-  | Some p -> Some g.wgt.(g.off.(u) + p)
+  | Some p -> Some (wgt_at g (off_at g u + p))
 
 let neighbors g u =
-  let base = g.off.(u) in
-  List.init (degree g u) (fun p -> (g.dst.(base + p), g.wgt.(base + p)))
+  let base = off_at g u in
+  List.init (degree g u) (fun p -> (dst_at g (base + p), wgt_at g (base + p)))
 
 let iter_neighbors g u f =
-  let base = g.off.(u) in
-  for idx = base to g.off.(u + 1) - 1 do
-    f ~port:(idx - base) ~v:g.dst.(idx) ~w:g.wgt.(idx)
-  done
+  match g.store with
+  | Boxed (off, dst, wgt) ->
+    let base = off.(u) in
+    for idx = base to off.(u + 1) - 1 do
+      f ~port:(idx - base) ~v:dst.(idx) ~w:wgt.(idx)
+    done
+  | Packed (off, dst, wgt) ->
+    let base = i32 off u in
+    for idx = base to i32 off (u + 1) - 1 do
+      f ~port:(idx - base) ~v:(i32 dst idx) ~w:(weight wgt idx)
+    done
 
 let fold_edges f g acc =
-  let acc = ref acc in
-  for u = 0 to g.n - 1 do
-    for idx = g.off.(u) to g.off.(u + 1) - 1 do
-      let v = g.dst.(idx) in
-      if u < v then acc := f u v g.wgt.(idx) !acc
-    done
-  done;
-  !acc
+  match g.store with
+  | Boxed (off, dst, wgt) ->
+    let acc = ref acc in
+    for u = 0 to g.n - 1 do
+      for idx = off.(u) to off.(u + 1) - 1 do
+        let v = dst.(idx) in
+        if u < v then acc := f u v wgt.(idx) !acc
+      done
+    done;
+    !acc
+  | Packed (off, dst, wgt) ->
+    let acc = ref acc in
+    for u = 0 to g.n - 1 do
+      for idx = i32 off u to i32 off (u + 1) - 1 do
+        let v = i32 dst idx in
+        if u < v then acc := f u v (weight wgt idx) !acc
+      done
+    done;
+    !acc
 
 (* Edges come out of [fold_edges] with unique [(u, v)] keys ([u < v]), so
    an int-pair comparison is a total order here and agrees with the
@@ -117,88 +199,337 @@ let max_edge_weight g =
   if g.m = 0 then invalid_arg "Graph.max_edge_weight: no edges";
   fold_edges (fun _ _ w acc -> Float.max w acc) g neg_infinity
 
-(* The [port_to] index: per-vertex slices of (neighbor, port) sorted by
-   neighbor. Sorting an explicit port permutation keeps the two arrays
-   aligned without allocating pairs. *)
-let build_sorted_index n off dst =
-  let total = Array.length dst in
-  let srt_dst = Array.make total (-1) in
-  let srt_port = Array.make total (-1) in
+(* --- representation conversion ----------------------------------------- *)
+
+let int32_limit = Int32.to_int Int32.max_int
+
+let pack ?(float32 = false) g =
+  match g.store with
+  | Packed _ -> g
+  | Boxed (off, dst, wgt) ->
+    if g.n >= int32_limit || 2 * g.m >= int32_limit then g
+    else begin
+      let noff = Array.length off and half = Array.length dst in
+      let off' = Bigarray.Array1.create Bigarray.Int32 Bigarray.C_layout noff in
+      for i = 0 to noff - 1 do
+        Bigarray.Array1.set off' i (Int32.of_int off.(i))
+      done;
+      let dst' = Bigarray.Array1.create Bigarray.Int32 Bigarray.C_layout half in
+      for i = 0 to half - 1 do
+        Bigarray.Array1.set dst' i (Int32.of_int dst.(i))
+      done;
+      if float32 then begin
+        let b =
+          Bigarray.Array1.create Bigarray.Float32 Bigarray.C_layout half
+        in
+        let unit_weighted = ref true in
+        for i = 0 to half - 1 do
+          Bigarray.Array1.set b i wgt.(i);
+          let r = Bigarray.Array1.get b i in
+          if not (r > 0.0 && Float.is_finite r) then
+            invalid_arg "Graph.pack: weight not representable as float32";
+          if r <> 1.0 then unit_weighted := false
+        done;
+        { g with store = Packed (off', dst', W32 b);
+          unit_weighted = !unit_weighted }
+      end
+      else { g with store = Packed (off', dst', W64 wgt) }
+    end
+
+(* Boxed copies of the CSR triple; O(1) (the storage itself) on a boxed
+   graph, a fresh materialization on a packed one. *)
+let boxed_csr g =
+  match g.store with
+  | Boxed (off, dst, wgt) -> (off, dst, wgt)
+  | Packed (off, dst, wgt) ->
+    ( Array.init (Bigarray.Array1.dim off) (fun i -> i32 off i),
+      Array.init (Bigarray.Array1.dim dst) (fun i -> i32 dst i),
+      match wgt with
+      | W64 a -> a
+      | W32 b ->
+        Array.init (Bigarray.Array1.dim b) (fun i -> Bigarray.Array1.get b i) )
+
+let unpack g =
+  match g.store with
+  | Boxed _ -> g
+  | Packed _ ->
+    let off, dst, wgt = boxed_csr g in
+    { g with store = Boxed (off, dst, wgt) }
+
+let csr_off g = let off, _, _ = boxed_csr g in off
+let csr_dst g = let _, dst, _ = boxed_csr g in dst
+let csr_wgt g = let _, _, wgt = boxed_csr g in wgt
+
+(* Re-pack a freshly built boxed graph into the representation of [like]. *)
+let repack_like like g' =
+  match like.store with
+  | Boxed _ -> g'
+  | Packed (_, _, w) ->
+    pack ~float32:(match w with W32 _ -> true | W64 _ -> false) g'
+
+(* --- streaming construction --------------------------------------------
+
+   Every constructor funnels into [finalize]: a freshly filled
+   (off, dst, wgt) triple whose vertex slices are in arbitrary order and
+   may contain duplicate pairs. Sorting each slice by (neighbor, weight)
+   and keeping the first entry of every neighbor run keeps the minimum
+   weight per pair — symmetrically on both endpoints — then slices are
+   compacted in place. The result is byte-identical to what [of_edges]
+   historically produced: every vertex numbers its ports in ascending
+   neighbor order. *)
+
+let finalize ~packed ~float32 n off dst wgt =
+  let off' = Array.make (n + 1) 0 in
+  let wp = ref 0 in
   for u = 0 to n - 1 do
     let base = off.(u) in
     let deg = off.(u + 1) - base in
     let perm = Array.init deg (fun p -> p) in
-    Array.sort (fun p q -> Int.compare dst.(base + p) dst.(base + q)) perm;
+    Array.sort
+      (fun p q ->
+        let c = Int.compare dst.(base + p) dst.(base + q) in
+        if c <> 0 then c else Float.compare wgt.(base + p) wgt.(base + q))
+      perm;
+    let nd = Array.map (fun p -> dst.(base + p)) perm in
+    let nw = Array.map (fun p -> wgt.(base + p)) perm in
+    (* [!wp <= base] always (earlier slices only shrank), so writing the
+       kept entries back never clobbers an unread slice. *)
     for i = 0 to deg - 1 do
-      srt_dst.(base + i) <- dst.(base + perm.(i));
-      srt_port.(base + i) <- perm.(i)
-    done
+      if i = 0 || nd.(i) <> nd.(i - 1) then begin
+        dst.(!wp) <- nd.(i);
+        wgt.(!wp) <- nw.(i);
+        incr wp
+      end
+    done;
+    off'.(u + 1) <- !wp
   done;
-  (srt_dst, srt_port)
+  let total = !wp in
+  let dst = if Array.length dst = total then dst else Array.sub dst 0 total in
+  let wgt = if Array.length wgt = total then wgt else Array.sub wgt 0 total in
+  let unit_weighted = Array.for_all (fun w -> w = 1.0) wgt in
+  let g = { n; m = total / 2; store = Boxed (off', dst, wgt); unit_weighted } in
+  if packed then pack ~float32 g else g
 
-let of_edges ?n:(n_opt = -1) edge_list =
-  let max_id =
-    List.fold_left (fun acc (u, v, _) -> max acc (max u v)) (-1) edge_list
-  in
-  let n = if n_opt >= 0 then n_opt else max_id + 1 in
-  if max_id >= n then invalid_arg "Graph.of_edges: vertex id exceeds n";
-  (* Deduplicate, keeping the smallest weight per unordered pair. *)
-  let tbl = Hashtbl.create (2 * List.length edge_list) in
-  List.iter
-    (fun (u, v, w) ->
-      if u < 0 || v < 0 then invalid_arg "Graph.of_edges: negative vertex id";
-      if u = v then invalid_arg "Graph.of_edges: self-loop";
-      if not (w > 0.0) then invalid_arg "Graph.of_edges: non-positive weight";
-      let key = (min u v, max u v) in
-      match Hashtbl.find_opt tbl key with
-      | Some w' when w' <= w -> ()
-      | _ -> Hashtbl.replace tbl key w)
-    edge_list;
-  let deg = Array.make (max n 1) 0 in
-  Hashtbl.iter
-    (fun (u, v) _ ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    tbl;
-  let m = Hashtbl.length tbl in
-  let off = Array.make (n + 1) 0 in
-  for u = 0 to n - 1 do
-    off.(u + 1) <- off.(u) + deg.(u)
-  done;
-  let dst = Array.make (2 * m) (-1) in
-  let wgt = Array.make (2 * m) 0.0 in
-  let fill = Array.sub off 0 (max n 1) in
-  (* Sort edges for a deterministic port numbering: same order as the
-     polymorphic sort of unique (u, v, w) triples with u < v. *)
-  let sorted = Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) tbl [] in
-  let sorted = List.sort compare_edge sorted in
-  let unit_weighted = ref true in
-  List.iter
-    (fun (u, v, w) ->
-      if w <> 1.0 then unit_weighted := false;
+let validate_edge ~who u v w =
+  if u < 0 || v < 0 then invalid_arg (who ^ ": negative vertex id");
+  if u = v then invalid_arg (who ^ ": self-loop");
+  if not (w > 0.0) then invalid_arg (who ^ ": non-positive weight")
+
+module Builder = struct
+  type t = {
+    mutable eu : int array;
+    mutable ev : int array;
+    mutable ew : float array;
+    mutable len : int;
+    mutable max_id : int;
+    declared_n : int option;
+  }
+
+  let create ?n ?(hint = 1024) () =
+    (match n with
+    | Some n when n < 0 -> invalid_arg "Graph.Builder.create: negative n"
+    | _ -> ());
+    let cap = max 16 hint in
+    { eu = Array.make cap 0;
+      ev = Array.make cap 0;
+      ew = Array.make cap 0.0;
+      len = 0;
+      max_id = -1;
+      declared_n = n }
+
+  let grow b =
+    let cap = Array.length b.eu in
+    let cap' = 2 * cap in
+    let eu = Array.make cap' 0 and ev = Array.make cap' 0 in
+    let ew = Array.make cap' 0.0 in
+    Array.blit b.eu 0 eu 0 cap;
+    Array.blit b.ev 0 ev 0 cap;
+    Array.blit b.ew 0 ew 0 cap;
+    b.eu <- eu;
+    b.ev <- ev;
+    b.ew <- ew
+
+  let add_edge b u v w =
+    validate_edge ~who:"Graph.Builder.add_edge" u v w;
+    (match b.declared_n with
+    | Some n when u >= n || v >= n ->
+      invalid_arg "Graph.Builder.add_edge: vertex id exceeds n"
+    | _ -> ());
+    if b.len = Array.length b.eu then grow b;
+    b.eu.(b.len) <- u;
+    b.ev.(b.len) <- v;
+    b.ew.(b.len) <- w;
+    b.len <- b.len + 1;
+    if u > b.max_id then b.max_id <- u;
+    if v > b.max_id then b.max_id <- v
+
+  let count b = b.len
+
+  let finish ?n:n_override ?(packed = false) ?(float32 = false) b =
+    let n =
+      match (n_override, b.declared_n) with
+      | Some n, _ ->
+        if n < b.max_id + 1 then
+          invalid_arg "Graph.Builder.finish: vertex id exceeds n";
+        n
+      | None, Some n -> n
+      | None, None -> b.max_id + 1
+    in
+    let deg = Array.make (max n 1) 0 in
+    for i = 0 to b.len - 1 do
+      deg.(b.eu.(i)) <- deg.(b.eu.(i)) + 1;
+      deg.(b.ev.(i)) <- deg.(b.ev.(i)) + 1
+    done;
+    let off = Array.make (n + 1) 0 in
+    for u = 0 to n - 1 do
+      off.(u + 1) <- off.(u) + deg.(u)
+    done;
+    let fill = Array.sub off 0 (max n 1) in
+    let dst = Array.make (2 * b.len) (-1) in
+    let wgt = Array.make (2 * b.len) 0.0 in
+    for i = 0 to b.len - 1 do
+      let u = b.eu.(i) and v = b.ev.(i) and w = b.ew.(i) in
       dst.(fill.(u)) <- v;
       wgt.(fill.(u)) <- w;
       fill.(u) <- fill.(u) + 1;
       dst.(fill.(v)) <- u;
       wgt.(fill.(v)) <- w;
-      fill.(v) <- fill.(v) + 1)
-    sorted;
-  let srt_dst, srt_port = build_sorted_index n off dst in
-  { n; m; off; dst; wgt; srt_dst; srt_port; unit_weighted = !unit_weighted }
+      fill.(v) <- fill.(v) + 1
+    done;
+    finalize ~packed ~float32 n off dst wgt
+end
+
+let of_edge_iter ?n:declared ?(packed = false) ?(float32 = false) iter =
+  let who = "Graph.of_edge_iter" in
+  (match declared with
+  | Some n when n < 0 -> invalid_arg (who ^ ": negative n")
+  | _ -> ());
+  (* Pass 1: validate, count, and accumulate degrees. The degree array
+     grows geometrically when no [n] was declared. *)
+  let deg = ref (Array.make (match declared with Some n -> max n 1 | None -> 1024) 0) in
+  let bump i =
+    if i >= Array.length !deg then begin
+      let len' = ref (max 16 (2 * Array.length !deg)) in
+      while i >= !len' do
+        len' := 2 * !len'
+      done;
+      let d = Array.make !len' 0 in
+      Array.blit !deg 0 d 0 (Array.length !deg);
+      deg := d
+    end;
+    !deg.(i) <- !deg.(i) + 1
+  in
+  let cnt = ref 0 and max_id = ref (-1) in
+  iter (fun u v w ->
+      validate_edge ~who u v w;
+      (match declared with
+      | Some n when u >= n || v >= n ->
+        invalid_arg (who ^ ": vertex id exceeds n")
+      | _ -> ());
+      bump u;
+      bump v;
+      incr cnt;
+      if u > !max_id then max_id := u;
+      if v > !max_id then max_id := v);
+  let n = match declared with Some n -> n | None -> !max_id + 1 in
+  let off = Array.make (n + 1) 0 in
+  let deg = !deg in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  (* Pass 2: fill. The iterator must replay the same edge multiset; the
+     fill cursors double as a cheap replay check. *)
+  let fill = Array.sub off 0 (max n 1) in
+  let dst = Array.make (2 * !cnt) (-1) in
+  let wgt = Array.make (2 * !cnt) 0.0 in
+  let seen = ref 0 in
+  iter (fun u v w ->
+      incr seen;
+      if !seen > !cnt then
+        invalid_arg (who ^ ": iterator changed between passes");
+      dst.(fill.(u)) <- v;
+      wgt.(fill.(u)) <- w;
+      fill.(u) <- fill.(u) + 1;
+      dst.(fill.(v)) <- u;
+      wgt.(fill.(v)) <- w;
+      fill.(v) <- fill.(v) + 1);
+  let replayed = ref (!seen = !cnt) in
+  for u = 0 to n - 1 do
+    if fill.(u) <> off.(u + 1) then replayed := false
+  done;
+  if not !replayed then invalid_arg (who ^ ": iterator changed between passes");
+  finalize ~packed ~float32 n off dst wgt
+
+let of_sorted_arrays ?(packed = false) ?(float32 = false) ~n ~src ~dst:dst_in
+    ~wgt:wgt_in () =
+  let who = "Graph.of_sorted_arrays" in
+  if n < 0 then invalid_arg (who ^ ": negative n");
+  let len = Array.length src in
+  if Array.length dst_in <> len || Array.length wgt_in <> len then
+    invalid_arg (who ^ ": arrays length mismatch");
+  let deg = Array.make (max n 1) 0 in
+  for i = 0 to len - 1 do
+    let u = src.(i) and v = dst_in.(i) and w = wgt_in.(i) in
+    validate_edge ~who u v w;
+    if u >= v then invalid_arg (who ^ ": edge not oriented u < v");
+    if v >= n then invalid_arg (who ^ ": vertex id exceeds n");
+    if i > 0 && (u < src.(i - 1) || (u = src.(i - 1) && v <= dst_in.(i - 1)))
+    then invalid_arg (who ^ ": edges not strictly sorted");
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  done;
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  let fill = Array.sub off 0 (max n 1) in
+  let dst = Array.make (2 * len) (-1) in
+  let wgt = Array.make (2 * len) 0.0 in
+  let unit_weighted = ref true in
+  (* Filling from lexicographically sorted unique (u < v) pairs yields
+     ascending slices directly (each u first collects its smaller
+     neighbors ascending, then its larger ones ascending), so no
+     per-slice sort or dedup is needed. *)
+  for i = 0 to len - 1 do
+    let u = src.(i) and v = dst_in.(i) and w = wgt_in.(i) in
+    if w <> 1.0 then unit_weighted := false;
+    dst.(fill.(u)) <- v;
+    wgt.(fill.(u)) <- w;
+    fill.(u) <- fill.(u) + 1;
+    dst.(fill.(v)) <- u;
+    wgt.(fill.(v)) <- w;
+    fill.(v) <- fill.(v) + 1
+  done;
+  let g =
+    { n; m = len; store = Boxed (off, dst, wgt);
+      unit_weighted = !unit_weighted }
+  in
+  if packed then pack ~float32 g else g
+
+let of_edges ?n edge_list =
+  let b = Builder.create ?n ~hint:(max 16 (List.length edge_list)) () in
+  List.iter
+    (fun (u, v, w) ->
+      validate_edge ~who:"Graph.of_edges" u v w;
+      (match n with
+      | Some n when u >= n || v >= n ->
+        invalid_arg "Graph.of_edges: vertex id exceeds n"
+      | _ -> ());
+      Builder.add_edge b u v w)
+    edge_list;
+  Builder.finish b
 
 let of_unweighted_edges ?n edge_list =
   of_edges ?n (List.map (fun (u, v) -> (u, v, 1.0)) edge_list)
 
 (* --- batched deltas ----------------------------------------------------
 
-   [of_edges] numbers the ports of every vertex in ascending neighbor
-   order: the global fill walks edges sorted by (min, max), so vertex [u]
-   receives first its neighbors below [u] (ascending, from the (x, u)
-   edges) and then its neighbors above [u] (ascending, from the (u, v)
-   edges). [apply_delta] rebuilds each touched slice by an ascending
-   merge, which therefore reproduces exactly the numbering a fresh
-   [of_edges] over the edited edge list would produce — and an untouched
-   vertex keeps its slice (and every port) verbatim. *)
+   Every constructor numbers the ports of each vertex in ascending
+   neighbor order (see the invariant at the top of the file).
+   [apply_delta] rebuilds each touched slice by an ascending merge, which
+   therefore reproduces exactly the numbering a fresh [of_edges] over the
+   edited edge list would produce — and an untouched vertex keeps its
+   slice (and every port) verbatim. *)
 
 type delta_op =
   | Insert of int * int * float
@@ -208,6 +539,7 @@ type delta_op =
 let apply_delta g ops =
   if ops = [] then g
   else begin
+    let off, dst, wgt = boxed_csr g in
     (* Validate and key each op by its unordered pair; at most one op per
        pair per batch, so sequential and batch application agree. *)
     let tbl = Hashtbl.create (2 * List.length ops) in
@@ -280,17 +612,18 @@ let apply_delta g ops =
     let off' = Array.make (g.n + 1) 0 in
     for u = 0 to g.n - 1 do
       off'.(u + 1) <-
-        off'.(u) + degree g u + List.length ins.(u) - List.length rem.(u)
+        off'.(u) + (off.(u + 1) - off.(u)) + List.length ins.(u)
+        - List.length rem.(u)
     done;
     let dst' = Array.make (2 * m') (-1) in
     let wgt' = Array.make (2 * m') 0.0 in
     for u = 0 to g.n - 1 do
-      let base = g.off.(u) and deg = degree g u in
+      let base = off.(u) and deg = off.(u + 1) - off.(u) in
       let base' = off'.(u) in
       match (ins.(u), rem.(u)) with
       | [], [] ->
-        Array.blit g.dst base dst' base' deg;
-        Array.blit g.wgt base wgt' base' deg
+        Array.blit dst base dst' base' deg;
+        Array.blit wgt base wgt' base' deg
       | inserts, removed ->
         (* Merge the (ascending) old slice with the sorted inserts,
            skipping removed neighbors: the result is the canonical
@@ -316,21 +649,20 @@ let apply_delta g ops =
           go ()
         in
         for p = 0 to deg - 1 do
-          let v = g.dst.(base + p) in
+          let v = dst.(base + p) in
           if not (List.mem v removed) then begin
             flush_below v;
-            emit v g.wgt.(base + p)
+            emit v wgt.(base + p)
           end
         done;
         List.iter (fun (x, w) -> emit x w) !pending;
         assert (!idx = off'.(u + 1))
     done;
-    let srt_dst, srt_port = build_sorted_index g.n off' dst' in
     let g' =
-      { n = g.n; m = m'; off = off'; dst = dst'; wgt = wgt'; srt_dst; srt_port;
+      { n = g.n; m = m'; store = Boxed (off', dst', wgt');
         unit_weighted = false }
     in
-    (* Reweights last: the sorted index is weight-independent, so the
+    (* Reweights last: the port numbering is weight-independent, so the
        surviving edge is located through the new graph's own [port_to]. *)
     Hashtbl.iter
       (fun (a, b) op ->
@@ -343,28 +675,31 @@ let apply_delta g ops =
           | _ -> assert false)
         | _ -> ())
       tbl;
-    { g' with unit_weighted = Array.for_all (fun w -> w = 1.0) wgt' }
+    repack_like g
+      { g' with unit_weighted = Array.for_all (fun w -> w = 1.0) wgt' }
   end
 
 let reweight g f =
-  let wgt = Array.copy g.wgt in
+  let off, dst, wgt0 = boxed_csr g in
+  let wgt = Array.copy wgt0 in
   let unit_weighted = ref true in
   for u = 0 to g.n - 1 do
-    for idx = g.off.(u) to g.off.(u + 1) - 1 do
-      let v = g.dst.(idx) in
+    for idx = off.(u) to off.(u + 1) - 1 do
+      let v = dst.(idx) in
       if u < v then begin
-        let w = f u v g.wgt.(idx) in
+        let w = f u v wgt0.(idx) in
         if not (w > 0.0) then invalid_arg "Graph.reweight: non-positive weight";
         wgt.(idx) <- w;
         (* Mirror onto v's (unique) port back to u. *)
         match port_to g v u with
-        | Some q -> wgt.(g.off.(v) + q) <- w
+        | Some q -> wgt.(off.(v) + q) <- w
         | None -> assert false
       end
     done
   done;
   Array.iter (fun w -> if w <> 1.0 then unit_weighted := false) wgt;
-  { g with wgt; unit_weighted = !unit_weighted }
+  repack_like g
+    { g with store = Boxed (off, dst, wgt); unit_weighted = !unit_weighted }
 
 let unit_weighted g = reweight g (fun _ _ _ -> 1.0)
 
@@ -377,8 +712,9 @@ let subgraph_of_edges g kept =
         | None -> invalid_arg "Graph.subgraph_of_edges: edge absent")
       kept
   in
-  of_edges ~n:g.n with_weights
+  repack_like g (of_edges ~n:g.n with_weights)
 
 let pp fmt g =
-  Format.fprintf fmt "graph(n=%d, m=%d, %s)" g.n g.m
+  Format.fprintf fmt "graph(n=%d, m=%d, %s%s)" g.n g.m
     (if g.unit_weighted then "unit" else "weighted")
+    (if is_packed g then ", packed" else "")

@@ -10,17 +10,120 @@
 
 type t
 
-(** {1 Construction} *)
+(** {1 Construction}
+
+    Every construction path produces the same canonical port numbering:
+    each vertex numbers its ports in ascending neighbor order. Duplicate
+    edges are deduplicated keeping the smallest weight per unordered
+    pair; self-loops, non-positive weights and negative ids are
+    rejected. *)
 
 val of_edges : ?n:int -> (int * int * float) list -> t
 (** [of_edges ~n edges] builds a graph from an undirected edge list.
-    Self-loops are rejected, duplicate edges are deduplicated keeping the
-    smallest weight. [n] defaults to [1 + max vertex id].
+    [n] defaults to [1 + max vertex id].
     @raise Invalid_argument on a self-loop, a non-positive weight, or a
     negative vertex id. *)
 
 val of_unweighted_edges : ?n:int -> (int * int) list -> t
 (** [of_unweighted_edges ~n edges] is [of_edges] with all weights [1.0]. *)
+
+(** Streaming CSR builder: push edges one at a time, then [finish]. No
+    intermediate edge list is materialized — the buffered endpoints go
+    straight into the CSR triple with a degree-count-then-fill pass.
+    Port numbering is byte-identical to {!of_edges} on the same edges. *)
+module Builder : sig
+  type graph := t
+
+  type t
+
+  val create : ?n:int -> ?hint:int -> unit -> t
+  (** [create ?n ?hint ()] starts an empty builder. When [n] is given,
+      vertex ids are validated eagerly against it; otherwise the vertex
+      count is [1 + max id] at {!finish} time. [hint] sizes the initial
+      edge buffer. *)
+
+  val add_edge : t -> int -> int -> float -> unit
+  (** [add_edge b u v w] buffers one undirected edge.
+      @raise Invalid_argument on a self-loop, non-positive weight,
+      negative id, or (when [n] was declared) an id [>= n]. *)
+
+  val count : t -> int
+  (** Edges buffered so far (before deduplication). *)
+
+  val finish : ?n:int -> ?packed:bool -> ?float32:bool -> t -> graph
+  (** Freeze the buffered edges into a graph. [n] overrides the vertex
+      count declared at {!create} (it must cover every buffered id) —
+      for callers that only learn the count mid-stream. [packed]
+      converts the result with {!pack} (default [false]); [float32]
+      additionally stores packed weights as float32. *)
+end
+
+val of_edge_iter :
+  ?n:int -> ?packed:bool -> ?float32:bool ->
+  ((int -> int -> float -> unit) -> unit) -> t
+(** [of_edge_iter iter] builds a graph from an edge stream without
+    buffering it: [iter f] must call [f u v w] once per edge, and is
+    invoked twice (degree-count pass, then fill pass). The iterator must
+    replay the same edge sequence both times.
+    @raise Invalid_argument on an invalid edge or a non-reproducible
+    iterator. *)
+
+val of_sorted_arrays :
+  ?packed:bool -> ?float32:bool ->
+  n:int -> src:int array -> dst:int array -> wgt:float array -> unit -> t
+(** [of_sorted_arrays ~n ~src ~dst ~wgt ()] builds a graph from parallel
+    arrays of edges already strictly sorted lexicographically with
+    [src.(i) < dst.(i)] and no duplicates — the fast path for importers
+    that hold columnar data: no sort, no dedup, one fill pass.
+    @raise Invalid_argument if the arrays disagree in length, an edge is
+    invalid, or the order contract is violated. *)
+
+(** {1 Storage representations}
+
+    The CSR triple is stored either as plain OCaml arrays ([Boxed], the
+    default) or as int32 bigarrays with optionally float32 weights
+    ([Packed]) — half the memory, available whenever [2m] and [n] fit in
+    31 bits. All accessors work on both; hot loops dispatch on {!view}
+    once and read the arrays directly. *)
+
+type int32_array = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float32_array = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type weights =
+  | W64 of float array
+  | W32 of float32_array
+
+type view =
+  | Boxed of int array * int array * float array
+      (** (off, dst, wgt): offsets (length [n+1]), endpoints and weights
+          (length [2m], indexed by flat half-edge index). *)
+  | Packed of int32_array * int32_array * weights
+      (** Same layout, int32 offsets/endpoints. *)
+
+val view : t -> view
+(** The graph's own storage: callers must not mutate it. *)
+
+val weight : weights -> int -> float
+(** [weight w i] reads index [i] of either weight representation. *)
+
+val storage : t -> [ `Boxed | `Packed ]
+
+val is_packed : t -> bool
+
+val pack : ?float32:bool -> t -> t
+(** [pack g] is [g] with the CSR triple re-stored as int32 bigarrays
+    (and float32 weights when [float32] is set — weights must survive
+    the rounding as finite positive values, which unit weights always
+    do). Distances computed over float32 weights reflect the rounded
+    values. Returns [g] unchanged if it is already packed or too large
+    for int32 indexing. *)
+
+val unpack : t -> t
+(** [unpack g] is [g] with boxed storage (identity on boxed graphs). *)
+
+val storage_bytes : t -> int
+(** Payload bytes of the CSR triple under the current representation
+    (array headers excluded). *)
 
 (** {1 Basic accessors} *)
 
@@ -49,8 +152,9 @@ val port_weight : t -> int -> int -> float
 val port_to : t -> int -> int -> int option
 (** [port_to g u v] is the port of [u] whose endpoint is [v], if the edge
     [(u, v)] exists. The standard routing model assumes a vertex can resolve
-    a neighbor to the connecting link (paper, footnote 2). Backed by a
-    per-vertex sorted neighbor index: O(log degree u). *)
+    a neighbor to the connecting link (paper, footnote 2). Ports are in
+    ascending neighbor order, so this is a binary search over the vertex's
+    own CSR slice: O(log degree u), no side index. *)
 
 val has_edge : t -> int -> int -> bool
 
@@ -63,14 +167,15 @@ val iter_neighbors : t -> int -> (port:int -> v:int -> w:float -> unit) -> unit
 (** [iter_neighbors g u f] applies [f] to each incident edge of [u] in port
     order. This is the hot-path accessor: it performs no allocation. *)
 
-(** {1 CSR view}
+(** {1 CSR view (boxed copies)}
 
-    The adjacency is stored in compressed-sparse-row form: the half-edges
-    of vertex [u] occupy the flat slice [csr_off.(u) .. csr_off.(u+1) - 1]
-    of [csr_dst]/[csr_wgt], and port [p] of [u] is flat index
-    [csr_off.(u) + p]. Hot loops may iterate these arrays directly instead
-    of paying a closure per edge through {!iter_neighbors}. The arrays are
-    the graph's own storage: callers must not mutate them. *)
+    The adjacency in compressed-sparse-row form: the half-edges of vertex
+    [u] occupy the flat slice [csr_off.(u) .. csr_off.(u+1) - 1] of
+    [csr_dst]/[csr_wgt], and port [p] of [u] is flat index
+    [csr_off.(u) + p]. On a boxed graph these return the graph's own
+    arrays (O(1) — do not mutate); on a packed graph each call
+    materializes a fresh boxed copy. Hot loops should match on {!view}
+    instead. *)
 
 val csr_off : t -> int array
 (** Offsets array, length [n + 1]; [csr_off g .(n g) = 2 * m g]. *)
@@ -116,7 +221,8 @@ val apply_delta : t -> delta_op list -> t
     every vertex not incident to an [Insert] or [Remove] is preserved
     verbatim (a [Reweight] never renumbers), and the result is structurally
     identical — same ports everywhere — to [of_edges ~n] over the edited
-    edge list. [apply_delta g []] is [g] itself (physically).
+    edge list. [apply_delta g []] is [g] itself (physically). The result
+    keeps the representation of [g] (boxed or packed).
     @raise Invalid_argument on an out-of-range or equal endpoint pair, a
     non-positive weight, an [Insert] of an edge already present (duplicate
     edge), a [Remove]/[Reweight] of an absent edge, or two ops on the same
@@ -126,7 +232,8 @@ val apply_delta : t -> delta_op list -> t
 
 val reweight : t -> (int -> int -> float -> float) -> t
 (** [reweight g f] replaces the weight of each edge [(u, v, w)] (with
-    [u < v]) by [f u v w]. Port numbering is preserved. *)
+    [u < v]) by [f u v w]. Port numbering and representation are
+    preserved. *)
 
 val unit_weighted : t -> t
 (** [unit_weighted g] is [g] with every weight replaced by [1.0]. *)

@@ -24,4 +24,8 @@ val save : Graph.t -> string -> unit
 (** [save g path] writes [to_string g] to [path]. *)
 
 val load : string -> Graph.t
-(** [load path] parses the file at [path]. @raise Failure on parse errors. *)
+(** [load path] parses the file at [path], streaming it line by line —
+    the document is never held in memory whole, and edges go straight
+    into the CSR builder, so million-edge files load in O(m) working
+    memory. Errors carry the same line numbers as {!of_string}.
+    @raise Failure on parse errors. *)

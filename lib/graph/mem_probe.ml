@@ -1,0 +1,51 @@
+(* Peak-RSS probe for the scale benches. Linux exposes the high-water mark
+   as the VmHWM line of /proc/self/status; elsewhere we fall back to the
+   OCaml heap size, which under-reports (no C stacks, no bigarray malloc
+   on some allocators) but still tracks the dominant CSR/table payloads.
+   Callers can tell the two apart via [exact]. *)
+
+type sample = { bytes : int; exact : bool }
+
+let parse_vm_hwm line =
+  (* "VmHWM:\t  123456 kB" — the kernel pads with tabs, not spaces. *)
+  let prefix = "VmHWM:" in
+  let lp = String.length prefix in
+  if String.length line < lp || String.sub line 0 lp <> prefix then None
+  else
+    let rest =
+      String.map
+        (fun c -> if c = '\t' then ' ' else c)
+        (String.sub line lp (String.length line - lp))
+    in
+    match String.split_on_char ' ' rest |> List.filter (( <> ) "") with
+    | kb :: _ -> (
+      match int_of_string_opt kb with
+      | Some v when v >= 0 -> Some (v * 1024)
+      | _ -> None)
+    | [] -> None
+
+let vm_hwm_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line -> (
+            match parse_vm_hwm line with
+            | Some _ as r -> r
+            | None -> scan ())
+        in
+        scan ())
+
+let heap_bytes () =
+  let s = Gc.quick_stat () in
+  s.Gc.heap_words * (Sys.word_size / 8)
+
+let peak () =
+  match vm_hwm_bytes () with
+  | Some bytes -> { bytes; exact = true }
+  | None -> { bytes = heap_bytes (); exact = false }

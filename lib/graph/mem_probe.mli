@@ -1,0 +1,24 @@
+(** Peak resident-set-size probe for the benchmark harness.
+
+    On Linux the probe reads the [VmHWM] high-water mark from
+    [/proc/self/status] — the true process-wide peak RSS, including
+    bigarray payloads that live outside the OCaml heap. On platforms
+    without procfs it degrades to the live OCaml heap size, which
+    under-reports but still tracks the dominant table payloads; the
+    [exact] flag tells callers which reading they got. *)
+
+type sample = {
+  bytes : int;  (** peak (or current-heap fallback) size in bytes *)
+  exact : bool;  (** [true] iff read from [/proc/self/status] VmHWM *)
+}
+
+val peak : unit -> sample
+(** Best available peak-memory reading, preferring procfs. *)
+
+val vm_hwm_bytes : unit -> int option
+(** The [VmHWM] value in bytes, or [None] when procfs is unavailable or
+    the line is absent/malformed. *)
+
+val heap_bytes : unit -> int
+(** Current OCaml heap size in bytes ([Gc.quick_stat] words scaled) — the
+    portable fallback. *)

@@ -55,7 +55,25 @@ let sample ~seed g ~target =
     let rec refine w iter =
       let t = of_centers g (Hashtbl.fold (fun v () acc -> v :: acc) a []) in
       let candidates = Array.of_list w in
-      let sizes = cluster_sizes g t candidates in
+      let sizes =
+        if Array.length t.centers = 0 then begin
+          (* With [A] empty, [C_A(w)] is exactly [w]'s connected
+             component ([d(v, A) = infinity] admits every reachable
+             vertex), so one BFS sweep yields every size. The generic
+             path below would run a full unrestricted Dijkstra per
+             candidate — Theta(n m log n) on the first round, the wall
+             that kept center sampling off million-vertex graphs. *)
+          let comp = Bfs.components g in
+          let counts = Hashtbl.create 16 in
+          Array.iter
+            (fun c ->
+              Hashtbl.replace counts c
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+            comp;
+          Array.map (fun v -> Hashtbl.find counts comp.(v)) candidates
+        end
+        else cluster_sizes g t candidates
+      in
       let oversized =
         List.filteri (fun i _ -> sizes.(i) > bound) (Array.to_list candidates)
       in

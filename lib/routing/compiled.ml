@@ -120,27 +120,60 @@ module Table = struct
 end
 
 module Bitset = struct
-  type t = { bits : Bytes.t; n : int; cardinal : int }
+  (* Two physical forms. [Dense] is the byte-packed bitmap — O(1) tests,
+     n/8 bytes regardless of occupancy. That fixed cost is quadratic in
+     aggregate for the schemes that keep one set per vertex (TZ bunch
+     membership: n sets of n bits = n^2/8 bytes, 125 GB at n = 10^6), so
+     sparse sets compile to a sorted key array instead — 8 bytes per
+     member, O(log c) tests. The crossover is where the two costs meet:
+     8c < n/8. *)
+  type t =
+    | Dense of { bits : Bytes.t; n : int; cardinal : int }
+    | Sparse of { keys : int array; n : int }
+
+  let distinct_keys ~n h =
+    let keys =
+      Hashtbl.fold
+        (fun v () acc ->
+          if v < 0 || v >= n then
+            invalid_arg "Compiled.Bitset: key out of range";
+          v :: acc)
+        h []
+    in
+    Array.of_list (List.sort_uniq Int.compare keys)
 
   let of_hashtbl_keys ~n h =
-    let bits = Bytes.make ((n + 7) / 8) '\000' in
-    let count = ref 0 in
-    Hashtbl.iter
-      (fun v () ->
-        if v < 0 || v >= n then
-          invalid_arg "Compiled.Bitset: key out of range";
-        let byte = Char.code (Bytes.get bits (v lsr 3)) in
-        let mask = 1 lsl (v land 7) in
-        if byte land mask = 0 then begin
-          Bytes.set bits (v lsr 3) (Char.chr (byte lor mask));
-          incr count
-        end)
-      h;
-    { bits; n; cardinal = !count }
+    let keys = distinct_keys ~n h in
+    let c = Array.length keys in
+    if 64 * c >= n then begin
+      let bits = Bytes.make ((n + 7) / 8) '\000' in
+      Array.iter
+        (fun v ->
+          let byte = Char.code (Bytes.get bits (v lsr 3)) in
+          Bytes.set bits (v lsr 3) (Char.chr (byte lor (1 lsl (v land 7)))))
+        keys;
+      Dense { bits; n; cardinal = c }
+    end
+    else Sparse { keys; n }
 
   let mem s v =
-    v >= 0 && v < s.n
-    && Char.code (Bytes.get s.bits (v lsr 3)) land (1 lsl (v land 7)) <> 0
+    match s with
+    | Dense { bits; n; _ } ->
+      v >= 0 && v < n
+      && Char.code (Bytes.get bits (v lsr 3)) land (1 lsl (v land 7)) <> 0
+    | Sparse { keys; n } ->
+      v >= 0 && v < n
+      &&
+      let rec go lo hi =
+        lo <= hi
+        &&
+        let mid = (lo + hi) lsr 1 in
+        let k = keys.(mid) in
+        k = v || if k < v then go (mid + 1) hi else go lo (mid - 1)
+      in
+      go 0 (Array.length keys - 1)
 
-  let cardinal s = s.cardinal
+  let cardinal = function
+    | Dense { cardinal; _ } -> cardinal
+    | Sparse { keys; _ } -> Array.length keys
 end

@@ -65,8 +65,12 @@ module Table : sig
   val cardinal : 'a t -> int
 end
 
-(** Dense membership set over [0, n) packed into [Bytes] — one bit per
-    vertex, so a bunch-membership test is a byte load and a mask. *)
+(** Membership set over [0, n) with an adaptive representation: a
+    byte-packed bitmap (one bit per vertex, O(1) tests) when the set is
+    dense, a sorted key array (8 bytes per {e member}, O(log c) tests)
+    when sparse — so n per-vertex sets cost O(total membership), not
+    O(n^2/8), at million-vertex scale. The answers are identical either
+    way. *)
 module Bitset : sig
   type t
 

@@ -156,10 +156,15 @@ type slot =
   | Sample of float * float * int (* distance, routed length, header peak *)
   | Failure of Port_model.verdict * int
 
-let evaluate_batch ?pool ?faults ?(fast = true) ?verdicts inst apsp pairs =
+(* The batched engine proper, generalized over the distance source: [get i]
+   yields pair [i] with its true distance. [evaluate_batch] reads distances
+   from an APSP oracle; [evaluate_sampled] replays distances captured by
+   {!Workload.sampled_pairs}, so million-vertex sweeps never build the n^2
+   matrix. Everything else — sharding, slots, serial pair-order merge — is
+   shared, so both are bit-identical to a serial sweep over the same
+   router. *)
+let batch_core ?pool ?faults ~fast ?verdicts inst np get =
   let pool = match pool with Some p -> p | None -> Pool.default () in
-  let pairs = Array.of_list pairs in
-  let np = Array.length pairs in
   let is_fast = match inst.fast with Some _ -> fast | None -> false in
   let route_one =
     match inst.fast with
@@ -177,8 +182,7 @@ let evaluate_batch ?pool ?faults ?(fast = true) ?verdicts inst apsp pairs =
       (if is_fast then Telemetry.Compiled else Telemetry.Interpreted);
   let slots = Array.make np Skipped in
   Pool.iter pool ~n:np (fun i ->
-      let u, v = pairs.(i) in
-      let d = Apsp.dist apsp u v in
+      let u, v, d = get i in
       if d <> infinity && d > 0.0 then begin
         let o =
           if !Telemetry.on then begin
@@ -219,6 +223,20 @@ let evaluate_batch ?pool ?faults ?(fast = true) ?verdicts inst apsp pairs =
             bump v;
             failure ())
         slots)
+
+let evaluate_batch ?pool ?faults ?(fast = true) ?verdicts inst apsp pairs =
+  let pairs = Array.of_list pairs in
+  batch_core ?pool ?faults ~fast ?verdicts inst (Array.length pairs)
+    (fun i ->
+      let u, v = pairs.(i) in
+      (u, v, Apsp.dist apsp u v))
+
+let evaluate_sampled ?pool ?faults ?(fast = true) ?verdicts inst pairs =
+  let pairs = Array.of_list pairs in
+  batch_core ?pool ?faults ~fast ?verdicts inst (Array.length pairs)
+    (fun i ->
+      let (u, v), d = pairs.(i) in
+      (u, v, d))
 
 (* Chronological concatenation: equals one evaluation over the
    concatenated pair lists (samples keep pair order; failures add; peaks

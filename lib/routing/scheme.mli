@@ -135,6 +135,20 @@ val evaluate_batch :
     happen during the serial pair-order merge, never on worker domains,
     and have no effect on the returned eval. *)
 
+val evaluate_sampled :
+  ?pool:Pool.t ->
+  ?faults:Fault.plan ->
+  ?fast:bool ->
+  ?verdicts:int array ->
+  instance ->
+  ((int * int) * float) list ->
+  eval
+(** {!evaluate_batch} with the true distances supplied alongside the pairs
+    instead of read from an APSP oracle — the scale-tier entry point, fed
+    by {!Workload.sampled_pairs}. Identical sharding, telemetry, verdict
+    accounting and pair-order merge; on the same pairs and distances the
+    result is bit-identical to [evaluate_batch] over an exact oracle. *)
+
 val concat_evals : eval list -> eval
 (** Chronological concatenation: [concat_evals [e1; e2]] equals the eval
     of one sweep over the concatenated pair lists (samples keep pair

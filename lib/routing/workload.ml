@@ -61,6 +61,41 @@ let partial_shuffle st a budget =
     a.(j) <- t
   done
 
+(* APSP-free sampling for the scale tier: a full Dijkstra SPT per sampled
+   source (reusing one workspace), then destinations drawn uniformly
+   without replacement from the settled order. O(sources * (m + n log n))
+   time and O(n) space — no n^2 distance matrix anywhere. *)
+let sampled_pairs ~seed ~sources ~per_source g =
+  if sources < 1 || per_source < 1 then
+    invalid_arg "Workload.sampled_pairs: need sources, per_source >= 1";
+  let n = Graph.n g in
+  if n < 2 then []
+  else begin
+    let st = Random.State.make [| seed; 0x7370 |] in
+    let ids = Array.init n (fun i -> i) in
+    let k = min sources n in
+    partial_shuffle st ids k;
+    let ws = Dijkstra.workspace n in
+    let acc = ref [] in
+    for i = k - 1 downto 0 do
+      let s = ids.(i) in
+      Dijkstra.with_spt ws g s (fun t ->
+          (* The source settles first, so the candidates are the rest of
+             the settled prefix: exactly the vertices reachable from s. *)
+          let reach = Array.length t.Dijkstra.order - 1 in
+          if reach >= 1 then begin
+            let cand = Array.sub t.Dijkstra.order 1 reach in
+            let budget = min per_source reach in
+            partial_shuffle st cand budget;
+            for j = budget - 1 downto 0 do
+              let v = cand.(j) in
+              acc := ((s, v), t.Dijkstra.dist.(v)) :: !acc
+            done
+          end)
+    done;
+    !acc
+  end
+
 let stratified apsp ~seed ~n ~buckets ~per_bucket =
   if buckets < 1 then invalid_arg "Workload.stratified: need buckets >= 1";
   let pairs, dist, total = connected_pairs apsp n in

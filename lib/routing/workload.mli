@@ -14,6 +14,18 @@ open Cr_graph
     so the bucketing is a total, reproducible order even in the presence
     of repeated or non-finite distances. *)
 
+val sampled_pairs :
+  seed:int -> sources:int -> per_source:int -> Graph.t ->
+  ((int * int) * float) list
+(** [sampled_pairs ~seed ~sources ~per_source g] draws up to [sources]
+    distinct source vertices, runs one single-source shortest-path tree
+    per source (one shared workspace), and samples up to [per_source]
+    reachable destinations from each, without replacement — returning
+    [((src, dst), true_distance)] samples. This is the {e APSP-free}
+    workload for the [scale] tier: O(sources (m + n log n)) time, O(n)
+    space, deterministic per seed. Feed the result to
+    {!Scheme.evaluate_sampled}. *)
+
 val stratified :
   Apsp.t -> seed:int -> n:int -> buckets:int -> per_bucket:int ->
   ((float * float) * (int * int) list) array

@@ -97,6 +97,88 @@ let test_io_comments_and_errors () =
     (try ignore (Graph_io.of_string "p 2 1\nzzz\n"); false
      with Failure _ -> true)
 
+(* The streaming file loader must report the 1-based line number of the
+   offending line, so a bad row in a million-edge file is findable. *)
+let test_io_load_error_position () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let with_file contents f =
+    let path = Filename.temp_file "cr_io_test" ".gr" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        f path)
+  in
+  (* Comment, header, one good edge, then garbage on line 4. *)
+  with_file "c hello\np 4 3\ne 0 1 1.0\ne 1 x 1.0\ne 2 3 1.0\n" (fun path ->
+      checkb "load reports the offending line" true
+        (try ignore (Graph_io.load path); false
+         with Failure msg -> contains msg "line 4"));
+  with_file "p 2 1\ne 0 1 0.0\n" (fun path ->
+      checkb "bad weight names its line" true
+        (try ignore (Graph_io.load path); false
+         with Failure msg -> contains msg "line 2"));
+  with_file "c ok\np 3 2\ne 0 1 2.5\ne 1 2 1.0\n" (fun path ->
+      let g = Graph_io.load path in
+      checki "clean file loads" 2 (Graph.m g);
+      checkb "weights kept" true (Graph.edge_weight g 0 1 = Some 2.5));
+  (* And the save/load file roundtrip is exact. *)
+  let g = Generators.with_random_weights ~seed:11 ~lo:0.5 ~hi:2.0
+      (Generators.torus 4 4) in
+  let path = Filename.temp_file "cr_io_test" ".gr" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.save g path;
+      checkb "save/load roundtrip" true (Graph.edges (Graph_io.load path) = Graph.edges g))
+
+(* The O(n^2)-memory guard: a threshold from CR_QUADRATIC_MAX_N, an
+   override from CR_ALLOW_QUADRATIC, both restored to their defaults by
+   setting the empty string (the process cannot unset them). *)
+let test_quadratic_guard () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let g = Generators.path 100 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "CR_QUADRATIC_MAX_N" "";
+      Unix.putenv "CR_ALLOW_QUADRATIC" "")
+    (fun () ->
+      Unix.putenv "CR_QUADRATIC_MAX_N" "64";
+      checkb "Apsp.compute trips above the threshold" true
+        (try
+           ignore (Apsp.compute g);
+           false
+         with Failure msg ->
+           contains msg "Apsp.compute" && contains msg "CR_ALLOW_QUADRATIC");
+      checkb "Full_tables.preprocess trips too" true
+        (try
+           ignore (Cr_baselines.Full_tables.preprocess g);
+           false
+         with Failure msg -> contains msg "Full_tables.preprocess");
+      Unix.putenv "CR_ALLOW_QUADRATIC" "1";
+      checkb "override admits the build" true
+        (try
+           ignore (Apsp.compute g);
+           true
+         with Failure _ -> false);
+      Unix.putenv "CR_ALLOW_QUADRATIC" "";
+      Unix.putenv "CR_QUADRATIC_MAX_N" "";
+      checkb "defaults admit n=100" true
+        (try
+           ignore (Apsp.compute g);
+           true
+         with Failure _ -> false))
+
 let suite =
   [
     case "bfs on grid" test_bfs_grid;
@@ -112,4 +194,6 @@ let suite =
     case "stretch computation" test_stretch;
     case "graph io roundtrip over the zoo" test_io_roundtrip;
     case "graph io comments and errors" test_io_comments_and_errors;
+    case "graph io load error positions" test_io_load_error_position;
+    case "quadratic-memory guard env vars" test_quadratic_guard;
   ]

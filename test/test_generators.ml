@@ -133,6 +133,74 @@ let prop_connect_always_connects =
       let g = Generators.gnp ~seed n (1.0 /. float_of_int n) in
       Bfs.is_connected (Generators.connect ~seed g))
 
+(* --- Internet-like scale tier ------------------------------------------ *)
+
+let test_power_law_deterministic () =
+  let a = Generators.power_law ~seed:9 500 in
+  checkb "same seed, same graph" true
+    (Graph.edges a = Graph.edges (Generators.power_law ~seed:9 500));
+  checkb "different seed, different graph" true
+    (Graph.edges a <> Graph.edges (Generators.power_law ~seed:10 500))
+
+let test_glp_deterministic () =
+  let a = Generators.glp ~seed:9 500 in
+  checkb "same seed, same graph" true
+    (Graph.edges a = Graph.edges (Generators.glp ~seed:9 500));
+  checkb "different seed, different graph" true
+    (Graph.edges a <> Graph.edges (Generators.glp ~seed:10 500))
+
+let prop_power_law_connected =
+  qcheck ~count:25 "power_law and glp yield connected graphs"
+    QCheck2.Gen.(
+      let* n = int_range 10 400 in
+      let* seed = int_range 0 5_000 in
+      return (n, seed))
+    (fun (n, seed) ->
+      Bfs.is_connected (Generators.power_law ~seed n)
+      && Bfs.is_connected (Generators.glp ~seed n))
+
+(* Least-squares slope of log(count) against log(degree) over the degrees
+   with enough mass to be stable — the power-law pin, mirroring the Zipf
+   slope test in test_traffic.ml. Exponent 2.1 with min-degree mixing
+   lands near -2; the window is loose on purpose, rejecting flat
+   (Poisson-like) and collapsed degree distributions, not enforcing the
+   exact exponent. *)
+let degree_slope g =
+  let maxd = Graph.max_degree g in
+  let counts = Array.make (maxd + 1) 0 in
+  for v = 0 to Graph.n g - 1 do
+    counts.(Graph.degree g v) <- counts.(Graph.degree g v) + 1
+  done;
+  let xs = ref [] and ys = ref [] in
+  for k = 3 to maxd do
+    if counts.(k) >= 5 then begin
+      xs := log (float_of_int k) :: !xs;
+      ys := log (float_of_int counts.(k)) :: !ys
+    end
+  done;
+  let xs = Array.of_list !xs and ys = Array.of_list !ys in
+  let m = float_of_int (Array.length xs) in
+  let sx = Array.fold_left ( +. ) 0.0 xs
+  and sy = Array.fold_left ( +. ) 0.0 ys in
+  let sxx = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+  let sxy = ref 0.0 in
+  Array.iteri (fun i x -> sxy := !sxy +. (x *. ys.(i))) xs;
+  ((m *. !sxy) -. (sx *. sy)) /. ((m *. sxx) -. (sx *. sx))
+
+let test_power_law_degree_slope () =
+  let s = degree_slope (Generators.power_law ~seed:21 20_000) in
+  checkb
+    (Printf.sprintf "power_law log-log degree slope %.3f in [-2.7, -1.4]" s)
+    true
+    (s > -2.7 && s < -1.4)
+
+let test_glp_degree_slope () =
+  let s = degree_slope (Generators.glp ~seed:21 20_000) in
+  checkb
+    (Printf.sprintf "glp log-log degree slope %.3f in [-2.7, -1.4]" s)
+    true
+    (s > -2.7 && s < -1.4)
+
 let suite =
   [
     case "path" test_path;
@@ -153,4 +221,9 @@ let suite =
     case "connect links components" test_connect;
     case "random weights in range" test_random_weights;
     prop_connect_always_connects;
+    case "power-law determinism" test_power_law_deterministic;
+    case "glp determinism" test_glp_deterministic;
+    prop_power_law_connected;
+    case "power-law degree slope" test_power_law_degree_slope;
+    case "glp degree slope" test_glp_degree_slope;
   ]

@@ -98,6 +98,124 @@ let prop_degree_sum =
       done;
       !s = 2 * Graph.m g)
 
+(* --- construction paths ------------------------------------------------ *)
+
+let same_csr a b =
+  Graph.csr_off a = Graph.csr_off b
+  && Graph.csr_dst a = Graph.csr_dst b
+  && Graph.csr_wgt a = Graph.csr_wgt b
+
+(* A weighted edge list in adversarial order: random orientations, random
+   permutation — every construction path must still produce the canonical
+   CSR byte for byte. *)
+let arb_shuffled_edges =
+  QCheck2.Gen.(
+    let* g = arb_weighted_connected_graph in
+    let* seed = int_range 0 9_999 in
+    let st = Random.State.make [| seed; 0x5f |] in
+    let edges = Array.of_list (Graph.edges g) in
+    let edges =
+      Array.map
+        (fun (u, v, w) -> if Random.State.bool st then (v, u, w) else (u, v, w))
+        edges
+    in
+    for i = Array.length edges - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = edges.(i) in
+      edges.(i) <- edges.(j);
+      edges.(j) <- t
+    done;
+    return (Graph.n g, Array.to_list edges))
+
+let prop_builder_identical =
+  qcheck ~count:120 "Builder/of_edge_iter/of_sorted_arrays = of_edges"
+    arb_shuffled_edges
+    (fun (n, edges) ->
+      let reference = Graph.of_edges ~n edges in
+      let b = Graph.Builder.create ~n () in
+      List.iter (fun (u, v, w) -> Graph.Builder.add_edge b u v w) edges;
+      let via_builder = Graph.Builder.finish b in
+      let via_iter =
+        Graph.of_edge_iter ~n (fun f -> List.iter (fun (u, v, w) -> f u v w) edges)
+      in
+      let canonical = Graph.edges reference in
+      let via_sorted =
+        Graph.of_sorted_arrays ~n
+          ~src:(Array.of_list (List.map (fun (u, _, _) -> u) canonical))
+          ~dst:(Array.of_list (List.map (fun (_, v, _) -> v) canonical))
+          ~wgt:(Array.of_list (List.map (fun (_, _, w) -> w) canonical))
+          ()
+      in
+      same_csr reference via_builder
+      && same_csr reference via_iter
+      && same_csr reference via_sorted)
+
+let test_of_edge_iter_must_replay () =
+  let calls = ref 0 in
+  checkb "non-reproducible iterator rejected" true
+    (try
+       ignore
+         (Graph.of_edge_iter (fun f ->
+              incr calls;
+              if !calls = 1 then begin
+                f 0 1 1.0;
+                f 1 2 1.0
+              end
+              else f 0 1 1.0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_finish_n_too_small () =
+  let b = Graph.Builder.create () in
+  Graph.Builder.add_edge b 0 5 1.0;
+  checkb "finish ~n below max id rejected" true
+    (try
+       ignore (Graph.Builder.finish ~n:3 b);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- storage representations ------------------------------------------- *)
+
+let prop_pack_preserves_graph =
+  qcheck ~count:80 "pack/unpack preserve edges, ports and distances"
+    arb_weighted_connected_graph
+    (fun g ->
+      let gp = Graph.pack g in
+      let back = Graph.unpack gp in
+      Graph.is_packed gp
+      && (not (Graph.is_packed back))
+      && Graph.edges gp = Graph.edges g
+      && same_csr back g
+      && Graph.storage_bytes gp < Graph.storage_bytes g
+      && (Dijkstra.spt g 0).Dijkstra.dist = (Dijkstra.spt gp 0).Dijkstra.dist)
+
+let prop_packed_apply_delta =
+  qcheck ~count:60 "apply_delta on packed = apply_delta on boxed"
+    arb_weighted_connected_graph
+    (fun g ->
+      match Graph.edges g with
+      | [] -> true
+      | (u, v, w) :: _ ->
+        let ops = [ Graph.Reweight (u, v, w +. 1.0) ] in
+        let from_packed = Graph.apply_delta (Graph.pack g) ops in
+        let from_boxed = Graph.apply_delta g ops in
+        Graph.is_packed from_packed
+        && Graph.edges from_packed = Graph.edges from_boxed)
+
+let test_pack_float32 () =
+  let g = Generators.path 5 in
+  let gp = Graph.pack ~float32:true g in
+  checkb "unit weights survive float32" true (Graph.edges gp = Graph.edges g);
+  checkb "still unit-weighted" true (Graph.is_unit_weighted gp);
+  (* A positive float64 that rounds to 0.0 in float32 must be rejected,
+     not silently corrupted into a zero-weight edge. *)
+  let tiny = Graph.of_edges [ (0, 1, 1e-50) ] in
+  checkb "unrepresentable weight rejected" true
+    (try
+       ignore (Graph.pack ~float32:true tiny);
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     case "vertex and edge counts" test_counts;
@@ -115,4 +233,11 @@ let suite =
     case "edges are canonical" test_edges_sorted;
     prop_fold_edges_counts;
     prop_degree_sum;
+    prop_builder_identical;
+    case "of_edge_iter requires a reproducible iterator"
+      test_of_edge_iter_must_replay;
+    case "Builder.finish rejects too-small n" test_builder_finish_n_too_small;
+    prop_pack_preserves_graph;
+    prop_packed_apply_delta;
+    case "float32 packing" test_pack_float32;
   ]

@@ -145,6 +145,46 @@ let prop_stratified_covers_all_distances =
       done;
       abs_float (lo0 -. !dmin) < 1e-9 && abs_float (hi_last -. !dmax) < 1e-9)
 
+(* --- APSP-free sampling ------------------------------------------------- *)
+
+let test_sampled_pairs_exact_distances () =
+  let g =
+    Generators.with_random_weights ~seed:3 ~lo:0.5 ~hi:4.0 (Generators.torus 5 5)
+  in
+  let apsp = Apsp.compute g in
+  let pairs = Workload.sampled_pairs ~seed:7 ~sources:6 ~per_source:4 g in
+  checkb "budget respected" true (List.length pairs <= 6 * 4);
+  checkb "nonempty" true (pairs <> []);
+  List.iter
+    (fun ((u, v), d) ->
+      checkb "distinct endpoints" true (u <> v);
+      checkf "distance is the true distance" (Apsp.dist apsp u v) d)
+    pairs;
+  (* No (source, destination) pair twice. *)
+  let keys = List.map fst pairs in
+  checki "pairs distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_sampled_pairs_deterministic () =
+  let g = Generators.barabasi_albert ~seed:4 60 2 in
+  let a = Workload.sampled_pairs ~seed:9 ~sources:5 ~per_source:3 g in
+  checkb "same seed, same sample" true
+    (a = Workload.sampled_pairs ~seed:9 ~sources:5 ~per_source:3 g);
+  checkb "different seed, different sample" true
+    (a <> Workload.sampled_pairs ~seed:10 ~sources:5 ~per_source:3 g)
+
+(* The scale-tier contract: evaluating with carried distances is
+   bit-identical to the APSP-backed batch engine on the same pairs. *)
+let test_evaluate_sampled_matches_batch () =
+  let g = Generators.connect ~seed:2 (Generators.gnp ~seed:2 48 0.1) in
+  let apsp = Apsp.compute g in
+  let t = Cr_baselines.Tz_routing.preprocess ~seed:5 g ~k:2 in
+  let inst = Cr_baselines.Tz_routing.instance t in
+  let pairs = Workload.sampled_pairs ~seed:7 ~sources:8 ~per_source:6 g in
+  let via_sampled = Scheme.evaluate_sampled inst pairs in
+  let via_batch = Scheme.evaluate_batch inst apsp (List.map fst pairs) in
+  checkb "evals bit-identical" true (via_sampled = via_batch)
+
 let suite =
   [
     case "stratified buckets respect ranges" test_stratified_partitions;
@@ -155,4 +195,7 @@ let suite =
     case "bucket bounds ordered" test_bucket_bounds_ordered;
     case "ties are fully specified" test_ties_fully_specified;
     prop_stratified_covers_all_distances;
+    case "sampled_pairs carries true distances" test_sampled_pairs_exact_distances;
+    case "sampled_pairs deterministic per seed" test_sampled_pairs_deterministic;
+    case "evaluate_sampled = evaluate_batch" test_evaluate_sampled_matches_batch;
   ]
