@@ -168,7 +168,7 @@ let section_construction () =
         Printf.sprintf "%.1f" alloc_mb ]
   in
   row "apsp"
-    (fun () -> Apsp.compute g)
+    (fun () -> Apsp.compute ~caller:"[construction] oracle" g)
     (fun a b ->
       let n = Graph.n g in
       let ok = ref true in
@@ -178,7 +178,7 @@ let section_construction () =
         done
       done;
       !ok);
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[construction] oracle" g in
   List.iter
     (fun (e : Catalog.entry) ->
       row e.Catalog.id
@@ -282,7 +282,8 @@ let section_construction () =
 let scale_csv_header =
   [ "scheme"; "n"; "m"; "domains"; "serial_wall_s"; "par_wall_s"; "identical";
     "graph_bytes_per_vertex"; "plane_bytes_per_vertex"; "peak_rss_mb";
-    "rss_exact"; "samples"; "p50"; "p95"; "p99"; "max_stretch" ]
+    "rss_exact"; "samples"; "p50"; "p95"; "p99"; "max_stretch";
+    "stretch_alpha"; "stretch_beta"; "bound_ok" ]
 
 let section_scale () =
   banner "[scale] Million-vertex tier: streaming build, packed CSR, APSP-free eval";
@@ -304,8 +305,14 @@ let section_scale () =
   in
   (* Schemes with their size ceilings: tz-k2 stores Theta(sqrt n) words per
      vertex, super-linear in total, so it stops at 10^5; tz-k3's n^(1/3)
-     tables carry to the million-vertex tier. *)
-  let schemes = [ ("tz-k2", 100_000); ("tz-k3", 1_000_000) ] in
+     tables carry to the million-vertex tier, as do the Roditty-Tov
+     schemes now that their quadratic substrates resolve to the lazy
+     stores past CR_RT_LAZY_N (the small sizes still exercise the eager
+     reference paths). *)
+  let schemes =
+    [ ("tz-k2", 100_000); ("tz-k3", 1_000_000); ("rt-5eps", 1_000_000);
+      ("rt-4km7-k3", 1_000_000) ]
+  in
   Printf.printf
     "Power-law graphs (Chung-Lu, exponent 2.1), streamed into packed\n\
      int32/float32 CSR storage; preprocess wall serial vs %d domain(s);\n\
@@ -335,10 +342,10 @@ let section_scale () =
     (if packed_ok then "OK" else "VIOLATED");
   let sources = if quick then 8 else 64
   and per_source = if quick then 8 else 32 in
-  Printf.printf "\n%-8s %9s %10s %9s %9s %6s %8s %8s %7s %7s %7s %9s\n"
+  Printf.printf "\n%-11s %9s %10s %9s %9s %6s %8s %8s %7s %7s %7s %9s %7s\n"
     "scheme" "n" "m" "serial-s" "par-s" "ident" "graph-B/v" "plane-B/v"
-    "p50" "p95" "p99" "rss-MB";
-  Printf.printf "%s\n" (String.make 108 '-');
+    "p50" "p95" "p99" "rss-MB" "bound";
+  Printf.printf "%s\n" (String.make 120 '-');
   List.iter
     (fun nsize ->
       let g, tgen =
@@ -361,11 +368,16 @@ let section_scale () =
         (fun (id, cap) ->
           if nsize > cap then
             Printf.printf
-              "%-8s %9d   skipped (tables super-linear beyond n=%d)\n%!" id
+              "%-11s %9d   skipped (tables super-linear beyond n=%d)\n%!" id
               nsize cap
           else begin
             let e = Option.get (Catalog.find id) in
-            let build () = fst (e.Catalog.build ~seed:31 ~eps:0.5 g) in
+            let bound = ref (infinity, 0.0) in
+            let build () =
+              let inst, b = e.Catalog.build ~seed:31 ~eps:0.5 g in
+              bound := b;
+              inst
+            in
             Pool.set_default_domains 1;
             let serial, ts = wall build in
             (* A 1-domain pool rebuild would measure the same code path
@@ -394,11 +406,21 @@ let section_scale () =
             in
             let rss = Mem_probe.peak () in
             let rss_mb = float_of_int rss.Mem_probe.bytes /. 1e6 in
+            (* The paper guarantee is multiplicative past the additive
+               term: a sampled stretch may exceed alpha only on pairs
+               within beta of the true distance, so the strict check
+               applies to the (alpha, 0) schemes in this tier. *)
+            let alpha, beta = !bound in
+            let bound_ok =
+              beta > 0.0 || Scheme.max_stretch ev <= alpha +. 1e-6
+            in
             Printf.printf
-              "%-8s %9d %10d %9.1f %9.1f %6s %8.1f %8.1f %7.3f %7.3f %7.3f %9.0f\n%!"
+              "%-11s %9d %10d %9.1f %9.1f %6s %8.1f %8.1f %7.3f %7.3f %7.3f %9.0f %s\n%!"
               id nsize (Graph.m g) ts tp
               (if same then "true" else "VIOLATED")
-              graph_bpv plane_bpv p50 p95 p99 rss_mb;
+              graph_bpv plane_bpv p50 p95 p99 rss_mb
+              (if bound_ok then Printf.sprintf "<=%.2f" alpha
+               else "BOUND-VIOLATED");
             csv "scale" ~header:scale_csv_header
               [ id; string_of_int nsize; string_of_int (Graph.m g);
                 string_of_int par_domains; Printf.sprintf "%.4f" ts;
@@ -410,11 +432,13 @@ let section_scale () =
                 string_of_int (Array.length ev.Scheme.samples);
                 Printf.sprintf "%.4f" p50; Printf.sprintf "%.4f" p95;
                 Printf.sprintf "%.4f" p99;
-                Printf.sprintf "%.4f" (Scheme.max_stretch ev) ]
+                Printf.sprintf "%.4f" (Scheme.max_stretch ev);
+                Printf.sprintf "%.4f" alpha; Printf.sprintf "%.4f" beta;
+                string_of_bool bound_ok ]
           end)
         schemes)
     sizes;
-  Printf.printf "%s\n" (String.make 108 '-');
+  Printf.printf "%s\n" (String.make 120 '-');
   (* Peak RSS is a process-wide high-water mark: per-row readings are
      cumulative, which is why the sizes run smallest first. The probe
      status line is what the CI smoke job asserts on. *)
@@ -481,7 +505,7 @@ let section_table1 () =
     "paper" "space" "max-str" "avg-str" "tbl-max" "label" "hdr" "bound";
   Printf.printf "%s\n" (String.make 92 '-');
   let prep suite =
-    List.map (fun (name, g) -> (name, g, Apsp.compute g)) suite
+    List.map (fun (name, g) -> (name, g, Apsp.compute ~caller:"[table1] oracle" g)) suite
   in
   let unw = timed "apsp unweighted suite" (fun () -> prep unweighted_suite) in
   let wgt = timed "apsp weighted suite" (fun () -> prep weighted_suite) in
@@ -513,7 +537,7 @@ let section_families () =
   let schemes = [ "tz-k2"; "rt-3eps"; "rt-3eps-ni"; "rt-2eps1"; "rt-5eps" ] in
   List.iter
     (fun (gname, g) ->
-      let apsp = Apsp.compute g in
+      let apsp = Apsp.compute ~caller:"[families] oracle" g in
       List.iter
         (fun id ->
           let e = Option.get (Catalog.find id) in
@@ -532,7 +556,7 @@ let section_families () =
 let section_oracles () =
   banner "[oracles] Centralized comparison points (TZ 2k-1, PR (2,1))";
   let g = er_graph ~seed:46 () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[oracles] oracle" g in
   let n = Graph.n g in
   let pairs = Scheme.sample_pairs ~seed:9 ~n ~count:pair_budget in
   Printf.printf "%-14s %-10s %10s %10s %12s\n" "oracle" "paper" "max-str"
@@ -651,9 +675,9 @@ let section_eps_sweep () =
   (* A torus: its Theta(sqrt n) diameter makes the sequences of Lemmas 7/8
      actually grow, so eps has a visible effect. *)
   let g_unw = torus_graph () in
-  let apsp_unw = Apsp.compute g_unw in
+  let apsp_unw = Apsp.compute ~caller:"[eps-sweep] unweighted oracle" g_unw in
   let g_w = weighted ~seed:62 g_unw in
-  let apsp_w = Apsp.compute g_w in
+  let apsp_w = Apsp.compute ~caller:"[eps-sweep] weighted oracle" g_w in
   let epss = [ 1.0; 0.5; 0.25; 0.125 ] in
   Printf.printf "%-10s %8s %12s %12s %12s %10s\n" "scheme" "eps" "bound"
     "max-stretch" "avg-stretch" "tbl-max";
@@ -688,7 +712,7 @@ let section_eps_sweep () =
 let section_stretch_by_distance () =
   banner "[fig:stretch-by-distance] Stretch per distance quartile";
   let g = torus_graph () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[stretch-by-distance] oracle" g in
   let n = Graph.n g in
   let strata =
     Workload.stratified apsp ~seed:25 ~n ~buckets:4 ~per_bucket:400
@@ -747,7 +771,7 @@ let lemma_setup ~seed g =
 let section_lemma7 () =
   banner "[fig:lemma7] Technique 1: (1+eps) intra-part routing";
   let g = torus_graph () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[lemma7] oracle" g in
   let vic, coloring = lemma_setup ~seed:16 g in
   Printf.printf "%8s %12s %12s %10s %10s\n" "eps" "max-stretch" "avg-stretch"
     "tbl-max" "hdr-max";
@@ -803,7 +827,7 @@ let section_lemma8 () =
   in
   List.iter
     (fun (wname, g) ->
-      let apsp = Apsp.compute g in
+      let apsp = Apsp.compute ~caller:"[lemma8] oracle" g in
       let vic, coloring =
         if wname = "cycle" then tight_setup ~seed:17 g
         else lemma_setup ~seed:17 g
@@ -865,7 +889,7 @@ let section_lemma8 () =
 let section_ell_sweep () =
   banner "[fig:ell-sweep] Generalized schemes: stretch vs space across ell";
   let g = er_graph ~seed:67 () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[ell-sweep] oracle" g in
   Printf.printf "%-8s %4s %14s %12s %12s %10s\n" "variant" "ell" "bound"
     "max-stretch" "avg-stretch" "tbl-avg";
   Printf.printf "%s\n" (String.make 66 '-');
@@ -891,7 +915,7 @@ let section_ell_sweep () =
 let section_k_sweep () =
   banner "[fig:k-sweep] Theorem 16 (4k-7+eps) vs Thorup-Zwick (4k-5)";
   let g = weighted ~seed:68 (er_graph ~seed:69 ()) in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[k-sweep] oracle" g in
   Printf.printf "%-14s %4s %10s %12s %12s %10s\n" "scheme" "k" "bound"
     "max-stretch" "avg-stretch" "tbl-avg";
   Printf.printf "%s\n" (String.make 66 '-');
@@ -995,7 +1019,7 @@ let section_spanner () =
 let section_resilience () =
   banner "[resilience] Delivery under failed links: bare schemes vs +res";
   let g = er_graph ~seed:42 () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[resilience] oracle" g in
   let pairs_n = if quick then 150 else 400 in
   let pairs = Scheme.sample_pairs ~seed:11 ~n:(Graph.n g) ~count:pairs_n in
   let rates = [ 0.01; 0.02; 0.05 ] in
@@ -1122,7 +1146,7 @@ let section_throughput () =
   banner "[throughput] Batched queries: interpreted vs compiled vs parallel";
   let domains = Pool.domains (Pool.default ()) in
   let g = er_graph ~seed:51 () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[throughput] oracle" g in
   let n = Graph.n g in
   let count = if quick then 2000 else 6000 in
   let pairs = Scheme.sample_pairs ~seed:29 ~n ~count in
@@ -1191,7 +1215,7 @@ let section_serve () =
   banner "[serve] Open-loop Zipf traffic over the catalog, with fault churn";
   let domains = Pool.domains (Pool.default ()) in
   let g = er_graph ~seed:53 () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[serve] oracle" g in
   let budget = if quick then 6_000 else 60_000 in
   let every = budget / 4 in
   let traffic = Traffic.create ~zipf:1.0 ~seed:61 ~n:(Graph.n g) () in
@@ -1326,7 +1350,7 @@ let section_repair () =
       let full =
         Catalog.repair ~force_full:true ~entries ~substrate ~seed ~eps ops
       in
-      let apsp' = Apsp.compute inc.Catalog.graph in
+      let apsp' = Apsp.compute ~caller:"[repair] identity oracle" inc.Catalog.graph in
       let pairs =
         Scheme.sample_pairs ~seed:35 ~n:(Graph.n g) ~count:pairs_n
       in
@@ -1382,14 +1406,14 @@ let section_repair () =
     {
       Traffic.sw_graph = r.Catalog.graph;
       sw_instances = List.map (fun (_, i, _) -> i) r.Catalog.instances;
-      sw_apsp = Apsp.compute r.Catalog.graph;
+      sw_apsp = Apsp.compute ~caller:"[repair] serve oracle" r.Catalog.graph;
       sw_wall = r.Catalog.wall;
       sw_full_rebuild = r.Catalog.full_rebuild;
       sw_reused = reused;
       sw_dropped = dropped;
     }
   in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[repair] oracle" g in
   (* chunk 16: the unpaced staleness window is one round of chunks across
      the instances, so the default 256 would swallow the whole budget. *)
   let report =
@@ -1481,7 +1505,7 @@ let section_telemetry () =
   Fun.protect ~finally:(fun () -> Telemetry.set_enabled was) @@ fun () ->
   Telemetry.set_enabled false;
   let g = er_graph ~seed:51 () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"[telemetry] oracle" g in
   let n = Graph.n g in
   let count = if quick then 2000 else 6000 in
   let pairs = Scheme.sample_pairs ~seed:29 ~n ~count in

@@ -384,7 +384,7 @@ let stats graph_file scheme seed eps pairs domains jsonl csv =
     (Scheme.max_table_words inst)
     (Scheme.avg_table_words inst)
     (Scheme.max_label_words inst);
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:(e.Catalog.id ^ " stats oracle") g in
   let sampled = Scheme.sample_pairs ~seed ~n:(Graph.n g) ~count:pairs in
   let pool = Pool.create ~domains () in
   let ev = Scheme.evaluate_batch ~pool inst apsp sampled in
@@ -457,7 +457,8 @@ let table1 n seed eps pairs =
   Printf.printf "%-16s %-11s %-16s %9s %9s %9s %6s\n" "scheme" "paper"
     "space" "max-str" "avg-str" "tbl-max" "ok";
   Printf.printf "%s\n" (String.make 82 '-');
-  let apsp = Apsp.compute g and apsp_w = Apsp.compute gw in
+  let apsp = Apsp.compute ~caller:"table1 oracle" g
+  and apsp_w = Apsp.compute ~caller:"table1 weighted oracle" gw in
   List.iter
     (fun (e : Catalog.entry) ->
       let graph, oracle = if e.Catalog.weighted_ok then (gw, apsp_w) else (g, apsp) in
@@ -519,7 +520,7 @@ let throughput graph_file scheme seed eps pairs domains no_path =
     (t_int /. Float.max t_c 1e-9);
   (* The batch engine also verifies the merge: its eval must match the
      serial evaluation bit for bit. *)
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:(e.Catalog.id ^ " throughput oracle") g in
   let ev_serial = Scheme.evaluate inst apsp sampled in
   let pool = Pool.create ~domains () in
   let ev_par, t_p =
@@ -621,7 +622,7 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
   in
   let traffic = Traffic.create ~zipf ~rate ~seed ~n:(Graph.n g) () in
   let pool = Pool.create ~domains () in
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"serve oracle" g in
   (* One substrate handle across the whole catalog: the builds share the
      common preprocessing instead of recomputing it per scheme. *)
   let substrate = Substrate.create g in
@@ -663,7 +664,7 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
     {
       Traffic.sw_graph = r.Catalog.graph;
       sw_instances = List.map (fun (_, i, _) -> i) r.Catalog.instances;
-      sw_apsp = Apsp.compute r.Catalog.graph;
+      sw_apsp = Apsp.compute ~caller:"serve repair oracle" r.Catalog.graph;
       sw_wall = r.Catalog.wall;
       sw_full_rebuild = r.Catalog.full_rebuild;
       sw_reused = reused;
@@ -1154,7 +1155,7 @@ let delta_impl graph_file schemes_opt seed eps ops_n inserts removes reweights
   (* Identity: both instance sets must route a pair sample on the
      post-delta graph bit-identically — the dirty-region pass may only
      change wall-clock, never an answer. *)
-  let apsp' = Apsp.compute inc.Catalog.graph in
+  let apsp' = Apsp.compute ~caller:"delta identity oracle" inc.Catalog.graph in
   let pairs =
     Scheme.sample_pairs ~seed:(seed + 4) ~n:(Graph.n g) ~count:pairs_n
   in
@@ -1291,7 +1292,7 @@ let faults_cmd_impl graph_file scheme_opt seed eps pairs rates vertex_rate
   Printf.printf "%-20s %6s  %9s %9s  %10s %10s\n" "scheme" "f%" "bare-del"
     "res-del" "bare-infl" "res-infl";
   Printf.printf "%s\n" (String.make 72 '-');
-  let apsp = Apsp.compute g in
+  let apsp = Apsp.compute ~caller:"faults oracle" g in
   let sampled = Scheme.sample_pairs ~seed ~n:(Graph.n g) ~count:pairs in
   let zero_fault_ok = ref true in
   List.iter
@@ -1429,7 +1430,7 @@ let oracle graph_file kind k seed pairs query =
       t.Dijkstra.dist.(v)
   | None -> ());
   if pairs > 0 then begin
-    let apsp = Apsp.compute g in
+    let apsp = Apsp.compute ~caller:"query oracle" g in
     let sampled = Scheme.sample_pairs ~seed ~n:(Graph.n g) ~count:pairs in
     let worst = ref 1.0 and acc = ref 0.0 and cnt = ref 0 in
     List.iter

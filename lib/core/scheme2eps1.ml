@@ -60,9 +60,12 @@ let label_of t v =
   }
 
 let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target
-    ~seed g =
+    ?(mode = `Auto) ~seed g =
   Scheme_util.require_connected g "Scheme2eps1.preprocess";
-  Scheme_util.Log.debug (fun m -> m "Scheme2eps1: n=%d eps=%g" (Graph.n g) eps);
+  let mode = Scheme_util.resolve_mode mode (Graph.n g) in
+  Scheme_util.Log.debug (fun m ->
+      m "Scheme2eps1: n=%d eps=%g mode=%s" (Graph.n g) eps
+        (match mode with `Eager -> "eager" | `Lazy -> "lazy"));
   if not (Graph.is_unit_weighted g) then
     invalid_arg "Scheme2eps1.preprocess: Theorem 10 addresses unweighted graphs";
   let sub = Substrate.for_graph substrate g in
@@ -126,9 +129,13 @@ let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target
   (* Coloring, representatives, Lemma 7 over the color classes. *)
   let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
   let reps = Scheme_util.color_reps vic coloring in
+  (* Only the Lemma 7 sequence store goes lazy here: the witness tables
+     and global trees are already the scheme's dominant cost and stay the
+     reference construction (Theorem 10 is not a million-vertex target). *)
   let lemma7 =
-    Seq_routing.preprocess ~substrate:sub ~eps g ~vicinities:vic
-      ~parts:coloring.classes ~part_of:coloring.color
+    Seq_routing.preprocess ~substrate:sub ~eps
+      ~mode:(match mode with `Eager -> `Dense | `Lazy -> `Lazy)
+      g ~vicinities:vic ~parts:coloring.classes ~part_of:coloring.color
   in
   (* Table accounting. *)
   let bunches = Substrate.bunches sub ~seed ~target in

@@ -24,11 +24,17 @@ val preprocess :
   ?eps:float ->
   ?vicinity_factor:float ->
   ?center_target:int ->
+  ?mode:[ `Auto | `Eager | `Lazy ] ->
   seed:int ->
   Graph.t ->
   t
 (** Builds the scheme. [center_target] overrides the Lemma 4 sampling
-    target (default [n^(2/3)]). [substrate] shares vicinities, center
+    target (default [n^(2/3)]). [mode] (default [`Auto]) picks the Lemma 7
+    sequence store: [`Eager] precomputes every same-class pair, [`Lazy]
+    builds sequences on first use — decisions are bit-identical between
+    the two; [`Auto] resolves to [`Lazy] past [CR_RT_LAZY_N] vertices
+    (default 10^4). The witness tables and global trees are eager in both
+    modes. [substrate] shares vicinities, center
     samples, cluster trees and bunches with other schemes on the same
     handle.
     @raise Invalid_argument if [g] is disconnected, weighted, or the

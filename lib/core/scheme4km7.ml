@@ -2,6 +2,14 @@ open Cr_graph
 open Cr_routing
 open Cr_baselines
 
+(* Color representatives: the dense table is Theta(n * q) words and
+   Theta(n * q * l) work to fill; the lazy variant re-runs the same
+   [Vicinity.nearest_of] scan on demand, so the chosen representative is
+   identical by construction. *)
+type reps =
+  | Reps_dense of (int * float) array array
+  | Reps_lazy
+
 type t = {
   graph : Graph.t;
   eps : float;
@@ -9,7 +17,7 @@ type t = {
   tz : Tz_routing.t;
   vic : Vicinity.t array;
   coloring : Coloring.t;
-  reps : (int * float) array array;
+  reps : reps;
   group_of : int array; (* alpha(a) for a in A_(k-2); -1 elsewhere *)
   lemma8 : Seq_routing2.t;
   table_words : int array;
@@ -37,20 +45,38 @@ let k t = t.k
 let stretch_bound t =
   (float_of_int ((4 * t.k) - 7) +. (float_of_int ((2 * t.k) - 3) *. t.eps), 0.0)
 
+let rep_of t u color =
+  match t.reps with
+  | Reps_dense r -> fst r.(u).(color)
+  | Reps_lazy -> (
+    match
+      Vicinity.nearest_of t.vic.(u) (fun w ->
+          t.coloring.Coloring.color.(w) = color)
+    with
+    | Some w -> w
+    | None -> invalid_arg "Scheme4km7: vicinity misses a color")
+
 let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?a1_target
-    ~seed g ~k =
+    ?(mode = `Auto) ~seed g ~k =
   if k < 3 then invalid_arg "Scheme4km7.preprocess: need k >= 3";
   Scheme_util.require_connected g "Scheme4km7.preprocess";
-  Scheme_util.Log.debug (fun m -> m "Scheme4km7: n=%d k=%d eps=%g" (Graph.n g) k eps);
-  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
+  let mode = Scheme_util.resolve_mode mode n in
+  Scheme_util.Log.debug (fun m ->
+      m "Scheme4km7: n=%d k=%d eps=%g mode=%s" n k eps
+        (match mode with `Eager -> "eager" | `Lazy -> "lazy"));
+  let sub = Substrate.for_graph substrate g in
   let tz = Tz_routing.preprocess ~substrate:sub ?a1_target ~seed g ~k in
   let h = Tz_routing.hierarchy tz in
   let q = Scheme_util.root_exp n (1.0 /. float_of_int k) in
   let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
-  let vic = Substrate.vicinities sub l in
+  let vic = Substrate.vicinities ~packed:(mode = `Lazy) sub l in
   let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
-  let reps = Scheme_util.color_reps vic coloring in
+  let reps =
+    match mode with
+    | `Eager -> Reps_dense (Scheme_util.color_reps vic coloring)
+    | `Lazy -> Reps_lazy
+  in
   (* Partition A_(k-2) into q groups. *)
   let a_km2 =
     List.init n Fun.id |> List.filter (fun v -> h.Tz_hierarchy.in_set.(k - 2).(v))
@@ -64,14 +90,23 @@ let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?a1_target
     a_km2;
   let dests = Array.map Array.of_list groups in
   let lemma8 =
-    Seq_routing2.preprocess ~substrate:sub ~eps g ~vicinities:vic
-      ~parts:coloring.classes ~part_of:coloring.color ~dests
+    Seq_routing2.preprocess ~substrate:sub ~eps
+      ~mode:(match mode with `Eager -> `Dense | `Lazy -> `Lazy)
+      g ~vicinities:vic ~parts:coloring.classes ~part_of:coloring.color ~dests
+  in
+  (* Lazy accounting counts only what is resident: the reps table is
+     re-derived on demand, and the embedded Lemma 8 counts its own
+     resident entries. *)
+  let rep_words u =
+    match reps with
+    | Reps_dense r -> 2 * Array.length r.(u)
+    | Reps_lazy -> 0
   in
   let table_words =
     Array.init n (fun u ->
         (Tz_routing.table_words tz).(u)
         + (Seq_routing2.table_words lemma8).(u)
-        + (2 * Array.length reps.(u)))
+        + rep_words u)
   in
   let label_words = Array.map (fun w -> w + 1) (Tz_routing.base_label_words tz) in
   {
@@ -177,10 +212,8 @@ let initial_header t ~src lbl =
     | Some home -> { lbl; phase = Home (src, home) }
     | None ->
       let rec find i =
-        if i > t.k - 2 then begin
-          let w, _ = t.reps.(src).(lbl.group) in
-          { lbl; phase = Seek_rep w }
-        end
+        if i > t.k - 2 then
+          { lbl; phase = Seek_rep (rep_of t src lbl.group) }
         else begin
           let p, _ = lbl.tz_label.Tz_routing.pivots.(i) in
           if p = src || Tz_routing.bunch_mem t.tz src p then

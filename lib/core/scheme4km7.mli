@@ -21,13 +21,23 @@ val preprocess :
   ?eps:float ->
   ?vicinity_factor:float ->
   ?a1_target:int ->
+  ?mode:[ `Auto | `Eager | `Lazy ] ->
   seed:int ->
   Graph.t ->
   k:int ->
   t
 (** @raise Invalid_argument if [k < 3], the graph is disconnected, or the
     coloring is infeasible. [substrate] shares vicinities and the TZ
-    hierarchy's center sample with other schemes on the same handle. *)
+    hierarchy's center sample with other schemes on the same handle.
+
+    [mode] (default [`Auto]) picks the substrate representation: [`Eager]
+    precomputes the color-representative table and every Lemma 8 sequence
+    (the reference, quadratic past ~10^5); [`Lazy] uses packed vicinities,
+    re-derives representatives by scanning the vicinity on demand, and
+    builds Lemma 8 sequences on first use. Decisions are bit-identical
+    between modes. [`Auto] resolves to [`Lazy] past [CR_RT_LAZY_N]
+    vertices (default 10^4). Lazy table accounting counts only resident
+    entries. *)
 
 val route : ?faults:Fault.plan -> t -> src:int -> dst:int -> Port_model.outcome
 

@@ -1,15 +1,39 @@
 open Cr_graph
 open Cr_routing
 
+(* Cluster trees: the eager store keeps every nonempty C_A(w) tree; the
+   lazy store builds a tree on first use (restricted Dijkstra in a private
+   workspace) and keeps at most [tcap] under FIFO eviction. The cache sits
+   behind a mutex because the compiled fast path runs on pool worker
+   domains; the trees themselves are deterministic functions of the graph
+   and the center sample, so cache state never changes a decision. *)
+type lazy_trees = {
+  tmutex : Mutex.t;
+  tcache : (int, Tree_routing.t option) Hashtbl.t;
+  torder : int Queue.t;
+  tcap : int;
+  tws : Dijkstra.workspace;
+}
+
+type trees =
+  | Trees_eager of (int, Tree_routing.t) Hashtbl.t
+  | Trees_lazy of lazy_trees
+
+(* Color representatives: the dense table is Theta(n * q) words; the lazy
+   variant re-runs the same [Vicinity.nearest_of] scan on demand, so the
+   chosen representative is identical by construction. *)
+type reps =
+  | Reps_dense of (int * float) array array
+  | Reps_lazy
+
 type t = {
   graph : Graph.t;
   eps : float;
   vic : Vicinity.t array;
   centers : Centers.t;
-  cluster_trees : (int, Tree_routing.t) Hashtbl.t;
-  cluster_labels : (int, (int, Tree_routing.label) Hashtbl.t) Hashtbl.t;
+  trees : trees;
   coloring : Coloring.t;
-  reps : (int * float) array array;
+  reps : reps;
   group_of : int array;        (* alpha(a) for a in A: index of its W-part *)
   lemma8 : Seq_routing2.t;
   first_edge : int array;      (* z on the first edge (p_A(v), z) toward v; -1 for v in A *)
@@ -33,6 +57,8 @@ type phase =
 
 type header = { lbl : label; phase : phase }
 
+let lazy_tree_cap = 4096
+
 let eps t = t.eps
 
 let stretch_bound t = ((5.0 +. (3.0 *. t.eps)), 0.0)
@@ -45,52 +71,109 @@ let label_of t v =
   let p_a = t.centers.Centers.p_a.(v) in
   { vertex = v; p_a; group = t.group_of.(p_a); z = t.first_edge.(v) }
 
+(* The cluster tree of C_A(root), from whichever store is active. The lazy
+   miss path mirrors [Substrate.cluster_tree]'s compact construction but
+   runs in the scheme's own mutex-guarded workspace: the substrate handle
+   is single-owner by contract and must not be touched from routing. *)
+let cluster_tree_at t root =
+  match t.trees with
+  | Trees_eager tbl -> Hashtbl.find_opt tbl root
+  | Trees_lazy lt ->
+    Mutex.protect lt.tmutex (fun () ->
+        match Hashtbl.find_opt lt.tcache root with
+        | Some tr -> tr
+        | None ->
+          let dist_to_a = t.centers.Centers.dist_to_a in
+          let tr =
+            Dijkstra.with_restricted lt.tws t.graph root
+              ~limit:(fun v -> dist_to_a.(v))
+              (fun c ->
+                if Array.length c.Dijkstra.order = 0 then None
+                else Some (Tree_routing.of_tree t.graph c))
+          in
+          if Queue.length lt.torder >= lt.tcap then
+            Hashtbl.remove lt.tcache (Queue.pop lt.torder);
+          Hashtbl.replace lt.tcache root tr;
+          Queue.push root lt.torder;
+          tr)
+
+let rep_of t u color =
+  match t.reps with
+  | Reps_dense r -> fst r.(u).(color)
+  | Reps_lazy -> (
+    match
+      Vicinity.nearest_of t.vic.(u) (fun w ->
+          t.coloring.Coloring.color.(w) = color)
+    with
+    | Some w -> w
+    | None -> invalid_arg "Scheme5eps: vicinity misses a color")
+
 let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target
-    ~seed g =
+    ?(mode = `Auto) ~seed g =
   Scheme_util.require_connected g "Scheme5eps.preprocess";
-  Scheme_util.Log.debug (fun m -> m "Scheme5eps: n=%d eps=%g" (Graph.n g) eps);
-  let sub = Substrate.for_graph substrate g in
   let n = Graph.n g in
+  let mode = Scheme_util.resolve_mode mode n in
+  Scheme_util.Log.debug (fun m ->
+      m "Scheme5eps: n=%d eps=%g mode=%s" n eps
+        (match mode with `Eager -> "eager" | `Lazy -> "lazy"));
+  let sub = Substrate.for_graph substrate g in
   let q = Scheme_util.root_exp n (1.0 /. 3.0) in
   let l = Scheme_util.vicinity_size ~n ~q ~factor:vicinity_factor in
-  let vic = Substrate.vicinities sub l in
+  let vic = Substrate.vicinities ~packed:(mode = `Lazy) sub l in
   let target =
     match center_target with
     | Some s -> s
     | None -> Scheme_util.root_exp n (2.0 /. 3.0)
   in
   let centers = Substrate.centers sub ~seed ~target in
-  let cluster_trees = Hashtbl.create (2 * n) in
-  let cluster_labels = Hashtbl.create (2 * n) in
-  for w = 0 to n - 1 do
-    let c = Substrate.cluster sub ~seed ~target w in
-    match Substrate.cluster_tree sub ~seed ~target w with
-    | None -> ()
-    | Some tr ->
-      Hashtbl.replace cluster_trees w tr;
-      let labels = Hashtbl.create (2 * Array.length c.Dijkstra.order) in
-      Array.iter
-        (fun v -> Hashtbl.replace labels v (Tree_routing.label tr v))
-        c.Dijkstra.order;
-      Hashtbl.replace cluster_labels w labels
-  done;
-  (* First edge (p_A(v), z) on a shortest path from each center toward v;
-     computed from the centers' shortest-path trees. *)
+  let trees =
+    match mode with
+    | `Lazy ->
+      Trees_lazy
+        {
+          tmutex = Mutex.create ();
+          tcache = Hashtbl.create (2 * lazy_tree_cap);
+          torder = Queue.create ();
+          tcap = lazy_tree_cap;
+          tws = Dijkstra.workspace n;
+        }
+    | `Eager ->
+      let tbl = Hashtbl.create (2 * n) in
+      for w = 0 to n - 1 do
+        match Substrate.cluster_tree sub ~seed ~target w with
+        | None -> ()
+        | Some tr -> Hashtbl.replace tbl w tr
+      done;
+      Trees_eager tbl
+  in
+  (* First edge (p_A(v), z) on a shortest path from each center toward v,
+     read off the multi-source forest: [fparent] chains from v reach
+     p_A(v) along a shortest path, and every vertex on the chain shares
+     the same nearest center, so one memoized climb labels the whole
+     chain with the forest child of the center. *)
   let first_edge = Array.make n (-1) in
-  Array.iter
-    (fun a ->
-      let spt = Substrate.spt sub a in
-      for v = 0 to n - 1 do
-        if centers.Centers.p_a.(v) = a && v <> a then begin
-          (* First vertex after a on the tree path a -> v. *)
-          let rec climb x = if spt.Dijkstra.parent.(x) = a then x else climb spt.Dijkstra.parent.(x) in
-          first_edge.(v) <- climb v
-        end
-      done)
-    centers.Centers.centers;
+  let fp = centers.Centers.fparent and p_a = centers.Centers.p_a in
+  let chain = ref [] in
+  for v0 = 0 to n - 1 do
+    if p_a.(v0) >= 0 && p_a.(v0) <> v0 && first_edge.(v0) < 0 then begin
+      let x = ref v0 in
+      while first_edge.(!x) < 0 && fp.(!x) <> p_a.(!x) do
+        chain := !x :: !chain;
+        x := fp.(!x)
+      done;
+      let z = if first_edge.(!x) >= 0 then first_edge.(!x) else !x in
+      first_edge.(!x) <- z;
+      List.iter (fun y -> first_edge.(y) <- z) !chain;
+      chain := []
+    end
+  done;
   (* Coloring, representatives, the W partition of A, Lemma 8. *)
   let coloring = Scheme_util.color_vicinities ~seed g vic ~colors:q in
-  let reps = Scheme_util.color_reps vic coloring in
+  let reps =
+    match mode with
+    | `Eager -> Reps_dense (Scheme_util.color_reps vic coloring)
+    | `Lazy -> Reps_lazy
+  in
   let group_of = Array.make n (-1) in
   let groups = Array.make q [] in
   Array.iteri
@@ -100,39 +183,60 @@ let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target
     centers.Centers.centers;
   let dests = Array.map Array.of_list groups in
   let lemma8 =
-    Seq_routing2.preprocess ~substrate:sub ~eps g ~vicinities:vic
-      ~parts:coloring.classes ~part_of:coloring.color ~dests
+    Seq_routing2.preprocess ~substrate:sub ~eps
+      ~mode:(match mode with `Eager -> `Dense | `Lazy -> `Lazy)
+      g ~vicinities:vic ~parts:coloring.classes ~part_of:coloring.color ~dests
   in
   (* Table accounting: Lemma 8 (vicinities + sequences) + cluster-tree
-     records and member labels + color reps. *)
-  let bunches = Substrate.bunches sub ~seed ~target in
-  let table_words = Array.make n 0 in
-  let tot_cluster = ref 0 and tot_own = ref 0 and tot_reps = ref 0 in
-  for u = 0 to n - 1 do
-    let cluster_records = 7 * Array.length bunches.(u) in
-    let own_labels =
-      match Hashtbl.find_opt cluster_labels u with
-      | None -> 0
-      | Some labels ->
-        Hashtbl.fold
-          (fun _ lbl acc -> acc + 1 + Tree_routing.label_words lbl)
-          labels 0
-    in
-    tot_cluster := !tot_cluster + cluster_records;
-    tot_own := !tot_own + own_labels;
-    tot_reps := !tot_reps + (2 * Array.length reps.(u));
-    table_words.(u) <-
-      (Seq_routing2.table_words lemma8).(u)
-      + cluster_records + own_labels
-      + (2 * Array.length reps.(u))
-  done;
-  let breakdown =
-    Seq_routing2.breakdown lemma8
-    @ [
-        ("cluster-tree-records", !tot_cluster);
-        ("cluster-member-labels", !tot_own);
-        ("color-reps", !tot_reps);
-      ]
+     records and member labels + color reps. The lazy store counts only
+     what is resident — the embedded Lemma 8 vicinity entries — since
+     cluster labels and reps are re-derived on demand. *)
+  let table_words, breakdown =
+    match mode with
+    | `Lazy ->
+      ( Array.copy (Seq_routing2.table_words lemma8),
+        Seq_routing2.breakdown lemma8
+        @ [
+            ("cluster-tree-records", 0);
+            ("cluster-member-labels", 0);
+            ("color-reps", 0);
+          ] )
+    | `Eager ->
+      let bunches = Substrate.bunches sub ~seed ~target in
+      let dense_reps =
+        match reps with Reps_dense r -> r | Reps_lazy -> assert false
+      in
+      let tree_tbl =
+        match trees with Trees_eager tbl -> tbl | Trees_lazy _ -> assert false
+      in
+      let table_words = Array.make n 0 in
+      let tot_cluster = ref 0 and tot_own = ref 0 and tot_reps = ref 0 in
+      for u = 0 to n - 1 do
+        let cluster_records = 7 * Array.length bunches.(u) in
+        let own_labels =
+          match Hashtbl.find_opt tree_tbl u with
+          | None -> 0
+          | Some tr ->
+            Array.fold_left
+              (fun acc v ->
+                acc + 1 + Tree_routing.label_words (Tree_routing.label tr v))
+              0 (Tree_routing.members tr)
+        in
+        tot_cluster := !tot_cluster + cluster_records;
+        tot_own := !tot_own + own_labels;
+        tot_reps := !tot_reps + (2 * Array.length dense_reps.(u));
+        table_words.(u) <-
+          (Seq_routing2.table_words lemma8).(u)
+          + cluster_records + own_labels
+          + (2 * Array.length dense_reps.(u))
+      done;
+      ( table_words,
+        Seq_routing2.breakdown lemma8
+        @ [
+            ("cluster-tree-records", !tot_cluster);
+            ("cluster-member-labels", !tot_own);
+            ("color-reps", !tot_reps);
+          ] )
   in
   let label_words = Array.make n 4 in
   {
@@ -140,8 +244,7 @@ let preprocess ?substrate ?(eps = 0.5) ?(vicinity_factor = 1.0) ?center_target
     eps;
     vic;
     centers;
-    cluster_trees;
-    cluster_labels;
+    trees;
     coloring;
     reps;
     group_of;
@@ -160,6 +263,14 @@ let header_words h =
     | Cluster_tree (_, lbl) -> 1 + Tree_routing.label_words lbl
     | Lemma8 ih -> Seq_routing2.header_words ih)
 
+(* The label fetch at z: z stores (logically) the cluster-tree label of
+   every member of C_A(z); both stores answer via [Tree_routing.label],
+   which is a precomputed per-member read. *)
+let member_label t root dst =
+  match cluster_tree_at t root with
+  | Some tr -> Tree_routing.label tr dst
+  | None -> raise Not_found
+
 let rec step t ~at h =
   let dst = h.lbl.vertex in
   match h.phase with
@@ -167,7 +278,11 @@ let rec step t ~at h =
     if at = dst then Port_model.Deliver
     else Port_model.Forward (Vicinity.step t.vic ~at ~dst, h)
   | Cluster_tree (root, lbl) -> (
-    let tree = Hashtbl.find t.cluster_trees root in
+    let tree =
+      match cluster_tree_at t root with
+      | Some tr -> tr
+      | None -> raise Not_found
+    in
     match Tree_routing.step tree ~at lbl with
     | `Deliver -> Port_model.Deliver
     | `Forward p -> Port_model.Forward (p, h))
@@ -190,12 +305,8 @@ let rec step t ~at h =
     | Port_model.Forward (p, ih') ->
       Port_model.Forward (p, { h with phase = Lemma8 ih' }))
   | To_z ->
-    if at = h.lbl.z then begin
-      (* z stores the cluster-tree label of every member of C_A(z). *)
-      let labels = Hashtbl.find t.cluster_labels at in
-      let lbl = Hashtbl.find labels dst in
-      step t ~at { h with phase = Cluster_tree (at, lbl) }
-    end
+    if at = h.lbl.z then
+      step t ~at { h with phase = Cluster_tree (at, member_label t at dst) }
     else begin
       match Graph.port_to t.graph at h.lbl.z with
       | Some p -> Port_model.Forward (p, h)
@@ -206,12 +317,10 @@ let initial_header t ~src lbl =
   let v = lbl.vertex in
   if Vicinity.mem t.vic.(src) v then { lbl; phase = Direct }
   else
-    match Hashtbl.find_opt t.cluster_labels src with
-    | Some labels when Hashtbl.mem labels v ->
-      { lbl; phase = Cluster_tree (src, Hashtbl.find labels v) }
-    | _ ->
-      let w, _ = t.reps.(src).(lbl.group) in
-      { lbl; phase = Seek_rep w }
+    match cluster_tree_at t src with
+    | Some tr when Tree_routing.mem tr v ->
+      { lbl; phase = Cluster_tree (src, Tree_routing.label tr v) }
+    | _ -> { lbl; phase = Seek_rep (rep_of t src lbl.group) }
 
 let route ?faults t ~src ~dst =
   let lbl = label_of t dst in
@@ -231,13 +340,16 @@ type compiled = {
   base : t;
   vic_c : Vicinity.compiled array;
   lemma8_c : Seq_routing2.compiled;
-  cluster_trees_c : Tree_routing.compiled Compiled.Table.t;
+  cluster_trees_c : Tree_routing.compiled Compiled.Table.t option;
+      (* [None] on a lazy store: the per-hop tree dispatch falls back to
+         the interpreted [Tree_routing.step] on the on-demand tree, which
+         makes the same decision. *)
 }
 
 (* The vicinity family is physically shared with the embedded Lemma 8
    instance, so its compiled form is reused rather than rebuilt. The
    cluster-label fetch at [z] happens once per route and stays
-   interpreted; the per-hop tree dispatch is compiled. *)
+   interpreted; the per-hop tree dispatch is compiled on an eager store. *)
 let compile t =
   let lemma8_c = Seq_routing2.compile t.lemma8 in
   {
@@ -245,8 +357,11 @@ let compile t =
     vic_c = Seq_routing2.compiled_vicinities lemma8_c;
     lemma8_c;
     cluster_trees_c =
-      Compiled.Table.map Tree_routing.compile
-        (Compiled.Table.of_hashtbl t.cluster_trees);
+      (match t.trees with
+      | Trees_eager tbl ->
+        Some
+          (Compiled.Table.map Tree_routing.compile (Compiled.Table.of_hashtbl tbl))
+      | Trees_lazy _ -> None);
   }
 
 let rec step_fast c ~at h =
@@ -257,8 +372,15 @@ let rec step_fast c ~at h =
     if at = dst then Port_model.Deliver
     else Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst, h)
   | Cluster_tree (root, lbl) -> (
-    let tree = Compiled.Table.find c.cluster_trees_c root in
-    match Tree_routing.step_c tree ~at lbl with
+    let d =
+      match c.cluster_trees_c with
+      | Some tbl -> Tree_routing.step_c (Compiled.Table.find tbl root) ~at lbl
+      | None -> (
+        match cluster_tree_at t root with
+        | Some tr -> Tree_routing.step tr ~at lbl
+        | None -> raise Not_found)
+    in
+    match d with
     | `Deliver -> Port_model.Deliver
     | `Forward p -> Port_model.Forward (p, h))
   | Seek_rep w ->
@@ -281,11 +403,8 @@ let rec step_fast c ~at h =
     | Port_model.Forward (p, ih') ->
       Port_model.Forward (p, { h with phase = Lemma8 ih' }))
   | To_z ->
-    if at = h.lbl.z then begin
-      let labels = Hashtbl.find t.cluster_labels at in
-      let lbl = Hashtbl.find labels dst in
-      step_fast c ~at { h with phase = Cluster_tree (at, lbl) }
-    end
+    if at = h.lbl.z then
+      step_fast c ~at { h with phase = Cluster_tree (at, member_label t at dst) }
     else begin
       match Graph.port_to t.graph at h.lbl.z with
       | Some p -> Port_model.Forward (p, h)

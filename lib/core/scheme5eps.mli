@@ -24,6 +24,7 @@ val preprocess :
   ?eps:float ->
   ?vicinity_factor:float ->
   ?center_target:int ->
+  ?mode:[ `Auto | `Eager | `Lazy ] ->
   seed:int ->
   Graph.t ->
   t
@@ -31,6 +32,19 @@ val preprocess :
     Lemma 4 target, default [n^(2/3)]). [substrate] shares vicinities,
     center samples, cluster trees and bunches with other schemes on the
     same handle.
+
+    [mode] (default [`Auto]) picks the substrate representation. [`Eager]
+    is the reference: every cluster tree, member label, color
+    representative and Lemma 8 sequence precomputed — quadratic death past
+    ~10^5 vertices. [`Lazy] keeps the same centers, coloring and first
+    edges but builds cluster trees and Lemma 8 sequences on first use
+    (FIFO-capped, mutex-guarded caches safe under the pool-parallel fast
+    path), resolves color representatives by scanning the packed vicinity
+    on demand, and reads first edges off the multi-source center forest.
+    Every routing decision is bit-identical between the two modes — the
+    rt-scale equivalence tests pin this. [`Auto] resolves to [`Lazy] past
+    [CR_RT_LAZY_N] vertices (default 10^4). Lazy table accounting counts
+    only resident (vicinity) entries.
     @raise Invalid_argument if [g] is disconnected or the coloring is
     infeasible. *)
 

@@ -15,6 +15,26 @@ let vicinity_size ~n ~q ~factor =
   let log2n = Float.max 1.0 (log (float_of_int n) /. log 2.0) in
   min n (max 2 (int_of_float (ceil (factor *. float_of_int q *. log2n))))
 
+(* Mode resolution shared by the rt-* schemes: [`Auto] keeps the eager
+   reference construction at experimental sizes and flips to the
+   lazy/truncated substrates past CR_RT_LAZY_N vertices (default 10^4) —
+   the point where the dense per-destination stores stop fitting. *)
+let default_lazy_n = 10_000
+
+let lazy_threshold () =
+  match Sys.getenv_opt "CR_RT_LAZY_N" with
+  | None | Some "" -> default_lazy_n
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v when v > 0 -> v
+    | _ -> default_lazy_n)
+
+let resolve_mode mode n =
+  match mode with
+  | `Eager -> `Eager
+  | `Lazy -> `Lazy
+  | `Auto -> if n > lazy_threshold () then `Lazy else `Eager
+
 let require_connected g name =
   if not (Bfs.is_connected g) then
     invalid_arg (name ^ ": graph must be connected")

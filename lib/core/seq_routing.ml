@@ -10,6 +10,36 @@ type tail =
 
 type seq = { hops : hop array; tail : tail }
 
+(* Packed sequence for the lazy cache: one int32 Bigarray per entry —
+   [| tail kind; tree root; label len; label...; nhops; v0; p0; ... |]
+   with kind 0 = To_target, 1 = To_tree, and port -1 marking a Via hop.
+   Encode/decode are exact inverses. *)
+type packed_seq = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* The dense store is the reference: every same-part pair's sequence
+   precomputed, Theta(sum_i |U_i|^2) memory. The lazy store builds a
+   sequence on first use from an early-stopped Dijkstra rooted at the
+   destination — the build only reads tree data at vertices strictly
+   closer to the destination than the source — and keeps it packed in a
+   FIFO-capped cache. Cache state never changes an answer, so decisions
+   are bit-identical across modes. The hitting set and its trees stay
+   eager in both modes: there are only O~(n/q~) of them, shared by every
+   pair, and the escape-hatch labels embedded in sequences point into
+   them. Guarded by a mutex because [route_fast] runs on pool worker
+   domains; the [Substrate] handle is never touched after preprocess. *)
+type lazy_store = {
+  lmutex : Mutex.t;
+  lcache : (int * int, packed_seq) Hashtbl.t;
+  lorder : (int * int) Queue.t;
+  lcap : int;
+  lws : Dijkstra.workspace;
+  lin_hset : bool array;
+}
+
+type store =
+  | Dense of (int * int, seq) Hashtbl.t
+  | Lazy of lazy_store
+
 type t = {
   graph : Graph.t;
   eps : float;
@@ -17,7 +47,8 @@ type t = {
   vic : Vicinity.t array;
   hset : int list;
   trees : (int, Tree_routing.t) Hashtbl.t;
-  seqs : (int * int, seq) Hashtbl.t;
+  store : store;
+  part_of : int array;
   table_words : int array;
   breakdown : (string * int) list;
 }
@@ -81,7 +112,43 @@ let build_seq g vic in_hset trees ~b ~src:u ~dst:v spt_v =
   in
   go u [] 0
 
-let preprocess ?substrate ?(eps = 0.5) ?hitting g ~vicinities ~parts ~part_of =
+let encode_seq (sq : seq) : packed_seq =
+  let nh = Array.length sq.hops in
+  let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (3 + (2 * nh)) in
+  let kind, root = match sq.tail with To_target -> (0, -1) | To_tree (w, _) -> (1, w) in
+  Bigarray.Array1.set a 0 (Int32.of_int kind);
+  Bigarray.Array1.set a 1 (Int32.of_int root);
+  Bigarray.Array1.set a 2 (Int32.of_int nh);
+  Array.iteri
+    (fun i h ->
+      let v, p = match h with Via v -> (v, -1) | Jump (v, p) -> (v, p) in
+      Bigarray.Array1.set a (3 + (2 * i)) (Int32.of_int v);
+      Bigarray.Array1.set a (4 + (2 * i)) (Int32.of_int p))
+    sq.hops;
+  a
+
+(* The tree label is not serialized: [Tree_routing.label] is a precomputed
+   per-member read, so re-deriving it from (root, dst) returns the very
+   same label the built sequence carried. *)
+let decode_seq trees ~dst (a : packed_seq) : seq =
+  let geti i = Int32.to_int (Bigarray.Array1.get a i) in
+  let kind = geti 0 and root = geti 1 and nh = geti 2 in
+  {
+    tail =
+      (if kind = 0 then To_target
+       else To_tree (root, Tree_routing.label (Hashtbl.find trees root) dst));
+    hops =
+      Array.init nh (fun i ->
+          let v = geti (3 + (2 * i)) and p = geti (4 + (2 * i)) in
+          if p < 0 then Via v else Jump (v, p));
+  }
+
+(* How many packed sequences the lazy cache retains before FIFO eviction.
+   Contents never affect answers, only rebuild wall-clock. *)
+let lazy_cache_cap = 8192
+
+let preprocess ?substrate ?(eps = 0.5) ?hitting ?(mode = `Dense) g ~vicinities
+    ~parts ~part_of =
   if eps <= 0.0 then invalid_arg "Seq_routing.preprocess: eps must be positive";
   if not (Bfs.is_connected g) then
     invalid_arg "Seq_routing.preprocess: graph must be connected";
@@ -108,48 +175,110 @@ let preprocess ?substrate ?(eps = 0.5) ?hitting g ~vicinities ~parts ~part_of =
             invalid_arg "Seq_routing.preprocess: part_of disagrees with parts")
         part)
     parts;
-  let seqs = Hashtbl.create (4 * n) in
-  Array.iter
-    (fun part ->
-      Array.iter
-        (fun v ->
-          let spt_v = Substrate.spt sub v in
-          Array.iter
-            (fun u ->
-              if u <> v then
-                Hashtbl.replace seqs (u, v)
-                  (build_seq g vic (fun w -> in_hset.(w)) trees ~b ~src:u ~dst:v spt_v))
-            part)
-        part)
-    parts;
-  (* Table accounting: vicinity entries, one tree-routing record per
-     hitting-set tree, and the stored sequences (with their tree labels). *)
   let table_words = Array.make n 0 in
-  let vic_total = ref 0 and seq_total = ref 0 in
+  let vic_total = ref 0 in
   for u = 0 to n - 1 do
     vic_total := !vic_total + vicinity_words vic.(u);
     table_words.(u) <-
       vicinity_words vic.(u) + (7 * List.length hset)
   done;
-  Hashtbl.iter
-    (fun (u, _) (sq : seq) ->
-      let w = 1 + seq_words sq.hops + tail_words sq.tail in
-      seq_total := !seq_total + w;
-      table_words.(u) <- table_words.(u) + w)
-    seqs;
-  let breakdown =
-    [
-      ("vicinities", !vic_total);
-      ("tree-records", n * 7 * List.length hset);
-      ("sequences", !seq_total);
-    ]
-  in
-  { graph = g; eps; b; vic; hset; trees; seqs; table_words; breakdown }
+  match mode with
+  | `Dense ->
+    let seqs = Hashtbl.create (4 * n) in
+    Array.iter
+      (fun part ->
+        Array.iter
+          (fun v ->
+            let spt_v = Substrate.spt sub v in
+            Array.iter
+              (fun u ->
+                if u <> v then
+                  Hashtbl.replace seqs (u, v)
+                    (build_seq g vic (fun w -> in_hset.(w)) trees ~b ~src:u ~dst:v spt_v))
+              part)
+          part)
+      parts;
+    (* Table accounting: vicinity entries, one tree-routing record per
+       hitting-set tree, and the stored sequences (with their tree labels). *)
+    let seq_total = ref 0 in
+    Hashtbl.iter
+      (fun (u, _) (sq : seq) ->
+        let w = 1 + seq_words sq.hops + tail_words sq.tail in
+        seq_total := !seq_total + w;
+        table_words.(u) <- table_words.(u) + w)
+      seqs;
+    let breakdown =
+      [
+        ("vicinities", !vic_total);
+        ("tree-records", n * 7 * List.length hset);
+        ("sequences", !seq_total);
+      ]
+    in
+    { graph = g; eps; b; vic; hset; trees; store = Dense seqs; part_of;
+      table_words; breakdown }
+  | `Lazy ->
+    let breakdown =
+      [
+        ("vicinities", !vic_total);
+        ("tree-records", n * 7 * List.length hset);
+        ("sequences", 0);
+      ]
+    in
+    {
+      graph = g;
+      eps;
+      b;
+      vic;
+      hset;
+      trees;
+      store =
+        Lazy
+          {
+            lmutex = Mutex.create ();
+            lcache = Hashtbl.create (2 * lazy_cache_cap);
+            lorder = Queue.create ();
+            lcap = lazy_cache_cap;
+            lws = Dijkstra.workspace n;
+            lin_hset = in_hset;
+          };
+      part_of;
+      table_words;
+      breakdown;
+    }
+
+let fetch_seq t ~src:u ~dst:v =
+  match t.store with
+  | Dense seqs -> (
+    match Hashtbl.find_opt seqs (u, v) with
+    | Some sq -> sq
+    | None -> raise Not_found)
+  | Lazy ls ->
+    if u = v then raise Not_found;
+    let j = t.part_of.(u) in
+    if j < 0 || t.part_of.(v) <> j then raise Not_found;
+    Mutex.protect ls.lmutex (fun () ->
+        match Hashtbl.find_opt ls.lcache (u, v) with
+        | Some packed -> decode_seq t.trees ~dst:v packed
+        | None ->
+          (* The build reads the destination tree only at [u] and at
+             vertices strictly closer to [v] (boundary walks move
+             rootward), so stopping the search right after [u] settles
+             yields a bit-identical sequence to the dense store's. *)
+          let sq =
+            Dijkstra.with_spt_until ls.lws t.graph v ~until:u (fun spt_v ->
+                build_seq t.graph t.vic
+                  (fun w -> ls.lin_hset.(w))
+                  t.trees ~b:t.b ~src:u ~dst:v spt_v)
+          in
+          Hashtbl.replace ls.lcache (u, v) (encode_seq sq);
+          Queue.push (u, v) ls.lorder;
+          if Hashtbl.length ls.lcache > ls.lcap then
+            Hashtbl.remove ls.lcache (Queue.pop ls.lorder);
+          sq)
 
 let initial_header t ~src ~dst =
-  match Hashtbl.find_opt t.seqs (src, dst) with
-  | Some sq -> { dst; hops = sq.hops; idx = 0; tail = sq.tail; in_tree = false }
-  | None -> raise Not_found
+  let sq = fetch_seq t ~src ~dst in
+  { dst; hops = sq.hops; idx = 0; tail = sq.tail; in_tree = false }
 
 let header_words h =
   let remaining = ref 2 in

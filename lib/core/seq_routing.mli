@@ -24,6 +24,7 @@ val preprocess :
   ?substrate:Substrate.t ->
   ?eps:float ->
   ?hitting:int list ->
+  ?mode:[ `Dense | `Lazy ] ->
   Graph.t ->
   vicinities:Vicinity.t array ->
   parts:int array array ->
@@ -35,6 +36,15 @@ val preprocess :
     [hitting] overrides the greedy hitting set of the vicinity family.
     [part_of.(v)] must be the index of the part containing [v], or [-1] for
     vertices outside the partition (they can relay but not originate).
+
+    [mode] (default [`Dense]) picks the sequence store. [`Dense]
+    precomputes every same-part pair's sequence — the reference, quadratic
+    in part sizes. [`Lazy] builds a sequence on first use from an
+    early-stopped Dijkstra rooted at the destination and keeps it packed
+    as int32 in a FIFO-capped cache; the hitting set and its trees stay
+    eager in both modes. Decisions are bit-identical across modes — cache
+    state never changes an answer. Lazy [table_words]/[breakdown] count
+    only the resident vicinity and tree-record entries.
     @raise Invalid_argument if [g] is disconnected. *)
 
 val initial_header : t -> src:int -> dst:int -> header

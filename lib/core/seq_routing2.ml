@@ -8,14 +8,75 @@ type terminal =
 
 type seq = { hops : hop array; terminal : terminal }
 
+(* Packed sequence: one int32 Bigarray per cached entry —
+   [| terminal; nhops; v0; p0; v1; p1; ... |] with terminal -1 = At_dst,
+   r >= 0 = Relay r, and port -1 marking a Via hop. Encode/decode are exact
+   inverses, so a decoded sequence is bit-identical to the built one. *)
+type packed_seq = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let encode_seq (sq : seq) : packed_seq =
+  let nh = Array.length sq.hops in
+  let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (2 + (2 * nh)) in
+  Bigarray.Array1.set a 0
+    (Int32.of_int (match sq.terminal with At_dst -> -1 | Relay r -> r));
+  Bigarray.Array1.set a 1 (Int32.of_int nh);
+  Array.iteri
+    (fun i h ->
+      let v, p = match h with Via v -> (v, -1) | Jump (v, p) -> (v, p) in
+      Bigarray.Array1.set a (2 + (2 * i)) (Int32.of_int v);
+      Bigarray.Array1.set a (3 + (2 * i)) (Int32.of_int p))
+    sq.hops;
+  a
+
+let decode_seq (a : packed_seq) : seq =
+  let geti i = Int32.to_int (Bigarray.Array1.get a i) in
+  let term = geti 0 in
+  let nh = geti 1 in
+  {
+    terminal = (if term < 0 then At_dst else Relay term);
+    hops =
+      Array.init nh (fun i ->
+          let v = geti (2 + (2 * i)) and p = geti (3 + (2 * i)) in
+          if p < 0 then Via v else Jump (v, p));
+  }
+
+(* The reference store keeps every (u, w) sequence, Theta(|U_i| |W_i|)
+   pairs per part — fine up to a few thousand vertices and what the
+   equivalence tests pin against. The lazy store keeps none: a sequence is
+   built on first use from an early-stopped Dijkstra rooted at the
+   destination and kept in a FIFO-capped packed cache. Cache state never
+   changes an answer — every build is a pure function of (u, w) — so
+   routing decisions are identical to the dense store's, eviction order
+   and domain interleaving included.
+
+   The lazy store is consulted from pool worker domains during
+   [evaluate_batch]; the mutex serializes cache lookups and the shared
+   workspace. It deliberately does NOT touch the [Substrate] handle, which
+   is unsynchronized by contract. *)
+type lazy_store = {
+  lmutex : Mutex.t;
+  lcache : (int * int, packed_seq) Hashtbl.t;
+  lorder : (int * int) Queue.t; (* FIFO eviction *)
+  lcap : int;
+  lws : Dijkstra.workspace;
+  ldest_group : int array;      (* w -> its part index in [dests], or -1 *)
+  lpart_of : int array;
+  ld_min : float;
+  mutable lmax_hops : int;      (* longest sequence observed so far *)
+}
+
+type store =
+  | Dense of (int * int, seq) Hashtbl.t
+  | Lazy of lazy_store
+
 type t = {
   graph : Graph.t;
   eps : float;
   b : int;
   vic : Vicinity.t array;
-  seqs : (int * int, seq) Hashtbl.t;
+  store : store;
   table_words : int array;
-  max_seq_hops : int;
+  dense_max_seq_hops : int;
   breakdown : (string * int) list;
 }
 
@@ -30,7 +91,10 @@ let eps t = t.eps
 
 let table_words t = t.table_words
 
-let max_sequence_hops t = t.max_seq_hops
+let max_sequence_hops t =
+  match t.store with
+  | Dense _ -> t.dense_max_seq_hops
+  | Lazy ls -> Mutex.protect ls.lmutex (fun () -> ls.lmax_hops)
 
 let breakdown t = t.breakdown
 
@@ -89,7 +153,12 @@ let build_seq g vic ~b ~d_min ~relay_of ~src:u ~dst:w spt_w =
     if u2 = w then finish acc At_dst else subsequences u2 1 acc
   end
 
-let preprocess ?substrate ?(eps = 0.5) g ~vicinities ~parts ~part_of ~dests =
+(* How many packed sequences the lazy cache retains before FIFO eviction.
+   Contents never affect answers, only rebuild wall-clock. *)
+let lazy_cache_cap = 8192
+
+let preprocess ?substrate ?(eps = 0.5) ?(mode = `Dense) g ~vicinities ~parts
+    ~part_of ~dests =
   if eps <= 0.0 then invalid_arg "Seq_routing2.preprocess: eps must be positive";
   if not (Bfs.is_connected g) then
     invalid_arg "Seq_routing2.preprocess: graph must be connected";
@@ -100,52 +169,117 @@ let preprocess ?substrate ?(eps = 0.5) g ~vicinities ~parts ~part_of ~dests =
   let b = 1 + max 1 (int_of_float (ceil (2.0 /. eps))) in
   let vic = vicinities in
   let d_min = Graph.min_edge_weight g in
-  let seqs = Hashtbl.create (4 * n) in
-  Array.iteri
-    (fun j part ->
-      let relay_of x =
-        Vicinity.nearest_of vic.(x) (fun v -> part_of.(v) = j)
-      in
-      Array.iter
-        (fun w ->
-          let spt_w = Substrate.spt sub w in
-          Array.iter
-            (fun u ->
-              if u <> w then
-                Hashtbl.replace seqs (u, w)
-                  (build_seq g vic ~b ~d_min ~relay_of ~src:u ~dst:w spt_w))
-            part)
-        dests.(j))
-    parts;
   let table_words = Array.make n 0 in
-  let vic_total = ref 0 and seq_total = ref 0 in
+  let vic_total = ref 0 in
   for u = 0 to n - 1 do
     vic_total := !vic_total + vicinity_words vic.(u);
     table_words.(u) <- vicinity_words vic.(u)
   done;
-  let max_seq_hops = ref 0 in
-  Hashtbl.iter
-    (fun (u, _) (sq : seq) ->
-      max_seq_hops := max !max_seq_hops (Array.length sq.hops);
-      let w = 2 + seq_words sq.hops in
-      seq_total := !seq_total + w;
-      table_words.(u) <- table_words.(u) + w)
-    seqs;
-  {
-    graph = g;
-    eps;
-    b;
-    vic;
-    seqs;
-    table_words;
-    max_seq_hops = !max_seq_hops;
-    breakdown = [ ("vicinities", !vic_total); ("sequences", !seq_total) ];
-  }
+  match mode with
+  | `Dense ->
+    let seqs = Hashtbl.create (4 * n) in
+    Array.iteri
+      (fun j part ->
+        let relay_of x =
+          Vicinity.nearest_of vic.(x) (fun v -> part_of.(v) = j)
+        in
+        Array.iter
+          (fun w ->
+            let spt_w = Substrate.spt sub w in
+            Array.iter
+              (fun u ->
+                if u <> w then
+                  Hashtbl.replace seqs (u, w)
+                    (build_seq g vic ~b ~d_min ~relay_of ~src:u ~dst:w spt_w))
+              part)
+          dests.(j))
+      parts;
+    let seq_total = ref 0 in
+    let max_seq_hops = ref 0 in
+    Hashtbl.iter
+      (fun (u, _) (sq : seq) ->
+        max_seq_hops := max !max_seq_hops (Array.length sq.hops);
+        let w = 2 + seq_words sq.hops in
+        seq_total := !seq_total + w;
+        table_words.(u) <- table_words.(u) + w)
+      seqs;
+    {
+      graph = g;
+      eps;
+      b;
+      vic;
+      store = Dense seqs;
+      table_words;
+      dense_max_seq_hops = !max_seq_hops;
+      breakdown = [ ("vicinities", !vic_total); ("sequences", !seq_total) ];
+    }
+  | `Lazy ->
+    let dest_group = Array.make n (-1) in
+    Array.iteri
+      (fun j ws -> Array.iter (fun w -> dest_group.(w) <- j) ws)
+      dests;
+    {
+      graph = g;
+      eps;
+      b;
+      vic;
+      store =
+        Lazy
+          {
+            lmutex = Mutex.create ();
+            lcache = Hashtbl.create (2 * lazy_cache_cap);
+            lorder = Queue.create ();
+            lcap = lazy_cache_cap;
+            lws = Dijkstra.workspace n;
+            ldest_group = dest_group;
+            lpart_of = part_of;
+            ld_min = d_min;
+            lmax_hops = 0;
+          };
+      table_words;
+      dense_max_seq_hops = 0;
+      breakdown = [ ("vicinities", !vic_total); ("sequences", 0) ];
+    }
+
+let fetch_seq t ~src:u ~dst:w =
+  match t.store with
+  | Dense seqs -> (
+    match Hashtbl.find_opt seqs (u, w) with
+    | Some sq -> sq
+    | None -> raise Not_found)
+  | Lazy ls ->
+    if u = w then raise Not_found;
+    let j = ls.ldest_group.(w) in
+    if j < 0 || ls.lpart_of.(u) <> j then raise Not_found;
+    Mutex.protect ls.lmutex (fun () ->
+        match Hashtbl.find_opt ls.lcache (u, w) with
+        | Some packed -> decode_seq packed
+        | None ->
+          let relay_of x =
+            Vicinity.nearest_of t.vic.(x) (fun v -> ls.lpart_of.(v) = j)
+          in
+          (* The build reads the destination tree only at vertices strictly
+             closer to [w] than [u] (plus [u] itself): the initial
+             [parent.(u)]/[parent.(u1)] edges and boundary walks that
+             always move rootward. Stopping the search right after [u]
+             settles therefore yields bit-identical sequences to the full
+             SPT the dense store uses, at the cost of the ball around [w]
+             of radius d(u, w) instead of the whole graph. *)
+          let sq =
+            Dijkstra.with_spt_until ls.lws t.graph w ~until:u (fun spt_w ->
+                build_seq t.graph t.vic ~b:t.b ~d_min:ls.ld_min ~relay_of
+                  ~src:u ~dst:w spt_w)
+          in
+          Hashtbl.replace ls.lcache (u, w) (encode_seq sq);
+          Queue.push (u, w) ls.lorder;
+          if Hashtbl.length ls.lcache > ls.lcap then
+            Hashtbl.remove ls.lcache (Queue.pop ls.lorder);
+          ls.lmax_hops <- max ls.lmax_hops (Array.length sq.hops);
+          sq)
 
 let initial_header t ~src ~dst =
-  match Hashtbl.find_opt t.seqs (src, dst) with
-  | Some sq -> { dst; hops = sq.hops; idx = 0; terminal = sq.terminal }
-  | None -> raise Not_found
+  let sq = fetch_seq t ~src ~dst in
+  { dst; hops = sq.hops; idx = 0; terminal = sq.terminal }
 
 let header_words h =
   let remaining = ref 2 in

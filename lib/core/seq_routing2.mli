@@ -23,6 +23,7 @@ type header
 val preprocess :
   ?substrate:Substrate.t ->
   ?eps:float ->
+  ?mode:[ `Dense | `Lazy ] ->
   Graph.t ->
   vicinities:Vicinity.t array ->
   parts:int array array ->
@@ -32,6 +33,18 @@ val preprocess :
 (** [preprocess g ~vicinities ~parts ~part_of ~dests] builds the sequences
     for every pair in [U_i x W_i]. [dests] must have the same length as
     [parts]. [eps] defaults to 0.5.
+
+    [mode] (default [`Dense]) picks the sequence store. [`Dense] is the
+    reference: every pair's sequence precomputed and kept, Theta(sum_i
+    |U_i| |W_i|) memory — fine at experimental sizes, quadratic death past
+    ~10^5. [`Lazy] precomputes nothing: a sequence is built on first use
+    from an early-stopped Dijkstra rooted at the destination (the build
+    only reads tree data strictly closer to the destination than the
+    source, so the truncated search is exact) and cached packed as int32
+    under a FIFO cap. Every routing decision is bit-identical between the
+    two modes — cache state never changes an answer — which the rt-scale
+    equivalence tests pin. Lazy [table_words]/[breakdown] count only the
+    resident vicinity entries.
     @raise Invalid_argument if [g] is disconnected, or if some vicinity
     misses some part (the Lemma's hitting hypothesis). *)
 
@@ -54,7 +67,9 @@ val eps : t -> float
 val table_words : t -> int array
 
 val max_sequence_hops : t -> int
-(** Longest stored sequence, in hops — the O((1/eps) log D) quantity. *)
+(** Longest stored sequence, in hops — the O((1/eps) log D) quantity. On a
+    lazy store this is the longest sequence {e built so far} (0 before any
+    query). *)
 
 val breakdown : t -> (string * int) list
 (** Aggregate space split: ["vicinities"], ["sequences"]. *)

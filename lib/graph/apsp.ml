@@ -29,8 +29,13 @@ let guard_quadratic ~who n =
           CR_QUADRATIC_MAX_N"
          who n limit)
 
-let compute ?pool g =
-  guard_quadratic ~who:"Apsp.compute" (Graph.n g);
+let compute ?caller ?pool g =
+  let who =
+    match caller with
+    | None -> "Apsp.compute"
+    | Some c -> Printf.sprintf "Apsp.compute (for %s)" c
+  in
+  guard_quadratic ~who (Graph.n g);
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   let n = Graph.n g in
   let d =

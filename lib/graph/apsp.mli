@@ -14,11 +14,14 @@ val guard_quadratic : who:string -> int -> unit
     full n-by-n matrix, so a million-vertex run fails fast with a clear
     message instead of OOM-ing. *)
 
-val compute : ?pool:Parallel.t -> Graph.t -> t
+val compute : ?caller:string -> ?pool:Parallel.t -> Graph.t -> t
 (** [compute g] runs a single-source search from every vertex (BFS when the
     graph is unit-weighted, Dijkstra otherwise), fanned out over [pool]
     (default {!Parallel.default}); the result is identical to a serial
-    run. @raise Failure past the {!guard_quadratic} threshold. *)
+    run. @raise Failure past the {!guard_quadratic} threshold — the
+    message names [caller] when given (e.g. ["rt-5eps oracle"]), so a
+    guard trip says {e which} workload requested the quadratic oracle,
+    not just that one did. *)
 
 val dist : t -> int -> int -> float
 (** [dist t u v] is d(u, v), or [infinity] when disconnected. *)

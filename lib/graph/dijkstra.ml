@@ -73,8 +73,15 @@ let reset ws =
 
    The edge scan dispatches on the storage representation once per call:
    [scan] is a closure bound to the concrete arrays (boxed or packed), so
-   the per-edge work stays free of representation tests. *)
-let run_core ws g s ~admit =
+   the per-edge work stays free of representation tests.
+
+   [stop_at] (default [-1], i.e. never) halts the search right after that
+   vertex is settled and scanned. The settled prefix is exactly the set of
+   vertices closer than [stop_at] under [(dist, id)] order, each with its
+   final distance and parent — the standard Dijkstra invariant — so a
+   caller that only reads vertices it knows settle before [stop_at] sees
+   data identical to a full run. *)
+let run_core ?(stop_at = -1) ws g s ~admit =
   ws.ws_gen <- ws.ws_gen + 1;
   let dist = ws.ws_dist
   and parent = ws.ws_parent
@@ -132,7 +139,8 @@ let run_core ws g s ~admit =
         settled.(u) <- true;
         order.(!count) <- u;
         incr count;
-        scan u d
+        scan u d;
+        if u = stop_at then continue := false
       end
       else dist.(u) <- infinity
       (* A rejected vertex keeps [infinity] so callers can treat it as
@@ -159,6 +167,12 @@ let with_tree ws g s ~admit f =
     (fun () -> f (borrowed_tree ws s count))
 
 let with_spt ws g s f = with_tree ws g s ~admit:(fun _ _ -> true) f
+
+let with_spt_until ws g s ~until f =
+  let count = run_core ~stop_at:until ws g s ~admit:(fun _ _ -> true) in
+  Fun.protect
+    ~finally:(fun () -> reset ws)
+    (fun () -> f (borrowed_tree ws s count))
 
 let with_restricted ws g w ~limit f =
   with_tree ws g w ~admit:(fun v d -> d < limit v) f

@@ -5,6 +5,7 @@ type t = {
   is_center : bool array;
   dist_to_a : float array;
   p_a : int array;
+  fparent : int array;
 }
 
 let of_centers g center_list =
@@ -18,10 +19,17 @@ let of_centers g center_list =
       is_center;
       dist_to_a = Array.make n infinity;
       p_a = Array.make n (-1);
+      fparent = Array.make n (-1);
     }
   else begin
     let m = Dijkstra.multi_source g (Array.to_list centers) in
-    { centers; is_center; dist_to_a = m.dist_to_set; p_a = m.nearest }
+    {
+      centers;
+      is_center;
+      dist_to_a = m.dist_to_set;
+      p_a = m.nearest;
+      fparent = m.mparent;
+    }
   end
 
 let cluster g t w =

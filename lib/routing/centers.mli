@@ -13,6 +13,11 @@ type t = {
   is_center : bool array;
   dist_to_a : float array;  (** [d(v, A)]; [infinity] if [A] is empty *)
   p_a : int array;          (** [p_A(v)], or [-1] *)
+  fparent : int array;
+      (** parent in the multi-source shortest-path forest toward [p_A(v)];
+          [-1] at centers, unreachable vertices, and when [A] is empty.
+          Following [fparent] from [v] walks a shortest path [v ~> p_A(v)],
+          so each forest edge [(fparent.(v), v)] lies on a shortest path. *)
 }
 
 val of_centers : Graph.t -> int list -> t

@@ -51,10 +51,12 @@ val spt : t -> int -> Dijkstra.tree
 val spt_tree : t -> int -> Tree_routing.t
 (** [Tree_routing.of_tree] of {!spt}, keyed by root. *)
 
-val vicinities : ?pool:Pool.t -> t -> int -> Vicinity.t array
-(** The vicinity family [B(u, l)] for all [u], keyed by [l]. [pool] is
-    used only on a miss; hits return the cached family regardless (the
-    result is pool-independent by the [Pool] determinism contract). *)
+val vicinities : ?pool:Pool.t -> ?packed:bool -> t -> int -> Vicinity.t array
+(** The vicinity family [B(u, l)] for all [u], keyed by [l]. [pool] and
+    [packed] are used only on a miss; hits return the cached family
+    regardless (the result is pool-independent by the [Pool] determinism
+    contract, and representation-independent because packed and boxed
+    families answer every accessor identically). *)
 
 val centers : t -> seed:int -> target:int -> Centers.t
 (** [Centers.sample], keyed by [(seed, target)]. *)

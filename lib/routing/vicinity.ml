@@ -1,6 +1,24 @@
 open Cr_graph
 
-type t = {
+(* Two physical representations behind one abstract [t]:
+
+   - [Boxed]: the original per-vertex record (member/dist/port arrays plus
+     a membership hashtable). Built by [compute]/[of_truncated] and by
+     [compute_all] in its default mode.
+   - [Slice]: one vertex's window into a packed {e family} — a single
+     int32/float64 Bigarray block of stride [l] shared by all n vicinities.
+     At l ~ n^(1/3) log n and n = 10^6 the boxed family costs hundreds of
+     bytes per member (boxed arrays, hashtable buckets); the packed family
+     is 16 B/member flat. Slices answer membership by a linear scan of at
+     most [l] entries — no per-vertex index — which is far below the cost
+     of the searches the answers feed, and keeps the family's memory at
+     exactly its payload.
+
+   Every accessor returns identical answers on both representations; the
+   packed builder runs the same [Dijkstra.truncated_ws] per source, so the
+   contents are bit-identical, not merely equivalent. *)
+
+type boxed = {
   source : int;
   members : int array;
   dists : float array;
@@ -8,6 +26,22 @@ type t = {
   first_ports : int array;      (* position-indexed *)
   radius : float;
 }
+
+type i32arr = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f64arr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type family = {
+  f_l : int;              (* stride: member capacity per vertex *)
+  f_len : int array;      (* actual member count per vertex *)
+  f_members : i32arr;     (* vertex u's members at [u*l .. u*l+len-1] *)
+  f_ports : i32arr;       (* first-hop ports, position-indexed *)
+  f_dists : f64arr;       (* distances, position-indexed *)
+  f_radius : float array; (* r_u(l) per vertex *)
+}
+
+type t = Boxed of boxed | Slice of family * int
+
+let fget (a : i32arr) i = Int32.to_int (Bigarray.Array1.get a i)
 
 (* r_u(l) for the prefix [dists.(0 .. k-1)] whose nearest excluded vertex
    sits at distance [nd] (Lemma 7 / Section 2 definition): the largest
@@ -25,115 +59,245 @@ let radius_below dists k nd =
   let rec scan i = if i < 0 then 0.0 else if dists.(i) < nd then dists.(i) else scan (i - 1) in
   scan (k - 1)
 
+let radius_of_truncated (tr : Dijkstra.truncated) =
+  let k = Array.length tr.vertices in
+  let max_dist = if k = 0 then 0.0 else tr.dists.(k - 1) in
+  match tr.next_dist with
+  | None ->
+    (* Nothing reachable was excluded: every realized distance class is
+       complete and the radius is the farthest member's distance. *)
+    max_dist
+  | Some nd -> if nd > max_dist then max_dist else radius_below tr.dists k nd
+
 let of_truncated (tr : Dijkstra.truncated) =
   let k = Array.length tr.vertices in
   let index = Hashtbl.create (2 * k) in
   Array.iteri (fun i v -> Hashtbl.replace index v i) tr.vertices;
-  let max_dist = if k = 0 then 0.0 else tr.dists.(k - 1) in
-  let radius =
-    match tr.next_dist with
-    | None ->
-      (* Nothing reachable was excluded: every realized distance class is
-         complete and the radius is the farthest member's distance. *)
-      max_dist
-    | Some nd -> if nd > max_dist then max_dist else radius_below tr.dists k nd
-  in
-  {
-    source = tr.src;
-    members = tr.vertices;
-    dists = tr.dists;
-    index;
-    first_ports = tr.first_ports;
-    radius;
-  }
+  Boxed
+    {
+      source = tr.src;
+      members = tr.vertices;
+      dists = tr.dists;
+      index;
+      first_ports = tr.first_ports;
+      radius = radius_of_truncated tr;
+    }
 
 let compute g u l = of_truncated (Dijkstra.truncated g u l)
 
-let compute_all ?pool g l =
+let compute_all ?pool ?(packed = false) g l =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let n = Graph.n g in
-  Pool.map_local pool ~n
-    ~local:(fun () -> Dijkstra.workspace n)
-    (fun ws u -> of_truncated (Dijkstra.truncated_ws ws g u l))
+  if not packed then
+    Pool.map_local pool ~n
+      ~local:(fun () -> Dijkstra.workspace n)
+      (fun ws u -> of_truncated (Dijkstra.truncated_ws ws g u l))
+  else begin
+    let l = max l 1 in
+    let cap = n * l in
+    let fam =
+      {
+        f_l = l;
+        f_len = Array.make n 0;
+        f_members = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout cap;
+        f_ports = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout cap;
+        f_dists = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout cap;
+        f_radius = Array.make n 0.0;
+      }
+    in
+    (* Same per-source truncated search as the boxed path; each source owns
+       the disjoint stride [u*l .. u*l + l - 1], so the parallel fill is
+       race-free and the family contents do not depend on scheduling. *)
+    Pool.iter_local pool ~n
+      ~local:(fun () -> Dijkstra.workspace n)
+      (fun ws u ->
+        let tr = Dijkstra.truncated_ws ws g u l in
+        let k = Array.length tr.Dijkstra.vertices in
+        let base = u * l in
+        for i = 0 to k - 1 do
+          Bigarray.Array1.set fam.f_members (base + i)
+            (Int32.of_int tr.Dijkstra.vertices.(i));
+          Bigarray.Array1.set fam.f_ports (base + i)
+            (Int32.of_int tr.Dijkstra.first_ports.(i));
+          Bigarray.Array1.set fam.f_dists (base + i) tr.Dijkstra.dists.(i)
+        done;
+        fam.f_len.(u) <- k;
+        fam.f_radius.(u) <- radius_of_truncated tr);
+    Array.init n (fun u -> Slice (fam, u))
+  end
 
-let source b = b.source
+let source = function Boxed b -> b.source | Slice (_, u) -> u
 
-let size b = Array.length b.members
+let size = function
+  | Boxed b -> Array.length b.members
+  | Slice (fam, u) -> fam.f_len.(u)
 
-let mem b v = Hashtbl.mem b.index v
-
-let position b v =
-  match Hashtbl.find_opt b.index v with
-  | Some i -> i
-  | None -> raise Not_found
-
-let dist b v = b.dists.(position b v)
-
-let first_port b v =
-  let i = position b v in
-  if b.members.(i) = b.source then invalid_arg "Vicinity.first_port: source";
-  b.first_ports.(i)
-
-let radius b = b.radius
-
-let members b = b.members
-
-let max_dist b =
-  let k = Array.length b.dists in
-  if k = 0 then 0.0 else b.dists.(k - 1)
-
-let rank b v = Hashtbl.find_opt b.index v
-
-let prefix_radius b l' =
-  let k = Array.length b.dists in
-  if l' >= k then b.radius
-  else if l' <= 0 then 0.0
-  else
-    (* The nearest excluded vertex of the prefix is member l'. *)
-    radius_below b.dists l' b.dists.(l')
-
-let nearest_of b pred =
-  (* Members are already in (dist, id) order. *)
+(* Position of [v] in a slice, or -1: a forward scan of at most [l]
+   entries, in (dist, id) order like the boxed arrays. *)
+let slice_pos fam u v =
+  let base = u * fam.f_l and k = fam.f_len.(u) in
   let rec scan i =
-    if i >= Array.length b.members then None
-    else if pred b.members.(i) then Some b.members.(i)
+    if i >= k then -1
+    else if fget fam.f_members (base + i) = v then i
     else scan (i + 1)
   in
   scan 0
 
+let mem b v =
+  match b with
+  | Boxed b -> Hashtbl.mem b.index v
+  | Slice (fam, u) -> slice_pos fam u v >= 0
+
+let position b v =
+  match b with
+  | Boxed b -> (
+    match Hashtbl.find_opt b.index v with
+    | Some i -> i
+    | None -> raise Not_found)
+  | Slice (fam, u) ->
+    let i = slice_pos fam u v in
+    if i < 0 then raise Not_found else i
+
+let dist b v =
+  match b with
+  | Boxed bx -> bx.dists.(position b v)
+  | Slice (fam, u) -> Bigarray.Array1.get fam.f_dists ((u * fam.f_l) + position b v)
+
+let first_port b v =
+  let i = position b v in
+  if v = source b then invalid_arg "Vicinity.first_port: source";
+  match b with
+  | Boxed b -> b.first_ports.(i)
+  | Slice (fam, u) -> fget fam.f_ports ((u * fam.f_l) + i)
+
+let radius = function Boxed b -> b.radius | Slice (fam, u) -> fam.f_radius.(u)
+
+let members = function
+  | Boxed b -> b.members
+  | Slice (fam, u) ->
+    let base = u * fam.f_l in
+    Array.init fam.f_len.(u) (fun i -> fget fam.f_members (base + i))
+
+let max_dist = function
+  | Boxed b ->
+    let k = Array.length b.dists in
+    if k = 0 then 0.0 else b.dists.(k - 1)
+  | Slice (fam, u) ->
+    let k = fam.f_len.(u) in
+    if k = 0 then 0.0 else Bigarray.Array1.get fam.f_dists ((u * fam.f_l) + k - 1)
+
+let rank b v =
+  match b with
+  | Boxed b -> Hashtbl.find_opt b.index v
+  | Slice (fam, u) ->
+    let i = slice_pos fam u v in
+    if i < 0 then None else Some i
+
+let prefix_radius b l' =
+  let k = size b in
+  if l' >= k then radius b
+  else if l' <= 0 then 0.0
+  else
+    (* The nearest excluded vertex of the prefix is member l'. *)
+    match b with
+    | Boxed b -> radius_below b.dists l' b.dists.(l')
+    | Slice (fam, u) ->
+      let base = u * fam.f_l in
+      let d i = Bigarray.Array1.get fam.f_dists (base + i) in
+      let nd = d l' in
+      let rec scan i = if i < 0 then 0.0 else if d i < nd then d i else scan (i - 1) in
+      scan (l' - 1)
+
+let nearest_of b pred =
+  (* Members are already in (dist, id) order. *)
+  match b with
+  | Boxed b ->
+    let rec scan i =
+      if i >= Array.length b.members then None
+      else if pred b.members.(i) then Some b.members.(i)
+      else scan (i + 1)
+    in
+    scan 0
+  | Slice (fam, u) ->
+    let base = u * fam.f_l and k = fam.f_len.(u) in
+    let rec scan i =
+      if i >= k then None
+      else
+        let v = fget fam.f_members (base + i) in
+        if pred v then Some v else scan (i + 1)
+    in
+    scan 0
+
 let step vicinities ~at ~dst = first_port vicinities.(at) dst
 
+(* A slice is re-boxed before remapping: delta invalidation only touches
+   small survivable vicinities, and the family block must stay immutable —
+   its other slices still describe the old graph. *)
+let to_boxed b =
+  match b with
+  | Boxed bx -> bx
+  | Slice (fam, u) ->
+    let base = u * fam.f_l and k = fam.f_len.(u) in
+    let members = Array.init k (fun i -> fget fam.f_members (base + i)) in
+    let index = Hashtbl.create (2 * k) in
+    Array.iteri (fun i v -> Hashtbl.replace index v i) members;
+    {
+      source = u;
+      members;
+      dists = Array.init k (fun i -> Bigarray.Array1.get fam.f_dists (base + i));
+      index;
+      first_ports = Array.init k (fun i -> fget fam.f_ports (base + i));
+      radius = fam.f_radius.(u);
+    }
+
 let remap_ports b f =
-  {
-    b with
-    first_ports = Array.map (fun p -> if p < 0 then p else f p) b.first_ports;
-  }
+  let bx = to_boxed b in
+  Boxed
+    {
+      bx with
+      first_ports = Array.map (fun p -> if p < 0 then p else f p) bx.first_ports;
+    }
 
 (* --- compiled form ------------------------------------------------------
 
    [first_port] is the hot lookup of every Via hop; the compiled form
    replaces the membership hashtable with a compiled member->position map
    (direct or binary-searched int arrays, see [Compiled]) and shares the
-   member/port arrays with the interpreted structure. *)
+   member/port arrays with the interpreted structure. A packed slice is
+   already flat — compiling it shares the family outright and keeps the
+   linear scan, which at [l] entries is cheaper than materializing n
+   per-vertex maps ever pays back. *)
 
-type compiled = {
-  c_index : Compiled.Intmap.t; (* member -> position, as [index] *)
-  c_source : int;
-  c_members : int array;       (* shared with the interpreted form *)
-  c_first_ports : int array;
-}
+type compiled =
+  | CBoxed of {
+      c_index : Compiled.Intmap.t; (* member -> position, as [index] *)
+      c_source : int;
+      c_members : int array;       (* shared with the interpreted form *)
+      c_first_ports : int array;
+    }
+  | CSlice of family * int
 
-let compile b =
-  {
-    c_index = Compiled.Intmap.of_pairs (Array.mapi (fun i v -> (v, i)) b.members);
-    c_source = b.source;
-    c_members = b.members;
-    c_first_ports = b.first_ports;
-  }
+let compile = function
+  | Boxed b ->
+    CBoxed
+      {
+        c_index = Compiled.Intmap.of_pairs (Array.mapi (fun i v -> (v, i)) b.members);
+        c_source = b.source;
+        c_members = b.members;
+        c_first_ports = b.first_ports;
+      }
+  | Slice (fam, u) -> CSlice (fam, u)
 
 let first_port_c c v =
-  let i = Compiled.Intmap.find c.c_index v in
-  if c.c_members.(i) = c.c_source then invalid_arg "Vicinity.first_port: source";
-  c.c_first_ports.(i)
+  match c with
+  | CBoxed c ->
+    let i = Compiled.Intmap.find c.c_index v in
+    if c.c_members.(i) = c.c_source then invalid_arg "Vicinity.first_port: source";
+    c.c_first_ports.(i)
+  | CSlice (fam, u) ->
+    let i = slice_pos fam u v in
+    if i < 0 then raise Not_found;
+    if v = u then invalid_arg "Vicinity.first_port: source";
+    fget fam.f_ports ((u * fam.f_l) + i)
 
 let step_c vicinities ~at ~dst = first_port_c vicinities.(at) dst

@@ -15,11 +15,19 @@ type t
 val compute : Graph.t -> int -> int -> t
 (** [compute g u l] is the vicinity [B(u, l)] (clamped to the component). *)
 
-val compute_all : ?pool:Pool.t -> Graph.t -> int -> t array
+val compute_all : ?pool:Pool.t -> ?packed:bool -> Graph.t -> int -> t array
 (** [compute_all g l] is [B(u, l)] for every vertex, indexed by vertex.
     The per-source truncated searches run on [pool] (default
     {!Pool.default}) with one reusable [Dijkstra.workspace] per domain;
-    the result is identical to computing each vicinity serially. *)
+    the result is identical to computing each vicinity serially.
+
+    With [~packed:true] the family is stored as one shared int32/float64
+    Bigarray block (16 B per member instead of boxed arrays plus a
+    hashtable per vertex — the difference between ~32 GB and out-of-memory
+    at n = 10^6, l ~ 2000). The searches are the same ones, so every
+    accessor answers bit-identically; membership lookups become linear
+    scans of at most [l] entries. Each vertex fills its own disjoint
+    stride, so the parallel fill is deterministic too. *)
 
 val source : t -> int
 
@@ -42,7 +50,9 @@ val radius : t -> float
     (paper Section 2). *)
 
 val members : t -> int array
-(** Members in [(dist, id)] order; [members.(0)] is the source. *)
+(** Members in [(dist, id)] order; [members.(0)] is the source. On a
+    packed vicinity the array is materialized per call — treat it as
+    read-only and don't rely on physical identity across calls. *)
 
 val max_dist : t -> float
 (** Distance of the farthest member. *)

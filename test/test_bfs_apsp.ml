@@ -160,6 +160,12 @@ let test_quadratic_guard () =
            false
          with Failure msg ->
            contains msg "Apsp.compute" && contains msg "CR_ALLOW_QUADRATIC");
+      checkb "the guard message names the caller" true
+        (try
+           ignore (Apsp.compute ~caller:"rt-5eps stats oracle" g);
+           false
+         with Failure msg ->
+           contains msg "Apsp.compute (for rt-5eps stats oracle)");
       checkb "Full_tables.preprocess trips too" true
         (try
            ignore (Cr_baselines.Full_tables.preprocess g);

@@ -27,6 +27,7 @@ let () =
       ("bits", Test_bits.suite);
       ("compiled", Test_compiled.suite);
       ("parallel", Test_parallel.suite);
+      ("rt-scale", Test_rt_scale.suite);
       ("delta", Test_delta.suite);
       ("telemetry", Test_telemetry.suite);
       ("traffic", Test_traffic.suite);

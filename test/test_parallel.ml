@@ -158,6 +158,38 @@ let test_tz_scheme_identical () =
       checkb "same route" true (o1 = o2))
     (Scheme.sample_pairs ~seed:7 ~n:(Graph.n g) ~count:120)
 
+(* The batched query engines over a lazy rt instance: the mutex-guarded
+   on-demand stores are filled concurrently by the worker domains, in a
+   schedule-dependent order — the evals must still be bit-identical to the
+   1-domain run, and to the serial reference evaluate, on both planes. *)
+let test_lazy_rt_eval_identical () =
+  let g =
+    Generators.with_random_weights ~seed:23 ~lo:0.5 ~hi:4.0
+      (Generators.power_law ~seed:24 600)
+  in
+  let t = Cr_core.Scheme5eps.preprocess ~mode:`Lazy ~seed:31 g in
+  let inst = Cr_core.Scheme5eps.instance t in
+  let pairs = Scheme.sample_pairs ~seed:7 ~n:(Graph.n g) ~count:400 in
+  let apsp = Apsp.compute g in
+  let sampled =
+    List.map (fun (u, v) -> ((u, v), Apsp.dist apsp u v)) pairs
+  in
+  List.iter
+    (fun fast ->
+      let tag = if fast then "fast" else "interpreted" in
+      let b1 = Scheme.evaluate_batch ~pool:(serial ()) ~fast inst apsp pairs in
+      let b4 = Scheme.evaluate_batch ~pool:(wide ()) ~fast inst apsp pairs in
+      checkb (tag ^ " batch 1 = 4 domains") true (b1 = b4);
+      let s1 = Scheme.evaluate_sampled ~pool:(serial ()) ~fast inst sampled in
+      let s4 = Scheme.evaluate_sampled ~pool:(wide ()) ~fast inst sampled in
+      checkb (tag ^ " sampled 1 = 4 domains") true (s1 = s4);
+      checkb (tag ^ " batch = sampled") true (b1 = s1))
+    [ false; true ];
+  let reference = Scheme.evaluate inst apsp pairs in
+  checkb "interpreted batch = serial evaluate" true
+    (Scheme.evaluate_batch ~pool:(wide ()) ~fast:false inst apsp pairs
+    = reference)
+
 (* --- Workspace reuse == fresh runs --- *)
 
 let test_workspace_reuse_spt () =
@@ -244,6 +276,8 @@ let suite =
     case "n=0 and n=1 graphs" test_empty_and_singleton;
     case "deterministic zoo identical" test_zoo_identical;
     case "TZ scheme: parallel build routes identically" test_tz_scheme_identical;
+    case "lazy rt instance: batched evals identical across domains"
+      test_lazy_rt_eval_identical;
     case "workspace reuse: spt" test_workspace_reuse_spt;
     case "workspace reuse: truncated" test_workspace_reuse_truncated;
     case "workspace reuse: restricted" test_workspace_reuse_restricted;

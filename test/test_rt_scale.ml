@@ -1,0 +1,284 @@
+(* The rt-scale equivalence tier: the lazy/truncated substrates behind the
+   schemes' [`Lazy] mode (packed vicinities, on-demand cluster trees and
+   color representatives, FIFO-capped sequence caches) must make every
+   routing decision bit-identically to the eager reference construction,
+   on both the interpreted and compiled planes — and the paper stretch
+   bounds must hold at sizes the eager paths cannot reach, with the
+   offending pair named on failure. *)
+open Util
+open Cr_graph
+open Cr_routing
+open Cr_core
+
+let all_pairs n =
+  List.concat_map
+    (fun u -> List.filter_map (fun v -> if u <> v then Some (u, v) else None)
+        (List.init n Fun.id))
+    (List.init n Fun.id)
+
+(* Full outcome equality (verdict, final, path, length, hops, header peak):
+   the modes must agree bit for bit, not just on delivery. *)
+let compare_modes name ~eager ~lazy_ pairs =
+  List.iter
+    (fun (u, v) ->
+      let oe = Scheme.route eager ~src:u ~dst:v in
+      let ol = Scheme.route lazy_ ~src:u ~dst:v in
+      if oe <> ol then
+        Alcotest.failf "%s: interpreted planes diverge on (src=%d, dst=%d)"
+          name u v;
+      let fe = Scheme.route_fast eager ~src:u ~dst:v in
+      if oe <> fe then
+        Alcotest.failf "%s: eager compiled plane diverges on (src=%d, dst=%d)"
+          name u v;
+      let fl = Scheme.route_fast lazy_ ~src:u ~dst:v in
+      if oe <> fl then
+        Alcotest.failf "%s: lazy compiled plane diverges on (src=%d, dst=%d)"
+          name u v)
+    pairs
+
+(* Replaying the same pairs must also be identical — the second pass is
+   all cache hits on the lazy side, so this pins hit-path = miss-path. *)
+let compare_replay name ~lazy_ pairs =
+  let first = List.map (fun (u, v) -> Scheme.route lazy_ ~src:u ~dst:v) pairs in
+  List.iter2
+    (fun (u, v) o1 ->
+      let o2 = Scheme.route lazy_ ~src:u ~dst:v in
+      if o1 <> o2 then
+        Alcotest.failf "%s: lazy replay diverges on (src=%d, dst=%d)" name u v)
+    pairs first
+
+let sampled g =
+  List.map fst (Workload.sampled_pairs ~seed:5 ~sources:24 ~per_source:16 g)
+
+(* --- Theorem 11 (5+eps) --- *)
+
+let test_5eps_all_pairs () =
+  let g =
+    Generators.with_random_weights ~seed:3 ~lo:0.5 ~hi:4.0
+      (Generators.power_law ~seed:21 256)
+  in
+  let eager =
+    Scheme5eps.instance (Scheme5eps.preprocess ~mode:`Eager ~seed:31 g)
+  in
+  let lazy_ =
+    Scheme5eps.instance (Scheme5eps.preprocess ~mode:`Lazy ~seed:31 g)
+  in
+  compare_modes "rt-5eps n=256" ~eager ~lazy_ (all_pairs 256);
+  compare_replay "rt-5eps n=256" ~lazy_ (sampled g)
+
+let test_5eps_sampled_2000 () =
+  let g =
+    Generators.with_random_weights ~seed:4 ~lo:0.5 ~hi:4.0
+      (Generators.power_law ~seed:22 2000)
+  in
+  let eager =
+    Scheme5eps.instance (Scheme5eps.preprocess ~mode:`Eager ~seed:31 g)
+  in
+  let lazy_ =
+    Scheme5eps.instance (Scheme5eps.preprocess ~mode:`Lazy ~seed:31 g)
+  in
+  compare_modes "rt-5eps n=2000" ~eager ~lazy_ (sampled g)
+
+(* --- Theorem 16 (4k-7, k=3) --- *)
+
+let test_4km7_all_pairs () =
+  let g =
+    Generators.with_random_weights ~seed:6 ~lo:0.5 ~hi:4.0
+      (Generators.power_law ~seed:23 220)
+  in
+  let eager =
+    Scheme4km7.instance (Scheme4km7.preprocess ~mode:`Eager ~seed:31 g ~k:3)
+  in
+  let lazy_ =
+    Scheme4km7.instance (Scheme4km7.preprocess ~mode:`Lazy ~seed:31 g ~k:3)
+  in
+  compare_modes "rt-4km7-k3 n=220" ~eager ~lazy_ (all_pairs 220)
+
+let test_4km7_sampled_2000 () =
+  let g =
+    Generators.with_random_weights ~seed:7 ~lo:0.5 ~hi:4.0
+      (Generators.power_law ~seed:24 2000)
+  in
+  let eager =
+    Scheme4km7.instance (Scheme4km7.preprocess ~mode:`Eager ~seed:31 g ~k:3)
+  in
+  let lazy_ =
+    Scheme4km7.instance (Scheme4km7.preprocess ~mode:`Lazy ~seed:31 g ~k:3)
+  in
+  compare_modes "rt-4km7-k3 n=2000" ~eager ~lazy_ (sampled g)
+
+(* --- Theorem 10 ((2+eps, 1), unweighted): lazy Lemma 7 store --- *)
+
+let test_2eps1_all_pairs () =
+  let g = Generators.power_law ~seed:25 240 in
+  let eager =
+    Scheme2eps1.instance (Scheme2eps1.preprocess ~mode:`Eager ~seed:31 g)
+  in
+  let lazy_ =
+    Scheme2eps1.instance (Scheme2eps1.preprocess ~mode:`Lazy ~seed:31 g)
+  in
+  compare_modes "rt-2eps1 n=240" ~eager ~lazy_ (all_pairs 240)
+
+(* --- random-graph properties (CSR-seeded generators) --- *)
+
+let prop_5eps_modes_identical =
+  qcheck ~count:10 "rt-5eps lazy = eager on random graphs"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let n = Graph.n g in
+      let eager =
+        Scheme5eps.instance (Scheme5eps.preprocess ~mode:`Eager ~seed g)
+      in
+      let lazy_ =
+        Scheme5eps.instance (Scheme5eps.preprocess ~mode:`Lazy ~seed g)
+      in
+      compare_modes "rt-5eps random" ~eager ~lazy_ (all_pairs n);
+      true)
+
+let prop_4km7_modes_identical =
+  qcheck ~count:8 "rt-4km7-k3 lazy = eager on random graphs"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let n = Graph.n g in
+      let eager =
+        Scheme4km7.instance (Scheme4km7.preprocess ~mode:`Eager ~seed g ~k:3)
+      in
+      let lazy_ =
+        Scheme4km7.instance (Scheme4km7.preprocess ~mode:`Lazy ~seed g ~k:3)
+      in
+      compare_modes "rt-4km7-k3 random" ~eager ~lazy_ (all_pairs n);
+      true)
+
+(* --- packed vicinity representation --- *)
+
+(* The packed (int32/float64 Bigarray) family must answer every accessor
+   identically to the boxed reference — the schemes' lazy mode routes over
+   slices of it. *)
+let test_packed_vicinities_identical () =
+  let g =
+    Generators.with_random_weights ~seed:8 ~lo:0.5 ~hi:4.0
+      (Generators.power_law ~seed:26 500)
+  in
+  let n = Graph.n g in
+  let l = 24 in
+  let boxed = Vicinity.compute_all ~packed:false g l in
+  let packed = Vicinity.compute_all ~packed:true g l in
+  let packed_c = Array.map Vicinity.compile packed in
+  for u = 0 to n - 1 do
+    let b = boxed.(u) and p = packed.(u) in
+    checki "source" (Vicinity.source b) (Vicinity.source p);
+    checki "size" (Vicinity.size b) (Vicinity.size p);
+    checkb "members" true (Vicinity.members b = Vicinity.members p);
+    checkf "radius" (Vicinity.radius b) (Vicinity.radius p);
+    checkf "max_dist" (Vicinity.max_dist b) (Vicinity.max_dist p);
+    Array.iter
+      (fun v ->
+        checkb "mem" true (Vicinity.mem p v);
+        checkf "dist" (Vicinity.dist b v) (Vicinity.dist p v);
+        checkb "rank" true (Vicinity.rank b v = Vicinity.rank p v);
+        if v <> u then begin
+          checki "first_port" (Vicinity.first_port b v) (Vicinity.first_port p v);
+          checki "first_port_c" (Vicinity.first_port b v)
+            (Vicinity.first_port_c packed_c.(u) v)
+        end)
+      (Vicinity.members b);
+    let pred v = v land 1 = 0 in
+    checkb "nearest_of" true
+      (Vicinity.nearest_of b pred = Vicinity.nearest_of p pred)
+  done;
+  (* The Lemma 2 forwarding decision over the two representations (and the
+     compiled slices). *)
+  let boxed_c = Array.map Vicinity.compile boxed in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        if v <> u then begin
+          let p = Vicinity.step boxed ~at:u ~dst:v in
+          checki "step" p (Vicinity.step packed ~at:u ~dst:v);
+          checki "step_c boxed" p (Vicinity.step_c boxed_c ~at:u ~dst:v);
+          checki "step_c packed" p (Vicinity.step_c packed_c ~at:u ~dst:v)
+        end)
+      (Vicinity.members boxed.(u))
+  done
+
+(* --- stretch bounds at scale (the lazy-only sizes) --- *)
+
+(* Route a sampled workload and hold every pair to the proven
+   [(alpha, beta)] guarantee; a violation fails with the offending
+   (src, dst, stretch) triple. *)
+let check_bounds name inst (alpha, beta) pairs =
+  List.iter
+    (fun ((u, v), d) ->
+      let o = Scheme.route inst ~src:u ~dst:v in
+      if not (Port_model.delivered o && o.Port_model.final = v) then
+        Alcotest.failf "%s: (src=%d, dst=%d) not delivered" name u v;
+      if o.Port_model.length > (alpha *. d) +. beta +. 1e-9 then
+        Alcotest.failf
+          "%s: bound violated on (src=%d, dst=%d): length %.6f > %.2f * %.6f \
+           + %.2f (stretch %.4f)"
+          name u v o.Port_model.length alpha d beta (o.Port_model.length /. d))
+    pairs
+
+let test_5eps_bound_lazy () =
+  let g =
+    Generators.with_random_weights ~seed:9 ~lo:0.5 ~hi:4.0
+      (Generators.power_law ~seed:27 3000)
+  in
+  let t = Scheme5eps.preprocess ~mode:`Lazy ~seed:31 g in
+  check_bounds "rt-5eps lazy n=3000" (Scheme5eps.instance t)
+    (Scheme5eps.stretch_bound t)
+    (Workload.sampled_pairs ~seed:5 ~sources:24 ~per_source:16 g)
+
+let test_4km7_bound_lazy () =
+  let g =
+    Generators.with_random_weights ~seed:10 ~lo:0.5 ~hi:4.0
+      (Generators.power_law ~seed:28 3000)
+  in
+  let t = Scheme4km7.preprocess ~mode:`Lazy ~seed:31 g ~k:3 in
+  check_bounds "rt-4km7-k3 lazy n=3000" (Scheme4km7.instance t)
+    (Scheme4km7.stretch_bound t)
+    (Workload.sampled_pairs ~seed:5 ~sources:24 ~per_source:16 g)
+
+let test_2eps1_bound_lazy () =
+  let g = Generators.power_law ~seed:29 1500 in
+  let t = Scheme2eps1.preprocess ~mode:`Lazy ~seed:31 g in
+  check_bounds "rt-2eps1 lazy n=1500" (Scheme2eps1.instance t)
+    (Scheme2eps1.stretch_bound t)
+    (Workload.sampled_pairs ~seed:5 ~sources:24 ~per_source:16 g)
+
+let prop_5eps_bound_random =
+  qcheck ~count:10 "rt-5eps bound holds, offending pair named"
+    QCheck2.Gen.(
+      let* g = arb_weighted_connected_graph in
+      let* seed = int_range 0 500 in
+      return (g, seed))
+    (fun (g, seed) ->
+      let t = Scheme5eps.preprocess ~mode:`Lazy ~seed g in
+      let apsp = Apsp.compute g in
+      let n = Graph.n g in
+      check_bounds "rt-5eps random" (Scheme5eps.instance t)
+        (Scheme5eps.stretch_bound t)
+        (List.map (fun (u, v) -> ((u, v), Apsp.dist apsp u v)) (all_pairs n));
+      true)
+
+let suite =
+  [
+    case "rt-5eps lazy = eager, all pairs n=256" test_5eps_all_pairs;
+    case "rt-5eps lazy = eager, sampled n=2000" test_5eps_sampled_2000;
+    case "rt-4km7-k3 lazy = eager, all pairs n=220" test_4km7_all_pairs;
+    case "rt-4km7-k3 lazy = eager, sampled n=2000" test_4km7_sampled_2000;
+    case "rt-2eps1 lazy = eager, all pairs n=240" test_2eps1_all_pairs;
+    prop_5eps_modes_identical;
+    prop_4km7_modes_identical;
+    case "packed vicinities answer like boxed" test_packed_vicinities_identical;
+    case "rt-5eps bound on lazy tier (n=3000)" test_5eps_bound_lazy;
+    case "rt-4km7-k3 bound on lazy tier (n=3000)" test_4km7_bound_lazy;
+    case "rt-2eps1 bound on lazy tier (n=1500)" test_2eps1_bound_lazy;
+    prop_5eps_bound_random;
+  ]
