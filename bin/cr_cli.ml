@@ -608,9 +608,10 @@ let schemes_opt_arg =
    open-loop Zipf workload, with steady-state telemetry windows, optional
    mid-run fault churn, optional topology churn with hot-swap repair, and
    SLO thresholds that decide the exit code. *)
-let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
-    domains chunk no_pace churn_every churn_rate churn_vertex_rate topo_every
-    topo_ops repair_deadline strict window slo_p99 slo_rps csv_out =
+let serve_impl graph_file schemes_opt seed eps snapshot_dir duration rate
+    queries zipf domains chunk no_pace churn_every churn_rate
+    churn_vertex_rate topo_every topo_ops repair_deadline strict window
+    slo_p99 slo_rps csv_out =
   let g = or_die (load_graph graph_file) in
   let entries = resolve_entries g schemes_opt in
   if entries = [] then or_die (Error "no schemes to serve");
@@ -629,7 +630,28 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
   let instances, build_t =
     wall (fun () ->
         List.map
-          (fun e -> fst (e.Catalog.build ~substrate ~seed ~eps g))
+          (fun e ->
+            match snapshot_dir with
+            | None -> fst (e.Catalog.build ~substrate ~seed ~eps g)
+            | Some dir ->
+              (* Warm start: memory-map the compiled planes back instead of
+                 re-running preprocessing; any validation failure falls
+                 back to a fresh (bit-identical) build. *)
+              let (inst, _), how =
+                Catalog.load_or_build ~substrate ~dir ~seed ~eps g e
+              in
+              (match how with
+              | `Loaded ->
+                Printf.printf "  %-18s warm-start from %s\n%!" e.Catalog.id
+                  (Catalog.snapshot_path ~dir e)
+              | `Built None ->
+                Printf.printf "  %-18s no snapshot on disk, built fresh\n%!"
+                  e.Catalog.id
+              | `Built (Some err) ->
+                Printf.printf "  %-18s snapshot rejected (%s), built fresh\n%!"
+                  e.Catalog.id
+                  (Snapshot.error_to_string err));
+              inst)
           entries)
   in
   let churn =
@@ -938,6 +960,16 @@ let serve_impl graph_file schemes_opt seed eps duration rate queries zipf
   else 0
 
 let serve_cmd =
+  let snapshot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Warm-start from $(b,cr_cli compile) snapshots in DIR: schemes \
+             with a valid $(i,<id>.snap) are memory-mapped back instead of \
+             rebuilt; missing or rejected files fall back to a fresh build.")
+  in
   let duration =
     Arg.(
       value & opt float 10.0
@@ -1074,9 +1106,157 @@ let serve_cmd =
           (hot-swap repair) and SLO checks")
     Term.(
       const serve_impl $ graph_arg $ schemes_opt_arg $ seed_arg $ eps_arg
-      $ duration $ rate $ queries $ zipf $ domains $ chunk $ no_pace
-      $ churn_every $ churn_rate $ churn_vertex_rate $ topo_every $ topo_ops
-      $ repair_deadline $ strict $ window $ slo_p99 $ slo_rps $ csv_out)
+      $ snapshot_dir $ duration $ rate $ queries $ zipf $ domains $ chunk
+      $ no_pace $ churn_every $ churn_rate $ churn_vertex_rate $ topo_every
+      $ topo_ops $ repair_deadline $ strict $ window $ slo_p99 $ slo_rps
+      $ csv_out)
+
+(* ------------------------------------------------------------------ *)
+(* compile / load                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the selected catalog entries once and write each as a versioned
+   binary snapshot under the output directory: the files cr_cli load and
+   serve --snapshot-dir warm-start from. *)
+let compile_impl graph_file schemes_opt seed eps out_dir =
+  let g = or_die (load_graph graph_file) in
+  let entries = resolve_entries g schemes_opt in
+  if entries = [] then or_die (Error "no schemes to compile");
+  if not (Sys.file_exists out_dir) then
+    (try Unix.mkdir out_dir 0o755
+     with Unix.Unix_error (e, _, _) ->
+       or_die
+         (Error
+            (Printf.sprintf "cannot create %s: %s" out_dir
+               (Unix.error_message e))));
+  if not (Sys.is_directory out_dir) then
+    or_die (Error (Printf.sprintf "%s is not a directory" out_dir));
+  Format.printf "compiling %d scheme(s) on %a -> %s@." (List.length entries)
+    Graph.pp g out_dir;
+  let substrate = Substrate.create g in
+  let failed = ref 0 in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      match
+        try
+          let r, t =
+            wall (fun () ->
+                Catalog.save_entry ~substrate ~dir:out_dir ~seed ~eps g e)
+          in
+          Result.map (fun path -> (path, t)) r
+          |> Result.map_error Snapshot.error_to_string
+        with Invalid_argument m -> Error m
+      with
+      | Ok (path, t) ->
+        let bytes = (Unix.stat path).Unix.st_size in
+        Printf.printf "  %-18s %10d bytes  %8.1f B/vertex  %7.2fs  %s\n%!"
+          e.Catalog.id bytes
+          (float_of_int bytes /. float_of_int (Graph.n g))
+          t path
+      | Error m ->
+        incr failed;
+        Printf.printf "  %-18s FAILED: %s\n%!" e.Catalog.id m)
+    entries;
+  if !failed > 0 then 1 else 0
+
+let compile_cmd =
+  let out_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"DIR"
+          ~doc:"Directory for the $(i,<id>.snap) files (created if missing).")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Preprocess schemes and write each as a versioned binary snapshot")
+    Term.(
+      const compile_impl $ graph_arg $ schemes_opt_arg $ seed_arg $ eps_arg
+      $ out_dir)
+
+(* Load snapshots back with strict validation and (by default) pin each
+   reconstructed instance against a fresh build on a routed pair sample.
+   Exit codes: 0 all ok, 1 a snapshot failed to load, 2 a loaded instance
+   diverged from the fresh build — the worst outcome dominates. *)
+let load_impl graph_file schemes_opt seed eps dir pairs_n no_verify =
+  let g = or_die (load_graph graph_file) in
+  let entries = resolve_entries g schemes_opt in
+  if entries = [] then or_die (Error "no schemes to load");
+  (* APSP-free identity probes: sampled source SPTs scale to graphs far
+     past the quadratic-oracle threshold, and both instances see the same
+     ((src, dst), distance) list. *)
+  let sampled =
+    lazy
+      (Workload.sampled_pairs ~seed:(seed + 6)
+         ~sources:(max 1 ((pairs_n + 31) / 32))
+         ~per_source:(min 32 (max 1 pairs_n))
+         g)
+  in
+  let substrate = Substrate.create g in
+  let load_err = ref false and diverged = ref false in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let path = Catalog.snapshot_path ~dir e in
+      match
+        wall (fun () ->
+            Catalog.load_entry ~verify:(not no_verify) ~path ~seed ~eps g e)
+      with
+      | Error err, _ ->
+        load_err := true;
+        Printf.printf "  %-18s FAILED: %s\n%!" e.Catalog.id
+          (Snapshot.error_to_string err)
+      | Ok (inst, _), t_load ->
+        if pairs_n <= 0 then
+          Printf.printf "  %-18s loaded in %.3fs\n%!" e.Catalog.id t_load
+        else begin
+          (* Identity pin: the snapshot must answer exactly like the build
+             it replaced — same paths, same lengths, same verdicts. *)
+          let (fresh, _), t_build =
+            wall (fun () -> e.Catalog.build ~substrate ~seed ~eps g)
+          in
+          let ev_load = Scheme.evaluate_sampled inst (Lazy.force sampled) in
+          let ev_fresh = Scheme.evaluate_sampled fresh (Lazy.force sampled) in
+          let same = ev_load = ev_fresh in
+          if not same then diverged := true;
+          Printf.printf
+            "  %-18s load %7.3fs  build %7.3fs  (%6.1fx)  identity %s\n%!"
+            e.Catalog.id t_load t_build
+            (t_build /. Float.max t_load 1e-9)
+            (if same then "ok" else "VIOLATED")
+        end)
+    entries;
+  if !diverged then 2 else if !load_err then 1 else 0
+
+let load_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir"; "d" ] ~docv:"DIR"
+          ~doc:"Directory holding the $(i,<id>.snap) files.")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 200
+      & info [ "pairs" ] ~docv:"K"
+          ~doc:
+            "Routed pairs for the loaded-vs-fresh identity check \
+             ($(b,0) skips the check and the fresh build).")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip the per-blob checksum pass when loading.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Load binary snapshots and verify them against fresh builds")
+    Term.(
+      const load_impl $ graph_arg $ schemes_opt_arg $ seed_arg $ eps_arg
+      $ dir $ pairs $ no_verify)
 
 (* ------------------------------------------------------------------ *)
 (* delta                                                               *)
@@ -1517,8 +1697,8 @@ let main_cmd =
        ~doc:"Compact routing schemes of Roditty and Tov (PODC'15)")
     [
       generate_cmd; schemes_cmd; route_cmd; trace_cmd; stats_cmd; table1_cmd;
-      throughput_cmd; serve_cmd; delta_cmd; faults_cmd; oracle_cmd;
-      spanner_cmd;
+      throughput_cmd; serve_cmd; compile_cmd; load_cmd; delta_cmd; faults_cmd;
+      oracle_cmd; spanner_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

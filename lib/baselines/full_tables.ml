@@ -55,6 +55,15 @@ let instance t =
             ~record_path ~detect_loops ());
     table_words = Array.make n (max 0 (n - 1));
     label_words = Array.make n 1;
+    big_bytes = 0;
   }
 
 let stretch_bound _ = (1.0, 0.0)
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+type frozen = int array array
+
+let freeze t = t.next_port
+
+let thaw ~graph z = { graph; next_port = z }

@@ -18,3 +18,12 @@ val instance : t -> Scheme.instance
 
 val stretch_bound : t -> float * float
 (** [(1, 0)] — routing is exact. *)
+
+(** {1 Snapshot form} *)
+
+type frozen
+(** The next-hop port matrix — already marshal-safe. *)
+
+val freeze : t -> frozen
+
+val thaw : graph:Graph.t -> frozen -> t

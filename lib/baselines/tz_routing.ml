@@ -289,4 +289,43 @@ let instance t =
           route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
+    big_bytes = 0;
+  }
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+(* Everything except the graph handle is plain data (hierarchy arrays,
+   tree records, bunch/label hashtables), so the frozen mirror is the
+   record minus [graph]. *)
+type frozen = {
+  z_k : int;
+  z_h : Tz_hierarchy.t;
+  z_trees : Tree_routing.t option array;
+  z_in_bunch : (int, unit) Hashtbl.t array;
+  z_home_labels : (int, Tree_routing.label) Hashtbl.t array;
+  z_table_words : int array;
+  z_label_words : int array;
+}
+
+let freeze t =
+  {
+    z_k = t.k;
+    z_h = t.h;
+    z_trees = t.trees;
+    z_in_bunch = t.in_bunch;
+    z_home_labels = t.home_labels;
+    z_table_words = t.table_words;
+    z_label_words = t.label_words;
+  }
+
+let thaw ~graph z =
+  {
+    graph;
+    k = z.z_k;
+    h = z.z_h;
+    trees = z.z_trees;
+    in_bunch = z.z_in_bunch;
+    home_labels = z.z_home_labels;
+    table_words = z.z_table_words;
+    label_words = z.z_label_words;
   }

@@ -98,3 +98,14 @@ val label_bits : t -> int -> int
     encoding (vertex and pivot ids at [ceil(log2 n)] bits each plus the
     per-tree encoded routing labels) — the scheme's [o(k log^2 n)]-bit
     label claim, measured. *)
+
+(** {1 Snapshot form} *)
+
+type frozen
+(** Marshal-safe mirror of {!t} minus the graph handle (everything else —
+    hierarchy arrays, tree records, bunch and home-label hashtables — is
+    plain data). *)
+
+val freeze : t -> frozen
+
+val thaw : graph:Graph.t -> frozen -> t

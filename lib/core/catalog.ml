@@ -1,6 +1,21 @@
 open Cr_routing
 open Cr_baselines
 
+type codec = {
+  enc :
+    ?substrate:Substrate.t ->
+    seed:int ->
+    eps:float ->
+    Cr_graph.Graph.t ->
+    Snapshot.sink ->
+    string;
+  dec :
+    Snapshot.source ->
+    string ->
+    Cr_graph.Graph.t ->
+    Scheme.instance * (float * float);
+}
+
 type entry = {
   id : string;
   description : string;
@@ -14,7 +29,125 @@ type entry = {
     eps:float ->
     Cr_graph.Graph.t ->
     Scheme.instance * (float * float);
+  snap : codec option;
 }
+
+(* Snapshot codecs. [enc] runs the same preprocess the entry's [build]
+   runs, then freezes the scheme state: Bigarray payloads become snapshot
+   blobs, the rest one Marshal residue. [dec] is only reached after
+   [Snapshot.check] validated the scheme id and residue checksum, so the
+   unmarshal below cannot be handed another scheme's bytes. *)
+
+let snap_full =
+  {
+    enc =
+      (fun ?substrate ~seed:_ ~eps:_ g sink ->
+        ignore sink;
+        Marshal.to_string (Full_tables.freeze (Full_tables.preprocess ?substrate g)) []);
+    dec =
+      (fun _src residue g ->
+        let z : Full_tables.frozen = Marshal.from_string residue 0 in
+        let t = Full_tables.thaw ~graph:g z in
+        (Full_tables.instance t, Full_tables.stretch_bound t));
+  }
+
+let snap_tz k =
+  {
+    enc =
+      (fun ?substrate ~seed ~eps:_ g sink ->
+        ignore sink;
+        Marshal.to_string (Tz_routing.freeze (Tz_routing.preprocess ?substrate ~seed g ~k)) []);
+    dec =
+      (fun _src residue g ->
+        let z : Tz_routing.frozen = Marshal.from_string residue 0 in
+        let t = Tz_routing.thaw ~graph:g z in
+        (Tz_routing.instance t, Tz_routing.stretch_bound t));
+  }
+
+let snap_3eps =
+  {
+    enc =
+      (fun ?substrate ~seed ~eps g sink ->
+        Marshal.to_string
+          (Scheme3eps.freeze sink (Scheme3eps.preprocess ?substrate ~eps ~seed g))
+          []);
+    dec =
+      (fun src residue g ->
+        let z : Scheme3eps.frozen = Marshal.from_string residue 0 in
+        let t = Scheme3eps.thaw src ~graph:g z in
+        (Scheme3eps.instance t, Scheme3eps.stretch_bound t));
+  }
+
+let snap_ni =
+  {
+    enc =
+      (fun ?substrate ~seed ~eps g sink ->
+        Marshal.to_string
+          (Scheme_ni.freeze sink (Scheme_ni.preprocess ?substrate ~eps ~seed g))
+          []);
+    dec =
+      (fun src residue g ->
+        let z : Scheme_ni.frozen = Marshal.from_string residue 0 in
+        let t = Scheme_ni.thaw src ~graph:g z in
+        (Scheme_ni.instance t, Scheme_ni.stretch_bound t));
+  }
+
+let snap_2eps1 =
+  {
+    enc =
+      (fun ?substrate ~seed ~eps g sink ->
+        Marshal.to_string
+          (Scheme2eps1.freeze sink (Scheme2eps1.preprocess ?substrate ~eps ~seed g))
+          []);
+    dec =
+      (fun src residue g ->
+        let z : Scheme2eps1.frozen = Marshal.from_string residue 0 in
+        let t = Scheme2eps1.thaw src ~graph:g z in
+        (Scheme2eps1.instance t, Scheme2eps1.stretch_bound t));
+  }
+
+let snap_5eps =
+  {
+    enc =
+      (fun ?substrate ~seed ~eps g sink ->
+        Marshal.to_string
+          (Scheme5eps.freeze sink (Scheme5eps.preprocess ?substrate ~eps ~seed g))
+          []);
+    dec =
+      (fun src residue g ->
+        let z : Scheme5eps.frozen = Marshal.from_string residue 0 in
+        let t = Scheme5eps.thaw src ~graph:g z in
+        (Scheme5eps.instance t, Scheme5eps.stretch_bound t));
+  }
+
+let snap_ptr ~variant ~ell =
+  {
+    enc =
+      (fun ?substrate ~seed ~eps g sink ->
+        Marshal.to_string
+          (Scheme_ptr.freeze sink
+             (Scheme_ptr.preprocess ?substrate ~eps ~seed ~variant ~ell g))
+          []);
+    dec =
+      (fun src residue g ->
+        let z : Scheme_ptr.frozen = Marshal.from_string residue 0 in
+        let t = Scheme_ptr.thaw src ~graph:g z in
+        (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
+  }
+
+let snap_4km7 k =
+  {
+    enc =
+      (fun ?substrate ~seed ~eps g sink ->
+        Marshal.to_string
+          (Scheme4km7.freeze sink (Scheme4km7.preprocess ?substrate ~eps ~seed g ~k))
+          []);
+    dec =
+      (fun src residue g ->
+        let z : Scheme4km7.frozen = Marshal.from_string residue 0 in
+        let t = Scheme4km7.thaw src ~graph:g z in
+        (Scheme4km7.instance t, Scheme4km7.stretch_bound t));
+  }
 
 let all =
   [
@@ -29,6 +162,7 @@ let all =
         (fun ?substrate ~seed:_ ~eps:_ g ->
           let t = Full_tables.preprocess ?substrate g in
           (Full_tables.instance t, Full_tables.stretch_bound t));
+      snap = Some (snap_full);
     };
     {
       id = "tz-k2";
@@ -41,6 +175,7 @@ let all =
         (fun ?substrate ~seed ~eps:_ g ->
           let t = Tz_routing.preprocess ?substrate ~seed g ~k:2 in
           (Tz_routing.instance t, Tz_routing.stretch_bound t));
+      snap = Some (snap_tz 2);
     };
     {
       id = "tz-k3";
@@ -53,6 +188,7 @@ let all =
         (fun ?substrate ~seed ~eps:_ g ->
           let t = Tz_routing.preprocess ?substrate ~seed g ~k:3 in
           (Tz_routing.instance t, Tz_routing.stretch_bound t));
+      snap = Some (snap_tz 3);
     };
     {
       id = "tz-k4";
@@ -65,6 +201,7 @@ let all =
         (fun ?substrate ~seed ~eps:_ g ->
           let t = Tz_routing.preprocess ?substrate ~seed g ~k:4 in
           (Tz_routing.instance t, Tz_routing.stretch_bound t));
+      snap = Some (snap_tz 4);
     };
     {
       id = "rt-3eps";
@@ -77,6 +214,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme3eps.preprocess ?substrate ~eps ~seed g in
           (Scheme3eps.instance t, Scheme3eps.stretch_bound t));
+      snap = Some (snap_3eps);
     };
     {
       id = "rt-3eps-ni";
@@ -89,6 +227,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme_ni.preprocess ?substrate ~eps ~seed g in
           (Scheme_ni.instance t, Scheme_ni.stretch_bound t));
+      snap = Some (snap_ni);
     };
     {
       id = "rt-2eps1";
@@ -101,6 +240,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme2eps1.preprocess ?substrate ~eps ~seed g in
           (Scheme2eps1.instance t, Scheme2eps1.stretch_bound t));
+      snap = Some (snap_2eps1);
     };
     {
       id = "rt-5eps";
@@ -113,6 +253,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme5eps.preprocess ?substrate ~eps ~seed g in
           (Scheme5eps.instance t, Scheme5eps.stretch_bound t));
+      snap = Some (snap_5eps);
     };
     {
       id = "rt-ptr-minus-l3";
@@ -125,6 +266,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme_ptr.preprocess ?substrate ~eps ~seed ~variant:`Minus ~ell:3 g in
           (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
+      snap = Some (snap_ptr ~variant:`Minus ~ell:3);
     };
     {
       id = "rt-ptr-minus-l2";
@@ -137,6 +279,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme_ptr.preprocess ?substrate ~eps ~seed ~variant:`Minus ~ell:2 g in
           (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
+      snap = Some (snap_ptr ~variant:`Minus ~ell:2);
     };
     {
       id = "rt-ptr-plus-l2";
@@ -149,6 +292,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme_ptr.preprocess ?substrate ~eps ~seed ~variant:`Plus ~ell:2 g in
           (Scheme_ptr.instance t, Scheme_ptr.stretch_bound t));
+      snap = Some (snap_ptr ~variant:`Plus ~ell:2);
     };
     {
       id = "rt-4km7-k3";
@@ -161,6 +305,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme4km7.preprocess ?substrate ~eps ~seed g ~k:3 in
           (Scheme4km7.instance t, Scheme4km7.stretch_bound t));
+      snap = Some (snap_4km7 3);
     };
     {
       id = "rt-4km7-k4";
@@ -173,6 +318,7 @@ let all =
         (fun ?substrate ~seed ~eps g ->
           let t = Scheme4km7.preprocess ?substrate ~eps ~seed g ~k:4 in
           (Scheme4km7.instance t, Scheme4km7.stretch_bound t));
+      snap = Some (snap_4km7 4);
     };
   ]
 
@@ -198,6 +344,20 @@ let resilient ?retries e =
       (fun ?substrate ~seed ~eps g ->
         let inst, bound = e.build ?substrate ~seed ~eps g in
         (Resilient.instance (Resilient.wrap ?retries inst), bound));
+    (* A "+res" snapshot stores the base scheme's payload (under the
+       wrapped id, so [Snapshot.check] still discriminates); the wrapper
+       is reapplied on load. *)
+    snap =
+      Option.map
+        (fun c ->
+          {
+            c with
+            dec =
+              (fun src residue g ->
+                let inst, bound = c.dec src residue g in
+                (Resilient.instance (Resilient.wrap ?retries inst), bound));
+          })
+        e.snap;
   }
 
 let find id =
@@ -210,6 +370,54 @@ let find id =
     | None -> None)
 
 let ids () = List.map (fun e -> e.id) all
+
+(* --- snapshots ---------------------------------------------------------- *)
+
+let snapshot_path ~dir e = Filename.concat dir (e.id ^ ".snap")
+
+let save_entry ?substrate ~dir ~seed ~eps g e =
+  match e.snap with
+  | None -> Error (Snapshot.Malformed (e.id ^ ": entry has no snapshot codec"))
+  | Some c ->
+    let sink = Snapshot.sink () in
+    let residue = c.enc ?substrate ~seed ~eps g sink in
+    let meta =
+      {
+        Snapshot.scheme_id = e.id;
+        seed;
+        eps;
+        n = Cr_graph.Graph.n g;
+        m = Cr_graph.Graph.m g;
+        fingerprint = Snapshot.fingerprint g;
+      }
+    in
+    let path = snapshot_path ~dir e in
+    Result.map (fun () -> path) (Snapshot.save ~path ~meta ~residue sink)
+
+let load_entry ?verify ~path ~seed ~eps g e =
+  match e.snap with
+  | None -> Error (Snapshot.Malformed (e.id ^ ": entry has no snapshot codec"))
+  | Some c ->
+    Result.bind (Snapshot.load ?verify path) (fun loaded ->
+        Result.map
+          (fun () ->
+            c.dec loaded.Snapshot.source loaded.Snapshot.residue g)
+          (Snapshot.check loaded ~scheme_id:e.id ~seed ~eps ~graph:g))
+
+let load_or_build ?substrate ?verify ~dir ~seed ~eps g e =
+  let build err =
+    let r = e.build ?substrate ~seed ~eps g in
+    (r, `Built err)
+  in
+  match e.snap with
+  | None -> build None
+  | Some _ ->
+    let path = snapshot_path ~dir e in
+    if not (Sys.file_exists path) then build None
+    else (
+      match load_entry ?verify ~path ~seed ~eps g e with
+      | Ok r -> (r, `Loaded)
+      | Error err -> build (Some err))
 
 (* --- churn repair --------------------------------------------------------
 

@@ -5,6 +5,30 @@ open Cr_routing
     paper's five schemes and the implemented baselines — keyed by short ids.
     Drives the CLI, the benchmark harness and the examples. *)
 
+type codec = {
+  enc :
+    ?substrate:Substrate.t ->
+    seed:int ->
+    eps:float ->
+    Graph.t ->
+    Snapshot.sink ->
+    string;
+      (** run the same preprocessing as [build], register the instance's
+          Bigarray planes with the sink and return the marshalled residue
+          (the scheme's plain-data skeleton). *)
+  dec :
+    Snapshot.source ->
+    string ->
+    Graph.t ->
+    Scheme.instance * (float * float);
+      (** reconstruct the instance from a loaded snapshot: blobs come
+          zero-copy from the mapped [source], the residue is the string
+          produced by [enc]. *)
+}
+(** Binary snapshot codec for one catalog entry. [dec (enc g)] is
+    bit-identical to [build g] — the on-disk form is just a faster way to
+    reach the same instance. *)
+
 type entry = {
   id : string;                 (** e.g. ["rt-5eps"], ["tz-k2"] *)
   description : string;
@@ -24,6 +48,8 @@ type entry = {
           common preprocessing substrates (vicinities, SPTs, center
           samples, clusters) between them — results are bit-identical to
           uncached builds. *)
+  snap : codec option;
+      (** snapshot codec; [None] for entries that cannot be serialized. *)
 }
 
 val all : entry list
@@ -41,6 +67,60 @@ val find : string -> entry option
     {!resilient}-wrapped base entry. *)
 
 val ids : unit -> string list
+
+(** {1 Binary snapshots}
+
+    Compiled catalog entries serialize to versioned, checksummed binary
+    files ({!Snapshot}). Saving runs the ordinary build once and writes
+    the result; loading memory-maps the plane arrays back without
+    re-running any preprocessing, and the reconstructed instance answers
+    every query bit-identically to a fresh build with the same seed/eps
+    on the same graph. *)
+
+val snapshot_path : dir:string -> entry -> string
+(** [dir/<id>.snap] — where {!save_entry} writes and {!load_or_build}
+    looks. *)
+
+val save_entry :
+  ?substrate:Substrate.t ->
+  dir:string ->
+  seed:int ->
+  eps:float ->
+  Graph.t ->
+  entry ->
+  (string, Snapshot.error) result
+(** Build the entry on [g] and write its snapshot under [dir], returning
+    the file path. Fails with [Malformed] when the entry has no codec. *)
+
+val load_entry :
+  ?verify:bool ->
+  path:string ->
+  seed:int ->
+  eps:float ->
+  Graph.t ->
+  entry ->
+  (Scheme.instance * (float * float), Snapshot.error) result
+(** Load a snapshot from [path] and reconstruct the instance. Strictly
+    validated: magic/version/endianness/checksums at the {!Snapshot}
+    layer, then scheme id, seed, eps and graph fingerprint against the
+    live arguments — a stale or foreign file yields a typed error, never
+    garbage routes. [verify] (default [true]) controls the per-blob CRC
+    pass. *)
+
+val load_or_build :
+  ?substrate:Substrate.t ->
+  ?verify:bool ->
+  dir:string ->
+  seed:int ->
+  eps:float ->
+  Graph.t ->
+  entry ->
+  (Scheme.instance * (float * float))
+  * [ `Loaded | `Built of Snapshot.error option ]
+(** Warm-start helper: try [dir/<id>.snap], fall back to [build] when the
+    file is missing ([`Built None]) or fails validation ([`Built (Some
+    err)]). The instance is the same either way; only the wall-clock
+    differs. *)
 
 (** {1 Churn repair} *)
 

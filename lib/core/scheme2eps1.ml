@@ -357,4 +357,59 @@ let instance t =
           route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
+    big_bytes = Vicinity.payload_bytes t.vic;
+  }
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+type frozen = {
+  z_eps : float;
+  z_vic : Vicinity.frozen;
+  z_centers : Centers.t;
+  z_cluster_trees : (int, Tree_routing.t) Hashtbl.t;
+  z_cluster_labels : (int, (int, Tree_routing.label) Hashtbl.t) Hashtbl.t;
+  z_global_trees : (int, Tree_routing.t) Hashtbl.t;
+  z_witness : (int, int) Hashtbl.t array;
+  z_coloring : Coloring.t;
+  z_reps : (int * float) array array;
+  z_lemma7 : Seq_routing.frozen;
+  z_table_words : int array;
+  z_label_words : int array;
+  z_breakdown : (string * int) list;
+}
+
+let freeze sink t =
+  {
+    z_eps = t.eps;
+    z_vic = Vicinity.freeze sink t.vic;
+    z_centers = t.centers;
+    z_cluster_trees = t.cluster_trees;
+    z_cluster_labels = t.cluster_labels;
+    z_global_trees = t.global_trees;
+    z_witness = t.witness;
+    z_coloring = t.coloring;
+    z_reps = t.reps;
+    z_lemma7 = Seq_routing.freeze t.lemma7;
+    z_table_words = t.table_words;
+    z_label_words = t.label_words;
+    z_breakdown = t.breakdown;
+  }
+
+let thaw src ~graph z =
+  let vic = Vicinity.thaw src z.z_vic in
+  {
+    graph;
+    eps = z.z_eps;
+    vic;
+    centers = z.z_centers;
+    cluster_trees = z.z_cluster_trees;
+    cluster_labels = z.z_cluster_labels;
+    global_trees = z.z_global_trees;
+    witness = z.z_witness;
+    coloring = z.z_coloring;
+    reps = z.z_reps;
+    lemma7 = Seq_routing.thaw ~graph ~vicinities:vic z.z_lemma7;
+    table_words = z.z_table_words;
+    label_words = z.z_label_words;
+    breakdown = z.z_breakdown;
   }

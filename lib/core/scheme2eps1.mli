@@ -55,3 +55,17 @@ val centers : t -> int array
 val space_breakdown : t -> (string * int) list
 (** Whole-network table space split by component (vicinities, sequences,
     tree records, member labels, witnesses, representatives). *)
+
+(** {1 Snapshot form} *)
+
+type frozen
+(** Marshal-safe mirror of the scheme state minus the graph handle and any
+    off-heap payloads, which are registered as {!Snapshot} blobs. *)
+
+val freeze : Snapshot.sink -> t -> frozen
+
+val thaw : Snapshot.source -> graph:Graph.t -> frozen -> t
+(** Rebuild against the blobs of a loaded snapshot. [graph] must be the
+    graph the snapshot was built on (callers validate via
+    {!Snapshot.check} first). Answers are bit-identical to the frozen
+    instance's. *)

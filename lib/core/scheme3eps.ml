@@ -153,4 +153,43 @@ let instance t =
           route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
+    big_bytes = Vicinity.payload_bytes t.vic;
+  }
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+type frozen = {
+  z_eps : float;
+  z_vic : Vicinity.frozen;
+  z_coloring : Coloring.t;
+  z_reps : (int * float) array array;
+  z_lemma7 : Seq_routing.frozen;
+  z_table_words : int array;
+  z_label_words : int array;
+}
+
+let freeze sink t =
+  {
+    z_eps = t.eps;
+    z_vic = Vicinity.freeze sink t.vic;
+    z_coloring = t.coloring;
+    z_reps = t.reps;
+    z_lemma7 = Seq_routing.freeze t.lemma7;
+    z_table_words = t.table_words;
+    z_label_words = t.label_words;
+  }
+
+(* The vicinity family is thawed once and passed into the embedded Lemma 7
+   instance, restoring the physical sharing the builder established. *)
+let thaw src ~graph z =
+  let vic = Vicinity.thaw src z.z_vic in
+  {
+    graph;
+    eps = z.z_eps;
+    vic;
+    coloring = z.z_coloring;
+    reps = z.z_reps;
+    lemma7 = Seq_routing.thaw ~graph ~vicinities:vic z.z_lemma7;
+    table_words = z.z_table_words;
+    label_words = z.z_label_words;
   }

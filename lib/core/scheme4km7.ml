@@ -339,4 +339,50 @@ let instance t =
           route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
+    big_bytes = Vicinity.payload_bytes t.vic;
+  }
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+type frozen = {
+  z_eps : float;
+  z_k : int;
+  z_tz : Tz_routing.frozen;
+  z_vic : Vicinity.frozen;
+  z_coloring : Coloring.t;
+  z_reps : reps;
+  z_group_of : int array;
+  z_lemma8 : Seq_routing2.frozen;
+  z_table_words : int array;
+  z_label_words : int array;
+}
+
+let freeze sink t =
+  {
+    z_eps = t.eps;
+    z_k = t.k;
+    z_tz = Tz_routing.freeze t.tz;
+    z_vic = Vicinity.freeze sink t.vic;
+    z_coloring = t.coloring;
+    z_reps = t.reps;
+    z_group_of = t.group_of;
+    z_lemma8 = Seq_routing2.freeze t.lemma8;
+    z_table_words = t.table_words;
+    z_label_words = t.label_words;
+  }
+
+let thaw src ~graph z =
+  let vic = Vicinity.thaw src z.z_vic in
+  {
+    graph;
+    eps = z.z_eps;
+    k = z.z_k;
+    tz = Tz_routing.thaw ~graph z.z_tz;
+    vic;
+    coloring = z.z_coloring;
+    reps = z.z_reps;
+    group_of = z.z_group_of;
+    lemma8 = Seq_routing2.thaw ~graph ~vicinities:vic z.z_lemma8;
+    table_words = z.z_table_words;
+    label_words = z.z_label_words;
   }

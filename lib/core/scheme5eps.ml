@@ -438,4 +438,79 @@ let instance t =
           route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
+    big_bytes = Vicinity.payload_bytes t.vic;
+  }
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+(* Lazy cluster trees carry no state worth freezing: a miss re-derives the
+   tree from the graph and the center distances at call time, so the thawed
+   store simply starts with an empty cache — decisions are unchanged. *)
+type ftrees =
+  | FTrees_eager of (int, Tree_routing.t) Hashtbl.t
+  | FTrees_lazy
+
+type frozen = {
+  z_eps : float;
+  z_vic : Vicinity.frozen;
+  z_centers : Centers.t;
+  z_trees : ftrees;
+  z_coloring : Coloring.t;
+  z_reps : reps;
+  z_group_of : int array;
+  z_lemma8 : Seq_routing2.frozen;
+  z_first_edge : int array;
+  z_table_words : int array;
+  z_label_words : int array;
+  z_breakdown : (string * int) list;
+}
+
+let freeze sink t =
+  {
+    z_eps = t.eps;
+    z_vic = Vicinity.freeze sink t.vic;
+    z_centers = t.centers;
+    z_trees =
+      (match t.trees with
+      | Trees_eager tbl -> FTrees_eager tbl
+      | Trees_lazy _ -> FTrees_lazy);
+    z_coloring = t.coloring;
+    z_reps = t.reps;
+    z_group_of = t.group_of;
+    z_lemma8 = Seq_routing2.freeze t.lemma8;
+    z_first_edge = t.first_edge;
+    z_table_words = t.table_words;
+    z_label_words = t.label_words;
+    z_breakdown = t.breakdown;
+  }
+
+let thaw src ~graph z =
+  let vic = Vicinity.thaw src z.z_vic in
+  let trees =
+    match z.z_trees with
+    | FTrees_eager tbl -> Trees_eager tbl
+    | FTrees_lazy ->
+      Trees_lazy
+        {
+          tmutex = Mutex.create ();
+          tcache = Hashtbl.create (2 * lazy_tree_cap);
+          torder = Queue.create ();
+          tcap = lazy_tree_cap;
+          tws = Dijkstra.workspace (Graph.n graph);
+        }
+  in
+  {
+    graph;
+    eps = z.z_eps;
+    vic;
+    centers = z.z_centers;
+    trees;
+    coloring = z.z_coloring;
+    reps = z.z_reps;
+    group_of = z.z_group_of;
+    lemma8 = Seq_routing2.thaw ~graph ~vicinities:vic z.z_lemma8;
+    first_edge = z.z_first_edge;
+    table_words = z.z_table_words;
+    label_words = z.z_label_words;
+    breakdown = z.z_breakdown;
   }

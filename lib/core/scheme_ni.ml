@@ -176,4 +176,41 @@ let instance t =
           route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = Array.make (Graph.n t.graph) 0;
+    big_bytes = Vicinity.payload_bytes t.vic;
+  }
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+type frozen = {
+  z_eps : float;
+  z_q : int;
+  z_salt : int;
+  z_vic : Vicinity.frozen;
+  z_reps : (int * float) array array;
+  z_lemma7 : Seq_routing.frozen;
+  z_table_words : int array;
+}
+
+let freeze sink t =
+  {
+    z_eps = t.eps;
+    z_q = t.q;
+    z_salt = t.salt;
+    z_vic = Vicinity.freeze sink t.vic;
+    z_reps = t.reps;
+    z_lemma7 = Seq_routing.freeze t.lemma7;
+    z_table_words = t.table_words;
+  }
+
+let thaw src ~graph z =
+  let vic = Vicinity.thaw src z.z_vic in
+  {
+    graph;
+    eps = z.z_eps;
+    q = z.z_q;
+    salt = z.z_salt;
+    vic;
+    reps = z.z_reps;
+    lemma7 = Seq_routing.thaw ~graph ~vicinities:vic z.z_lemma7;
+    table_words = z.z_table_words;
   }

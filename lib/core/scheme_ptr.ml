@@ -494,4 +494,87 @@ let instance t =
           route_fast ?faults ~record_path ~detect_loops c ~src ~dst);
     table_words = t.table_words;
     label_words = t.label_words;
+    big_bytes =
+      Array.fold_left
+        (fun acc fam -> acc + Vicinity.payload_bytes fam)
+        0 t.vic_level;
+  }
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+(* Each vicinity level freezes separately; the scheme's own [vic] is the
+   level-ell family by construction, and each embedded Lemma 8 instance
+   is thawed against its own level so every physical sharing edge the
+   builder established survives the round trip. *)
+type frozen = {
+  z_eps : float;
+  z_variant : variant;
+  z_ell : int;
+  z_q : int;
+  z_sizes : int array;
+  z_vic_level : Vicinity.frozen array;
+  z_centers : Centers.t array;
+  z_cluster_trees : (int, Tree_routing.t) Hashtbl.t array;
+  z_cluster_labels : (int, (int, Tree_routing.label) Hashtbl.t) Hashtbl.t array;
+  z_witness : (int, int * int) Hashtbl.t array;
+  z_colorings : Coloring.t option array;
+  z_reps : (int * float) array array array;
+  z_lemma8 : Seq_routing2.frozen option array;
+  z_radii : float array array;
+  z_labels : label array;
+  z_table_words : int array;
+  z_label_words : int array;
+}
+
+let freeze sink t =
+  {
+    z_eps = t.eps;
+    z_variant = t.variant;
+    z_ell = t.ell;
+    z_q = t.q;
+    z_sizes = t.sizes;
+    z_vic_level = Array.map (Vicinity.freeze sink) t.vic_level;
+    z_centers = t.centers;
+    z_cluster_trees = t.cluster_trees;
+    z_cluster_labels = t.cluster_labels;
+    z_witness = t.witness;
+    z_colorings = t.colorings;
+    z_reps = t.reps;
+    z_lemma8 = Array.map (Option.map Seq_routing2.freeze) t.lemma8;
+    z_radii = t.radii;
+    z_labels = t.labels;
+    z_table_words = t.table_words;
+    z_label_words = t.label_words;
+  }
+
+let thaw src ~graph z =
+  let vic_level = Array.map (Vicinity.thaw src) z.z_vic_level in
+  let lemma8 =
+    Array.mapi
+      (fun i zo ->
+        Option.map
+          (Seq_routing2.thaw ~graph ~vicinities:vic_level.(i))
+          zo)
+      z.z_lemma8
+  in
+  {
+    graph;
+    eps = z.z_eps;
+    variant = z.z_variant;
+    ell = z.z_ell;
+    q = z.z_q;
+    sizes = z.z_sizes;
+    vic = vic_level.(z.z_ell);
+    vic_level;
+    centers = z.z_centers;
+    cluster_trees = z.z_cluster_trees;
+    cluster_labels = z.z_cluster_labels;
+    witness = z.z_witness;
+    colorings = z.z_colorings;
+    reps = z.z_reps;
+    lemma8;
+    radii = z.z_radii;
+    labels = z.z_labels;
+    table_words = z.z_table_words;
+    label_words = z.z_label_words;
   }

@@ -380,3 +380,69 @@ let rec step_c c ~at h =
       | Via x -> Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst:x, h)
       | Jump (_, port) -> Port_model.Forward (port, h)
   end
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+(* The frozen mirror drops exactly the marshal-hostile parts: the graph
+   (the loader provides it), the vicinity family (frozen by the enclosing
+   scheme so physical sharing survives the round trip), and the lazy
+   store's runtime plumbing (mutex, workspace, cache — rebuilt empty,
+   which never changes an answer). The dense store and the hitting-set
+   trees are plain data and ride the Marshal residue as-is. *)
+type fstore =
+  | FDense of (int * int, seq) Hashtbl.t
+  | FLazy
+
+type frozen = {
+  z_eps : float;
+  z_b : int;
+  z_hset : int list;
+  z_trees : (int, Tree_routing.t) Hashtbl.t;
+  z_store : fstore;
+  z_part_of : int array;
+  z_table_words : int array;
+  z_breakdown : (string * int) list;
+}
+
+let freeze t =
+  {
+    z_eps = t.eps;
+    z_b = t.b;
+    z_hset = t.hset;
+    z_trees = t.trees;
+    z_store = (match t.store with Dense s -> FDense s | Lazy _ -> FLazy);
+    z_part_of = t.part_of;
+    z_table_words = t.table_words;
+    z_breakdown = t.breakdown;
+  }
+
+let thaw ~graph ~vicinities z =
+  let store =
+    match z.z_store with
+    | FDense s -> Dense s
+    | FLazy ->
+      let n = Graph.n graph in
+      let lin_hset = Array.make n false in
+      List.iter (fun w -> lin_hset.(w) <- true) z.z_hset;
+      Lazy
+        {
+          lmutex = Mutex.create ();
+          lcache = Hashtbl.create (2 * lazy_cache_cap);
+          lorder = Queue.create ();
+          lcap = lazy_cache_cap;
+          lws = Dijkstra.workspace n;
+          lin_hset;
+        }
+  in
+  {
+    graph;
+    eps = z.z_eps;
+    b = z.z_b;
+    vic = vicinities;
+    hset = z.z_hset;
+    trees = z.z_trees;
+    store;
+    part_of = z.z_part_of;
+    table_words = z.z_table_words;
+    breakdown = z.z_breakdown;
+  }

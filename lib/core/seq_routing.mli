@@ -93,3 +93,18 @@ val compiled_vicinities : compiled -> Vicinity.compiled array
 
 val step_c : compiled -> at:int -> header -> header Port_model.decision
 (** Identical decision to {!step} for every reachable [(at, header)]. *)
+
+(** {1 Snapshot form} *)
+
+type frozen
+(** Marshal-safe mirror of {!t} minus the graph and the vicinity family
+    (both supplied again at {!thaw} so physical sharing with the enclosing
+    scheme survives a snapshot round trip). A lazy sequence store freezes
+    to its decision inputs only; the cache restarts empty, which never
+    changes an answer. *)
+
+val freeze : t -> frozen
+
+val thaw : graph:Graph.t -> vicinities:Vicinity.t array -> frozen -> t
+(** [vicinities] must be the same family the instance was built with
+    (the enclosing scheme thaws it once and passes it down). *)

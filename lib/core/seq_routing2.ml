@@ -354,3 +354,77 @@ let rec step_c c ~at h =
       | Via x -> Port_model.Forward (Vicinity.step_c c.vic_c ~at ~dst:x, h)
       | Jump (_, port) -> Port_model.Forward (port, h)
   end
+
+(* --- snapshot form ------------------------------------------------------ *)
+
+(* Frozen mirror minus graph, vicinities (frozen by the enclosing scheme)
+   and the lazy store's runtime plumbing. The lazy store's decision inputs
+   — destination grouping, part map, minimum edge weight — are plain data
+   and must survive the round trip; the cache and [lmax_hops] observation
+   start empty, which never changes an answer. *)
+type flazy = {
+  z_dest_group : int array;
+  z_lpart_of : int array;
+  z_d_min : float;
+}
+
+type fstore =
+  | FDense of (int * int, seq) Hashtbl.t
+  | FLazy of flazy
+
+type frozen = {
+  z_eps : float;
+  z_b : int;
+  z_store : fstore;
+  z_table_words : int array;
+  z_dense_max_seq_hops : int;
+  z_breakdown : (string * int) list;
+}
+
+let freeze t =
+  {
+    z_eps = t.eps;
+    z_b = t.b;
+    z_store =
+      (match t.store with
+      | Dense s -> FDense s
+      | Lazy ls ->
+        FLazy
+          {
+            z_dest_group = ls.ldest_group;
+            z_lpart_of = ls.lpart_of;
+            z_d_min = ls.ld_min;
+          });
+    z_table_words = t.table_words;
+    z_dense_max_seq_hops = t.dense_max_seq_hops;
+    z_breakdown = t.breakdown;
+  }
+
+let thaw ~graph ~vicinities z =
+  let store =
+    match z.z_store with
+    | FDense s -> Dense s
+    | FLazy f ->
+      Lazy
+        {
+          lmutex = Mutex.create ();
+          lcache = Hashtbl.create (2 * lazy_cache_cap);
+          lorder = Queue.create ();
+          lcap = lazy_cache_cap;
+          lws = Dijkstra.workspace (Graph.n graph);
+          ldest_group = f.z_dest_group;
+          lpart_of = f.z_lpart_of;
+          ld_min = f.z_d_min;
+          lmax_hops = 0;
+        }
+  in
+  {
+    graph;
+    eps = z.z_eps;
+    b = z.z_b;
+    vic = vicinities;
+    store;
+    table_words = z.z_table_words;
+    dense_max_seq_hops = z.z_dense_max_seq_hops;
+    breakdown = z.z_breakdown;
+  }

@@ -11,11 +11,33 @@
     the {e logical} table (entries of O(log n)-bit words), not of whichever
     physical container serves the lookup. *)
 
+type policy = [ `Auto | `Flat | `Succinct ]
+(** Representation policy for newly compiled structures. [`Auto] (the
+    default) picks dense / sorted / succinct adaptively by measured size;
+    [`Flat] never builds a succinct form; [`Succinct] forces the
+    Elias-Fano / bit-packed forms wherever the encoding applies (used by
+    the bench to compare the two hot paths on identical decisions). The
+    initial value honours the [CR_PLANE] environment variable
+    ("flat" / "succinct"). *)
+
+val set_policy : policy -> unit
+
+val current_policy : unit -> policy
+
+val bigarray_bytes : ('a, 'b, 'c) Bigarray.Array1.t -> int
+(** Payload bytes of a Bigarray. [Obj.reachable_words] sees only the
+    custom-block header of a Bigarray, not its out-of-heap payload — use
+    this for honest plane-size accounting. *)
+
 (** Immutable [int -> int] map with non-negative values.
 
-    Two physical forms, chosen at build time: a {e direct} array when the
-    key range is dense (at most ~4 slots per entry), giving O(1) lookups,
-    else parallel sorted key/value arrays resolved by binary search. *)
+    Three physical forms, chosen at build time: a {e direct} array when
+    the key range is dense (at most ~4 slots per entry), giving O(1)
+    lookups; parallel sorted key/value arrays resolved by a branchless
+    lower-bound otherwise; or — when the key set is large and sparse
+    enough that it pays — an {e Elias-Fano} encoding of the key set with
+    bit-packed values, resolved by a sampled select over the unary upper
+    bitmap. All three answer identically. *)
 module Intmap : sig
   type t
 
@@ -42,6 +64,35 @@ module Intmap : sig
   val mem : t -> int -> bool
 
   val cardinal : t -> int
+
+  val bytes : t -> int
+  (** Payload bytes of the physical representation (headers excluded). *)
+
+  val lower_bound : int array -> int -> int
+  (** [lower_bound keys x] is the index of the first element [>= x] in a
+      sorted array (length of the array when every element is [< x]).
+      Branchless halving loop; exposed for reuse and for the qcheck pin
+      against the reference binary search. *)
+end
+
+(** Immutable [int array] replacement for small-range payloads (ports,
+    stride-6 tree label fields, color indexes). Packs each value at
+    [ceil(log2 range)] bits when the policy and size warrant; reads
+    return exactly the original values, including negative sentinels. *)
+module Packed_array : sig
+  type t
+
+  val of_array : int array -> t
+  (** The input array is copied (or packed); later mutation of the
+      argument does not affect the result. *)
+
+  val get : t -> int -> int
+  (** @raise Invalid_argument when the index is out of bounds. *)
+
+  val length : t -> int
+
+  val bytes : t -> int
+  (** Payload bytes of the physical representation. *)
 end
 
 (** Immutable [int -> 'a] table: an {!Intmap} from key to slot plus a flat
@@ -63,6 +114,10 @@ module Table : sig
   val map : ('a -> 'b) -> 'a t -> 'b t
 
   val cardinal : 'a t -> int
+
+  val index_bytes : 'a t -> int
+  (** Payload bytes of the key index (the ['a] items are not counted —
+      their footprint is representation-specific to the caller). *)
 end
 
 (** Membership set over [0, n) with an adaptive representation: a
@@ -81,4 +136,7 @@ module Bitset : sig
   (** [mem s v] is false outside [0, n). *)
 
   val cardinal : t -> int
+
+  val bytes : t -> int
+  (** Payload bytes of the physical representation. *)
 end

@@ -214,4 +214,5 @@ let instance t =
     table_words =
       Array.init n (fun v -> base.Scheme.table_words.(v) + tree_words v);
     label_words = Array.copy base.Scheme.label_words;
+    big_bytes = base.Scheme.big_bytes;
   }

@@ -15,6 +15,7 @@ type instance = {
   fast : fast_route option;
   table_words : int array;
   label_words : int array;
+  big_bytes : int;
 }
 
 (* Telemetry wrapper for one route served by the given plane: stamps the

@@ -39,6 +39,12 @@ type instance = {
           and compiled planes. *)
   label_words : int array;
       (** [label_words.(v)] = size of [v]'s routing label, in words. *)
+  big_bytes : int;
+      (** Bigarray payload bytes reachable from the instance (packed
+          vicinity families and similar off-heap blocks), which
+          [Obj.reachable_words] cannot see — add them explicitly when
+          measuring resident footprint. [0] for schemes that keep
+          everything on the OCaml heap. *)
 }
 
 val route :

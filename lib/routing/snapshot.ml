@@ -1,0 +1,518 @@
+open Cr_graph
+
+(* Versioned binary snapshots of compiled catalog entries.
+
+   A snapshot file carries a small self-describing header (magic, format
+   version, host endianness, scheme id and build parameters, graph
+   fingerprint), a directory of raw Bigarray blobs, the blob payloads
+   themselves (8-aligned, written as raw host memory so they can be
+   mapped straight back), and an opaque "residue" string — the caller's
+   Marshal bytes for everything that is not a Bigarray. Every region is
+   CRC-32 checksummed, and the residue checksum is validated here BEFORE
+   the caller ever feeds those bytes to [Marshal.from_string]: a
+   corrupted file must fail with a typed error, never with a segfault or
+   a garbage route.
+
+   Loading maps each blob with [Unix.map_file] — zero-copy: the plane
+   arrays alias the page cache and no element is touched until routing
+   reads it (blob CRC verification, on by default, does touch them). *)
+
+type i32arr = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f32arr = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f64arr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type blob = I32 of i32arr | F32 of f32arr | F64 of f64arr
+
+type meta = {
+  scheme_id : string;
+  seed : int;
+  eps : float;
+  n : int;
+  m : int;
+  fingerprint : int64;
+}
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Unsupported_version of int
+  | Endianness_mismatch
+  | Truncated
+  | Checksum_mismatch of string
+  | Scheme_mismatch of { expected : string; found : string }
+  | Params_mismatch of string
+  | Graph_mismatch
+  | Malformed of string
+
+let pp_error ppf = function
+  | Io m -> Format.fprintf ppf "i/o error: %s" m
+  | Bad_magic -> Format.fprintf ppf "not a snapshot file (bad magic)"
+  | Unsupported_version v -> Format.fprintf ppf "unsupported snapshot version %d" v
+  | Endianness_mismatch ->
+    Format.fprintf ppf "snapshot written on a host with different endianness"
+  | Truncated -> Format.fprintf ppf "truncated snapshot file"
+  | Checksum_mismatch what -> Format.fprintf ppf "checksum mismatch in %s" what
+  | Scheme_mismatch { expected; found } ->
+    Format.fprintf ppf "snapshot is for scheme %s, expected %s" found expected
+  | Params_mismatch what -> Format.fprintf ppf "parameter mismatch: %s" what
+  | Graph_mismatch ->
+    Format.fprintf ppf "snapshot graph fingerprint does not match this graph"
+  | Malformed what -> Format.fprintf ppf "malformed snapshot: %s" what
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (zlib polynomial, table-driven)                              *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref (Int32.of_int i) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc_update crc b len =
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.lognot crc) in
+  for i = 0 to len - 1 do
+    let idx = Int32.to_int (Int32.logand !c 0xffl) lxor Char.code (Bytes.unsafe_get b i) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let crc_bytes b = crc_update 0l b (Bytes.length b)
+
+let crc_string s = crc_bytes (Bytes.unsafe_of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Graph fingerprint                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a over 64-bit words of the logical CSR (n, m, offsets,
+   destinations, weight float bits). Hashing logical values through
+   [Graph.view] makes the fingerprint independent of boxed-vs-packed
+   storage; a float32-packed graph fingerprints differently from its
+   float64 original because its weights genuinely differ. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv h x = Int64.mul (Int64.logxor h x) fnv_prime
+
+let fnv_int h x = fnv h (Int64.of_int x)
+
+let fingerprint g =
+  let n = Graph.n g and m = Graph.m g in
+  let h = ref (fnv_int (fnv_int fnv_offset n) m) in
+  (match Graph.view g with
+  | Graph.Boxed (off, dst, wgt) ->
+    Array.iter (fun x -> h := fnv_int !h x) off;
+    Array.iter (fun x -> h := fnv_int !h x) dst;
+    Array.iter (fun w -> h := fnv !h (Int64.bits_of_float w)) wgt
+  | Graph.Packed (off, dst, wgt) ->
+    for i = 0 to Bigarray.Array1.dim off - 1 do
+      h := fnv_int !h (Int32.to_int (Bigarray.Array1.unsafe_get off i))
+    done;
+    for i = 0 to Bigarray.Array1.dim dst - 1 do
+      h := fnv_int !h (Int32.to_int (Bigarray.Array1.unsafe_get dst i))
+    done;
+    for i = 0 to 2 * m - 1 do
+      h := fnv !h (Int64.bits_of_float (Graph.weight wgt i))
+    done);
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* Sink: blob collection with physical dedup                           *)
+(* ------------------------------------------------------------------ *)
+
+type sink = { mutable blobs : blob list; mutable count : int }
+
+let sink () = { blobs = []; count = 0 }
+
+let blob_eq a b =
+  match (a, b) with
+  | I32 x, I32 y -> x == y
+  | F32 x, F32 y -> x == y
+  | F64 x, F64 y -> x == y
+  | _ -> false
+
+let put s b =
+  (* Physical dedup keeps shared planes (e.g. a vicinity family referenced
+     by both a scheme and its nested sequence router) stored once; the
+     decoder re-shares them by id. Linear scan — a plane has tens of
+     blobs, not thousands. *)
+  let rec scan i = function
+    | [] ->
+      s.blobs <- b :: s.blobs;
+      s.count <- s.count + 1;
+      s.count - 1
+    | x :: tl -> if blob_eq x b then s.count - 1 - i else scan (i + 1) tl
+  in
+  scan 0 s.blobs
+
+let blob_elems = function
+  | I32 a -> Bigarray.Array1.dim a
+  | F32 a -> Bigarray.Array1.dim a
+  | F64 a -> Bigarray.Array1.dim a
+
+let blob_kind_code = function I32 _ -> 0 | F32 _ -> 1 | F64 _ -> 2
+
+let elem_size = function 0 | 1 -> 4 | 2 -> 8 | _ -> invalid_arg "elem_size"
+
+let blob_bytes b = blob_elems b * elem_size (blob_kind_code b)
+
+(* ------------------------------------------------------------------ *)
+(* Source: mapped blobs                                                *)
+(* ------------------------------------------------------------------ *)
+
+type source = { loaded : blob array }
+
+let get_i32 src i =
+  match src.loaded.(i) with
+  | I32 a -> a
+  | _ -> invalid_arg "Snapshot.get_i32: blob kind mismatch"
+
+let get_f32 src i =
+  match src.loaded.(i) with
+  | F32 a -> a
+  | _ -> invalid_arg "Snapshot.get_f32: blob kind mismatch"
+
+let get_f64 src i =
+  match src.loaded.(i) with
+  | F64 a -> a
+  | _ -> invalid_arg "Snapshot.get_f64: blob kind mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* Format                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The \r\n inside the magic catches text-mode line-ending mangling the
+   way PNG's does. *)
+let magic = "CRSNAP\r\n"
+
+let version = 1
+
+let align8 x = (x + 7) land lnot 7
+
+(* Fixed-size part of a directory entry: kind u8, pad3, offset i64,
+   elems i64, crc u32. *)
+let dirent_size = 1 + 3 + 8 + 8 + 4
+
+type dirent = { kind : int; offset : int; elems : int; crc : int32 }
+
+let put_u32 buf v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Buffer.add_bytes buf b
+
+let put_i32v buf (v : int32) =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 v;
+  Buffer.add_bytes buf b
+
+let put_i64 buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let put_raw64 buf (v : int64) =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  Buffer.add_bytes buf b
+
+(* Header size up to (and excluding) the trailing header crc, for a given
+   scheme-id length and blob count. *)
+let header_size ~id_len ~nblobs =
+  8 + 4 + 1 + 3 + 4 + id_len + (5 * 8) + 4 + (nblobs * dirent_size) + 8 + 8 + 4
+
+let save ~path ~meta ~residue s =
+  let blobs = Array.of_list (List.rev s.blobs) in
+  let nblobs = Array.length blobs in
+  let id_len = String.length meta.scheme_id in
+  let hsize = header_size ~id_len ~nblobs + 4 in
+  (* Lay the blobs out 8-aligned after the header; residue last. *)
+  let offsets = Array.make nblobs 0 in
+  let pos = ref (align8 hsize) in
+  Array.iteri
+    (fun i b ->
+      offsets.(i) <- !pos;
+      pos := align8 (!pos + blob_bytes b))
+    blobs;
+  let residue_off = !pos in
+  let residue_len = String.length residue in
+  let total = residue_off + residue_len in
+  let tmp = path ^ ".tmp" in
+  match
+    let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (* One shared char view of the whole file (this extends it), plus
+           typed views per blob for the raw copies. *)
+        let whole =
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd Bigarray.char Bigarray.c_layout true [| total |])
+        in
+        let blob_crcs = Array.make nblobs 0l in
+        Array.iteri
+          (fun i b ->
+            let bytes = blob_bytes b in
+            let elems = blob_elems b in
+            let blit (type e el) (kind : (e, el) Bigarray.kind)
+                (src : (e, el, Bigarray.c_layout) Bigarray.Array1.t) =
+              let dst =
+                Bigarray.array1_of_genarray
+                  (Unix.map_file fd ~pos:(Int64.of_int offsets.(i)) kind
+                     Bigarray.c_layout true [| elems |])
+              in
+              Bigarray.Array1.blit src dst
+            in
+            (match b with
+            | I32 a -> blit Bigarray.int32 a
+            | F32 a -> blit Bigarray.float32 a
+            | F64 a -> blit Bigarray.float64 a);
+            (* CRC the raw bytes as written. *)
+            let chunk = Bytes.create 65536 in
+            let crc = ref 0l in
+            let off = ref 0 in
+            while !off < bytes do
+              let len = min 65536 (bytes - !off) in
+              for j = 0 to len - 1 do
+                Bytes.unsafe_set chunk j
+                  (Bigarray.Array1.unsafe_get whole (offsets.(i) + !off + j))
+              done;
+              crc := crc_update !crc chunk len;
+              off := !off + len
+            done;
+            blob_crcs.(i) <- !crc)
+          blobs;
+        (* Header, built last so it can embed the blob CRCs. *)
+        let buf = Buffer.create hsize in
+        Buffer.add_string buf magic;
+        put_u32 buf version;
+        Buffer.add_char buf (if Sys.big_endian then '\001' else '\000');
+        Buffer.add_string buf "\000\000\000";
+        put_u32 buf id_len;
+        Buffer.add_string buf meta.scheme_id;
+        put_i64 buf meta.seed;
+        put_raw64 buf (Int64.bits_of_float meta.eps);
+        put_i64 buf meta.n;
+        put_i64 buf meta.m;
+        put_raw64 buf meta.fingerprint;
+        put_u32 buf nblobs;
+        Array.iteri
+          (fun i b ->
+            Buffer.add_char buf (Char.chr (blob_kind_code b));
+            Buffer.add_string buf "\000\000\000";
+            put_i64 buf offsets.(i);
+            put_i64 buf (blob_elems b);
+            put_i32v buf blob_crcs.(i))
+          blobs;
+        put_i64 buf residue_off;
+        put_i64 buf residue_len;
+        put_i32v buf (crc_string residue);
+        put_i32v buf (crc_bytes (Buffer.to_bytes buf));
+        let header = Buffer.to_bytes buf in
+        for j = 0 to Bytes.length header - 1 do
+          Bigarray.Array1.unsafe_set whole j (Bytes.unsafe_get header j)
+        done;
+        String.iteri
+          (fun j c -> Bigarray.Array1.unsafe_set whole (residue_off + j) c)
+          residue);
+    Unix.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Io (Unix.error_message e))
+  | exception Sys_error m ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Io m)
+
+type loaded = { meta : meta; source : source; residue : string }
+
+let ( let* ) = Result.bind
+
+let read_exact ic len =
+  let b = Bytes.create len in
+  match really_input ic b 0 len with
+  | () -> Ok b
+  | exception End_of_file -> Error Truncated
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+
+let get_i64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let load ?(verify = true) path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error (Io m)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let file_size = in_channel_length ic in
+        (* Prelude: magic, version, endianness, scheme-id length. *)
+        let* pre = read_exact ic 20 in
+        let* () =
+          if Bytes.sub_string pre 0 8 <> magic then Error Bad_magic else Ok ()
+        in
+        let v = get_u32 pre 8 in
+        let* () = if v <> version then Error (Unsupported_version v) else Ok () in
+        let endian = Bytes.get pre 12 in
+        let* () =
+          if endian <> (if Sys.big_endian then '\001' else '\000') then
+            Error Endianness_mismatch
+          else Ok ()
+        in
+        let id_len = get_u32 pre 16 in
+        let* () =
+          if id_len > 4096 then Error (Malformed "scheme id length") else Ok ()
+        in
+        (* Rest of the fixed-position header. *)
+        let* mid = read_exact ic (id_len + (5 * 8) + 4) in
+        let scheme_id = Bytes.sub_string mid 0 id_len in
+        let seed = get_i64 mid id_len in
+        let eps = Int64.float_of_bits (Bytes.get_int64_le mid (id_len + 8)) in
+        let n = get_i64 mid (id_len + 16) in
+        let m = get_i64 mid (id_len + 24) in
+        let fp = Bytes.get_int64_le mid (id_len + 32) in
+        let nblobs = get_u32 mid (id_len + 40) in
+        let* () =
+          if nblobs > 100_000 then Error (Malformed "blob count") else Ok ()
+        in
+        let* dir = read_exact ic ((nblobs * dirent_size) + 8 + 8 + 4 + 4) in
+        let dirents =
+          Array.init nblobs (fun i ->
+              let o = i * dirent_size in
+              {
+                kind = Char.code (Bytes.get dir o);
+                offset = get_i64 dir (o + 4);
+                elems = get_i64 dir (o + 12);
+                crc = Bytes.get_int32_le dir (o + 20);
+              })
+        in
+        let tail = nblobs * dirent_size in
+        let residue_off = get_i64 dir tail in
+        let residue_len = get_i64 dir (tail + 8) in
+        let residue_crc = Bytes.get_int32_le dir (tail + 16) in
+        let header_crc = Bytes.get_int32_le dir (tail + 20) in
+        (* Header CRC covers everything before its own 4 bytes. *)
+        let hbytes =
+          Bytes.concat Bytes.empty
+            [ pre; mid; Bytes.sub dir 0 (Bytes.length dir - 4) ]
+        in
+        let* () =
+          if crc_bytes hbytes <> header_crc then
+            Error (Checksum_mismatch "header")
+          else Ok ()
+        in
+        (* Bounds: every blob and the residue must live inside the file. *)
+        let* () =
+          if
+            residue_len < 0 || residue_off < 0
+            || residue_off + residue_len > file_size
+          then Error Truncated
+          else Ok ()
+        in
+        let* () =
+          Array.fold_left
+            (fun acc d ->
+              let* () = acc in
+              if d.kind < 0 || d.kind > 2 then Error (Malformed "blob kind")
+              else if d.elems < 0 then Error (Malformed "blob length")
+              else if d.offset < 0 || d.offset + (d.elems * elem_size d.kind) > file_size
+              then Error Truncated
+              else Ok ())
+            (Ok ()) dirents
+        in
+        (* Residue bytes + CRC — validated here, before any caller
+           unmarshals them. *)
+        let* residue =
+          seek_in ic residue_off;
+          match read_exact ic residue_len with
+          | Ok b -> Ok (Bytes.unsafe_to_string b)
+          | Error _ -> Error Truncated
+        in
+        let* () =
+          if crc_string residue <> residue_crc then
+            Error (Checksum_mismatch "residue")
+          else Ok ()
+        in
+        (* Optional blob verification: re-CRC the payload bytes from the
+           channel (page cache) before handing out the mapped views. *)
+        let* () =
+          if not verify then Ok ()
+          else begin
+            let chunk = Bytes.create 65536 in
+            let rec check_blob i =
+              if i >= nblobs then Ok ()
+              else begin
+                let d = dirents.(i) in
+                let bytes = d.elems * elem_size d.kind in
+                seek_in ic d.offset;
+                let crc = ref 0l in
+                let off = ref 0 in
+                let ok = ref true in
+                while !ok && !off < bytes do
+                  let len = min 65536 (bytes - !off) in
+                  (match really_input ic chunk 0 len with
+                  | () -> crc := crc_update !crc chunk len
+                  | exception End_of_file -> ok := false);
+                  off := !off + len
+                done;
+                if not !ok then Error Truncated
+                else if !crc <> d.crc then
+                  Error (Checksum_mismatch (Printf.sprintf "blob %d" i))
+                else check_blob (i + 1)
+              end
+            in
+            check_blob 0
+          end
+        in
+        (* Map the blobs. The fd backing the maps is independent of [ic];
+           mappings survive the close. *)
+        let* loaded =
+          match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+          | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
+          | fd ->
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                try
+                  Ok
+                    (Array.map
+                       (fun d ->
+                         let map (type e el) (kind : (e, el) Bigarray.kind) :
+                             (e, el, Bigarray.c_layout) Bigarray.Array1.t =
+                           Bigarray.array1_of_genarray
+                             (Unix.map_file fd ~pos:(Int64.of_int d.offset) kind
+                                Bigarray.c_layout false [| d.elems |])
+                         in
+                         match d.kind with
+                         | 0 -> I32 (map Bigarray.int32)
+                         | 1 -> F32 (map Bigarray.float32)
+                         | _ -> F64 (map Bigarray.float64))
+                       dirents)
+                with Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e)))
+        in
+        Ok
+          {
+            meta = { scheme_id; seed; eps; n; m; fingerprint = fp };
+            source = { loaded };
+            residue;
+          })
+
+let check loaded ~scheme_id ~seed ~eps ~graph =
+  let m = loaded.meta in
+  if m.scheme_id <> scheme_id then
+    Error (Scheme_mismatch { expected = scheme_id; found = m.scheme_id })
+  else if m.seed <> seed then Error (Params_mismatch "seed")
+  else if m.eps <> eps then Error (Params_mismatch "eps")
+  else if m.n <> Graph.n graph || m.m <> Graph.m graph then Error Graph_mismatch
+  else if m.fingerprint <> fingerprint graph then Error Graph_mismatch
+  else Ok ()

@@ -325,8 +325,10 @@ let stride = 6
 
 type compiled = {
   c_idx : Compiled.Intmap.t; (* vertex -> local slot, as [idx] *)
-  c_fields : int array;
-      (* per slot: lo, hi, parent_port, heavy_lo, heavy_hi, heavy_port *)
+  c_fields : Compiled.Packed_array.t;
+      (* per slot: lo, hi, parent_port, heavy_lo, heavy_hi, heavy_port —
+         DFS numbers and ports both fit a few bits-per-field at scale, so
+         the stride-6 block bit-packs under the adaptive policy *)
 }
 
 let compile t =
@@ -344,19 +346,19 @@ let compile t =
     t.nodes;
   {
     c_idx = Compiled.Intmap.of_pairs (Array.mapi (fun i v -> (v, i)) t.member_list);
-    c_fields = fields;
+    c_fields = Compiled.Packed_array.of_array fields;
   }
 
 let step_c c ~at (l : label) =
+  let field = Compiled.Packed_array.get c.c_fields in
   let b = stride * Compiled.Intmap.find c.c_idx at in
-  let lo = c.c_fields.(b) in
+  let lo = field b in
   if l.dfs = lo then `Deliver
-  else if l.dfs < lo || l.dfs > c.c_fields.(b + 1) then
-    `Forward c.c_fields.(b + 2)
+  else if l.dfs < lo || l.dfs > field (b + 1) then `Forward (field (b + 2))
   else begin
-    let heavy_lo = c.c_fields.(b + 3) in
-    if heavy_lo >= 0 && l.dfs >= heavy_lo && l.dfs <= c.c_fields.(b + 4) then
-      `Forward c.c_fields.(b + 5)
+    let heavy_lo = field (b + 3) in
+    if heavy_lo >= 0 && l.dfs >= heavy_lo && l.dfs <= field (b + 4) then
+      `Forward (field (b + 5))
     else begin
       let rec find i =
         if i >= Array.length l.light then

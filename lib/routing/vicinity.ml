@@ -272,8 +272,8 @@ type compiled =
   | CBoxed of {
       c_index : Compiled.Intmap.t; (* member -> position, as [index] *)
       c_source : int;
-      c_members : int array;       (* shared with the interpreted form *)
-      c_first_ports : int array;
+      c_members : Compiled.Packed_array.t;
+      c_first_ports : Compiled.Packed_array.t; (* ceil(log2 maxdeg)-bit ports *)
     }
   | CSlice of family * int
 
@@ -283,8 +283,8 @@ let compile = function
       {
         c_index = Compiled.Intmap.of_pairs (Array.mapi (fun i v -> (v, i)) b.members);
         c_source = b.source;
-        c_members = b.members;
-        c_first_ports = b.first_ports;
+        c_members = Compiled.Packed_array.of_array b.members;
+        c_first_ports = Compiled.Packed_array.of_array b.first_ports;
       }
   | Slice (fam, u) -> CSlice (fam, u)
 
@@ -292,8 +292,9 @@ let first_port_c c v =
   match c with
   | CBoxed c ->
     let i = Compiled.Intmap.find c.c_index v in
-    if c.c_members.(i) = c.c_source then invalid_arg "Vicinity.first_port: source";
-    c.c_first_ports.(i)
+    if Compiled.Packed_array.get c.c_members i = c.c_source then
+      invalid_arg "Vicinity.first_port: source";
+    Compiled.Packed_array.get c.c_first_ports i
   | CSlice (fam, u) ->
     let i = slice_pos fam u v in
     if i < 0 then raise Not_found;
@@ -301,3 +302,96 @@ let first_port_c c v =
     fget fam.f_ports ((u * fam.f_l) + i)
 
 let step_c vicinities ~at ~dst = first_port_c vicinities.(at) dst
+
+(* --- snapshot form ------------------------------------------------------
+
+   A vicinity array freezes to a marshal-safe mirror: boxed vicinities
+   ride the residue wholesale (plain arrays and an (int,int) hashtable),
+   while a packed family's three Bigarray blocks become snapshot blobs
+   referenced by id. Thawing rebuilds each family record once, so every
+   slice of one family shares one block again — and a caller that thaws a
+   vicinity array once and hands it to its sub-structures restores the
+   cross-structure sharing the builder had. *)
+
+type frozen_family = {
+  z_l : int;
+  z_len : int array;
+  z_members : int; (* blob ids *)
+  z_ports : int;
+  z_dists : int;
+  z_radius : float array;
+}
+
+type frozen_entry = ZBoxed of boxed | ZSlice of int * int
+
+type frozen = { z_fams : frozen_family array; z_entries : frozen_entry array }
+
+let freeze sink vics =
+  let fams : (family * int) list ref = ref [] in
+  let zfams = ref [] in
+  let fam_id fam =
+    match List.find_opt (fun (f, _) -> f == fam) !fams with
+    | Some (_, i) -> i
+    | None ->
+      let i = List.length !fams in
+      fams := (fam, i) :: !fams;
+      zfams :=
+        {
+          z_l = fam.f_l;
+          z_len = fam.f_len;
+          z_members = Snapshot.put sink (Snapshot.I32 fam.f_members);
+          z_ports = Snapshot.put sink (Snapshot.I32 fam.f_ports);
+          z_dists = Snapshot.put sink (Snapshot.F64 fam.f_dists);
+          z_radius = fam.f_radius;
+        }
+        :: !zfams;
+      i
+  in
+  let z_entries =
+    Array.map
+      (function
+        | Boxed b -> ZBoxed b
+        | Slice (fam, u) -> ZSlice (fam_id fam, u))
+      vics
+  in
+  { z_fams = Array.of_list (List.rev !zfams); z_entries }
+
+let thaw src z =
+  let fams =
+    Array.map
+      (fun zf ->
+        {
+          f_l = zf.z_l;
+          f_len = zf.z_len;
+          f_members = Snapshot.get_i32 src zf.z_members;
+          f_ports = Snapshot.get_i32 src zf.z_ports;
+          f_dists = Snapshot.get_f64 src zf.z_dists;
+          f_radius = zf.z_radius;
+        })
+      z.z_fams
+  in
+  Array.map
+    (function
+      | ZBoxed b -> Boxed b
+      | ZSlice (fi, u) -> Slice (fams.(fi), u))
+    z.z_entries
+
+let payload_bytes vics =
+  (* Bigarray payload bytes reachable from the array — exactly what
+     [Obj.reachable_words] cannot see. Families are shared across slices;
+     count each once. *)
+  let seen = ref [] in
+  Array.fold_left
+    (fun acc v ->
+      match v with
+      | Boxed _ -> acc
+      | Slice (fam, _) ->
+        if List.exists (fun f -> f == fam) !seen then acc
+        else begin
+          seen := fam :: !seen;
+          acc
+          + Compiled.bigarray_bytes fam.f_members
+          + Compiled.bigarray_bytes fam.f_ports
+          + Compiled.bigarray_bytes fam.f_dists
+        end)
+    0 vics

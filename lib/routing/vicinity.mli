@@ -101,3 +101,22 @@ val first_port_c : compiled -> int -> int
 
 val step_c : compiled array -> at:int -> dst:int -> int
 (** Identical answer to {!step} over compiled vicinities. *)
+
+(** {1 Snapshot form} *)
+
+type frozen
+(** Marshal-safe mirror of a vicinity array: packed-family Bigarray
+    blocks become snapshot blobs, everything else rides the caller's
+    Marshal residue. *)
+
+val freeze : Snapshot.sink -> t array -> frozen
+
+val thaw : Snapshot.source -> frozen -> t array
+(** Rebuilds each packed family once, so slices share one block again.
+    Callers with sub-structures that shared the builder's vicinity array
+    should thaw once and pass the result down, restoring that sharing. *)
+
+val payload_bytes : t array -> int
+(** Bigarray payload bytes reachable from the array (shared families
+    counted once) — the part of the footprint [Obj.reachable_words]
+    cannot see. *)

@@ -49,6 +49,33 @@ expect "stats csv has the route histogram" 0 $?
 "$CLI" throughput -g "$tmp/g.gr" -s tz-k2 --pairs 100 --domains 2 >/dev/null
 expect "throughput identity check (exit 0)" 0 $?
 
+# Snapshot pipeline: compile writes, load validates + pins identity, and
+# damaged files are refused with exit 1 — never loaded.
+"$CLI" compile -g "$tmp/g.gr" --schemes tz-k2,rt-3eps -o "$tmp/snaps" >/dev/null
+expect "compile writes snapshots (exit 0)" 0 $?
+test -f "$tmp/snaps/tz-k2.snap" -a -f "$tmp/snaps/rt-3eps.snap"
+expect "compile produced the .snap files" 0 $?
+
+"$CLI" load -g "$tmp/g.gr" --schemes tz-k2,rt-3eps -d "$tmp/snaps" --pairs 60 >"$tmp/load.out"
+expect "load + identity pin (exit 0)" 0 $?
+grep -q "identity VIOLATED" "$tmp/load.out"
+expect "load reported no identity violation" 1 $?
+
+"$CLI" load -g "$tmp/g.gr" --schemes tz-k2 -d "$tmp/snaps" --no-verify --pairs 20 >/dev/null
+expect "load --no-verify (mmap path, exit 0)" 0 $?
+
+printf 'x' | dd of="$tmp/snaps/tz-k2.snap" bs=1 seek=40 conv=notrunc 2>/dev/null
+"$CLI" load -g "$tmp/g.gr" --schemes tz-k2 -d "$tmp/snaps" --pairs 0 >"$tmp/corrupt.out"
+expect "corrupted snapshot refused (exit 1)" 1 $?
+grep -q "FAILED" "$tmp/corrupt.out"
+expect "corruption reported with a typed error" 0 $?
+
+"$CLI" serve -g "$tmp/g.gr" --snapshot-dir "$tmp/snaps" \
+  --schemes rt-3eps --rate 0 --queries 200 --chunk 32 >"$tmp/warm.out"
+expect "serve --snapshot-dir warm-start (exit 0)" 0 $?
+grep -q "warm-start from" "$tmp/warm.out"
+expect "serve reported the warm-start" 0 $?
+
 "$CLI" serve -g "$tmp/g.gr" --schemes tz-k2,rt-3eps --rate 0 --queries 400 \
   --chunk 32 --churn-every 150 --slo-p99 10000 --slo-rps 1 \
   --csv "$tmp/serve.csv" >"$tmp/serve.out"

@@ -32,4 +32,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("traffic", Test_traffic.suite);
       ("graph-io", Test_graph_io.suite);
+      ("snapshot", Test_snapshot.suite);
     ]

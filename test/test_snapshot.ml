@@ -1,0 +1,435 @@
+(* Binary snapshots: round-trip bit-identity across the whole catalog,
+   typed rejection of damaged / mismatched files, and the succinct plane
+   encodings (Elias-Fano intmaps, bit-packed arrays, branchless
+   lower_bound) pinned against their flat references. *)
+open Util
+open Cr_graph
+open Cr_routing
+open Cr_core
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directory for snapshot files.                              *)
+
+let scratch_dir =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "cr-snap-test-%d" (Unix.getpid ()))
+     in
+     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     let rec nuke d =
+       (try
+          Array.iter
+            (fun f ->
+              let p = Filename.concat d f in
+              if Sys.is_directory p then nuke p
+              else try Sys.remove p with _ -> ())
+            (Sys.readdir d)
+        with _ -> ());
+       try Unix.rmdir d with _ -> ()
+     in
+     at_exit (fun () -> nuke dir);
+     dir)
+
+let fresh_path name =
+  Filename.concat (Lazy.force scratch_dir) (name ^ ".snap")
+
+(* The full observable behaviour of an instance on a graph: the simulated
+   walk, delivery vertex and measured length of every ordered pair. *)
+let route_signature inst g =
+  let n = Graph.n g in
+  let out = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto 0 do
+      if u <> v then begin
+        let o = Scheme.route inst ~src:u ~dst:v in
+        out := (o.Port_model.final, o.Port_model.path, o.Port_model.length) :: !out
+      end
+    done
+  done;
+  !out
+
+let seed = 77
+let eps = 0.5
+
+let save_one ?substrate g (e : Catalog.entry) =
+  let dir = Lazy.force scratch_dir in
+  match Catalog.save_entry ?substrate ~dir ~seed ~eps g e with
+  | Ok path -> path
+  | Error err ->
+    Alcotest.failf "%s: save_entry failed: %s" e.Catalog.id
+      (Snapshot.error_to_string err)
+
+let load_one ?verify ~path g (e : Catalog.entry) =
+  match Catalog.load_entry ?verify ~path ~seed ~eps g e with
+  | Ok r -> r
+  | Error err ->
+    Alcotest.failf "%s: load_entry failed: %s" e.Catalog.id
+      (Snapshot.error_to_string err)
+
+(* ------------------------------------------------------------------ *)
+(* 1. Round-trip bit-identity across the whole catalog.               *)
+
+let test_roundtrip_whole_catalog () =
+  let g = Generators.connect ~seed:31 (Generators.gnp ~seed:501 48 0.12) in
+  let substrate = Substrate.create g in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let fresh, (a0, b0) = e.Catalog.build ~substrate ~seed ~eps g in
+      let path = save_one ~substrate g e in
+      let loaded, (a1, b1) = load_one ~path g e in
+      checkb (e.Catalog.id ^ " alpha") true (a0 = a1);
+      checkb (e.Catalog.id ^ " beta") true (b0 = b1);
+      checkb (e.Catalog.id ^ " routes bit-identical") true
+        (route_signature fresh g = route_signature loaded g))
+    Catalog.all
+
+let test_roundtrip_weighted () =
+  let g =
+    Generators.with_random_weights ~seed:33 ~lo:0.5 ~hi:4.0
+      (Generators.connect ~seed:35 (Generators.gnp ~seed:503 40 0.14))
+  in
+  let substrate = Substrate.create g in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      if e.Catalog.weighted_ok then begin
+        let fresh, _ = e.Catalog.build ~substrate ~seed ~eps g in
+        let path = save_one ~substrate g e in
+        let loaded, _ = load_one ~path g e in
+        checkb (e.Catalog.id ^ " weighted routes bit-identical") true
+          (route_signature fresh g = route_signature loaded g)
+      end)
+    Catalog.all
+
+(* The mmap fast path (per-blob checksums skipped) must decode the same
+   instance as the fully verified path. *)
+let test_roundtrip_no_verify () =
+  let g = Generators.torus 6 6 in
+  let substrate = Substrate.create g in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let fresh, _ = e.Catalog.build ~substrate ~seed ~eps g in
+      let path = save_one ~substrate g e in
+      let loaded, _ = load_one ~verify:false ~path g e in
+      checkb (e.Catalog.id ^ " no-verify routes bit-identical") true
+        (route_signature fresh g = route_signature loaded g))
+    Catalog.all
+
+(* qcheck: on random connected graphs a handful of structurally distinct
+   schemes round-trip bit-identically.  (The whole catalog runs above on
+   fixed graphs; the property keeps the random-graph sweep affordable by
+   sampling one scheme per generated graph.) *)
+let qcheck_roundtrip =
+  let schemes = [| "rt-5eps"; "rt-3eps"; "tz-k2"; "rt-ptr-minus-l2"; "full" |] in
+  qcheck ~count:30 "random graph round-trips bit-identically"
+    QCheck2.Gen.(pair arb_connected_graph (int_range 0 (Array.length schemes - 1)))
+    (fun (g, si) ->
+      let e = Option.get (Catalog.find schemes.(si)) in
+      let fresh, _ = e.Catalog.build ~seed ~eps g in
+      let path = save_one g e in
+      let loaded, _ = load_one ~path g e in
+      route_signature fresh g = route_signature loaded g)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Damaged / mismatched files yield typed errors, never routes.    *)
+
+let entry id = Option.get (Catalog.find id)
+
+let small_graph = lazy (Generators.connect ~seed:9 (Generators.gnp ~seed:91 32 0.18))
+
+let saved_snapshot =
+  lazy
+    (let g = Lazy.force small_graph in
+     let e = entry "tz-k2" in
+     let path = save_one g e in
+     (g, e, path))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  b
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+(* Write a damaged variant of the saved snapshot and return its path. *)
+let damaged name mutate =
+  let _, _, path = Lazy.force saved_snapshot in
+  let b = read_file path in
+  let b = mutate b in
+  let path' = fresh_path name in
+  write_file path' b;
+  path'
+
+let expect_error name path pred =
+  let g, e, _ = Lazy.force saved_snapshot in
+  match Catalog.load_entry ~path ~seed ~eps g e with
+  | Ok _ -> Alcotest.failf "%s: damaged snapshot was accepted" name
+  | Error err ->
+    checkb
+      (Printf.sprintf "%s -> %s" name (Snapshot.error_to_string err))
+      true (pred err)
+
+let test_truncated () =
+  let half = damaged "truncated" (fun b -> Bytes.sub b 0 (Bytes.length b / 2)) in
+  expect_error "truncated" half (function Snapshot.Truncated -> true | _ -> false);
+  (* Cutting even one byte off the tail must be caught. *)
+  let minus1 = damaged "minus1" (fun b -> Bytes.sub b 0 (Bytes.length b - 1)) in
+  expect_error "one byte short" minus1 (function
+    | Snapshot.Truncated | Snapshot.Checksum_mismatch _ -> true
+    | _ -> false)
+
+let test_bad_magic () =
+  let p =
+    damaged "badmagic" (fun b -> Bytes.set b 0 'X'; b)
+  in
+  expect_error "bad magic" p (function Snapshot.Bad_magic -> true | _ -> false)
+
+let test_wrong_version () =
+  (* The version is a little-endian u32 at offset 8, validated before the
+     header checksum so future formats fail with the right error. *)
+  let p =
+    damaged "version99" (fun b -> Bytes.set_int32_le b 8 99l; b)
+  in
+  expect_error "unsupported version" p (function
+    | Snapshot.Unsupported_version 99 -> true
+    | _ -> false)
+
+let test_corrupt_header () =
+  let p =
+    damaged "hdrflip" (fun b ->
+        (* Flip a bit inside the meta block (scheme id / params region),
+           past the prelude so magic and version still parse. *)
+        let off = 24 in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+        b)
+  in
+  expect_error "corrupt header" p (function
+    | Snapshot.Checksum_mismatch _ | Snapshot.Scheme_mismatch _
+    | Snapshot.Malformed _ | Snapshot.Truncated ->
+      true
+    | _ -> false)
+
+let test_corrupt_payload () =
+  (* Flip one bit in the last payload byte: that is the residue (written
+     last), whose checksum is verified before any unmarshalling. *)
+  let p =
+    damaged "payloadflip" (fun b ->
+        let off = Bytes.length b - 1 in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+        b)
+  in
+  expect_error "corrupt residue" p (function
+    | Snapshot.Checksum_mismatch _ -> true
+    | _ -> false)
+
+let test_wrong_graph () =
+  let _, e, path = Lazy.force saved_snapshot in
+  let other = Generators.connect ~seed:10 (Generators.gnp ~seed:92 32 0.18) in
+  (match Catalog.load_entry ~path ~seed ~eps other e with
+  | Ok _ -> Alcotest.fail "snapshot accepted for a different graph"
+  | Error err ->
+    checkb "wrong graph -> Graph_mismatch" true
+      (match err with Snapshot.Graph_mismatch -> true | _ -> false));
+  (* Same n and m but different edges: only the fingerprint can tell. *)
+  let ring rot =
+    Graph.of_edges ~n:8
+      (List.init 8 (fun i -> (i, (i + rot) mod 8, 1.0)))
+  in
+  let ga = ring 1 and gb = ring 3 in
+  let dir2 = Filename.concat (Lazy.force scratch_dir) "ring" in
+  (try Unix.mkdir dir2 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let pa =
+    match Catalog.save_entry ~dir:dir2 ~seed ~eps ga e with
+    | Ok p -> p
+    | Error err -> Alcotest.failf "ring save failed: %s" (Snapshot.error_to_string err)
+  in
+  match Catalog.load_entry ~path:pa ~seed ~eps gb e with
+  | Ok _ -> Alcotest.fail "snapshot accepted for a same-size different graph"
+  | Error err ->
+    checkb "same n,m different edges -> Graph_mismatch" true
+      (match err with Snapshot.Graph_mismatch -> true | _ -> false)
+
+let test_wrong_params () =
+  let g, e, path = Lazy.force saved_snapshot in
+  (match Catalog.load_entry ~path ~seed:(seed + 1) ~eps g e with
+  | Ok _ -> Alcotest.fail "snapshot accepted under a different seed"
+  | Error err ->
+    checkb "wrong seed -> Params_mismatch" true
+      (match err with Snapshot.Params_mismatch _ -> true | _ -> false));
+  match Catalog.load_entry ~path ~seed ~eps:(eps +. 0.25) g e with
+  | Ok _ -> Alcotest.fail "snapshot accepted under a different eps"
+  | Error err ->
+    checkb "wrong eps -> Params_mismatch" true
+      (match err with Snapshot.Params_mismatch _ -> true | _ -> false)
+
+let test_wrong_scheme () =
+  let g, _, path = Lazy.force saved_snapshot in
+  let other = entry "rt-5eps" in
+  match Catalog.load_entry ~path ~seed ~eps g other with
+  | Ok _ -> Alcotest.fail "tz-k2 snapshot accepted as rt-5eps"
+  | Error err ->
+    checkb "wrong scheme -> Scheme_mismatch" true
+      (match err with Snapshot.Scheme_mismatch _ -> true | _ -> false)
+
+let test_load_or_build_fallback () =
+  let g = Lazy.force small_graph in
+  let e = entry "tz-k2" in
+  let dir = Lazy.force scratch_dir in
+  (* Missing file: builds fresh, reports `Built None. *)
+  (try Sys.remove (Catalog.snapshot_path ~dir e) with Sys_error _ -> ());
+  let (inst0, _), how0 = Catalog.load_or_build ~dir ~seed ~eps g e in
+  checkb "missing file -> `Built None" true (how0 = `Built None);
+  (* Saved file: loads, and the instance is bit-identical. *)
+  let _ = save_one g e in
+  let (inst1, _), how1 = Catalog.load_or_build ~dir ~seed ~eps g e in
+  checkb "present file -> `Loaded" true (how1 = `Loaded);
+  checkb "load_or_build routes bit-identical" true
+    (route_signature inst0 g = route_signature inst1 g);
+  (* Corrupt file: falls back to build with the typed error attached. *)
+  let path = Catalog.snapshot_path ~dir e in
+  let b = read_file path in
+  Bytes.set b (Bytes.length b - 1)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) lxor 1));
+  write_file path b;
+  let (inst2, _), how2 = Catalog.load_or_build ~dir ~seed ~eps g e in
+  checkb "corrupt file -> `Built (Some _)" true
+    (match how2 with `Built (Some _) -> true | _ -> false);
+  checkb "fallback routes bit-identical" true
+    (route_signature inst0 g = route_signature inst2 g);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* 3. Succinct planes: Elias-Fano intmaps vs sorted reference.        *)
+
+let with_policy p f =
+  let p0 = Compiled.current_policy () in
+  Compiled.set_policy p;
+  Fun.protect ~finally:(fun () -> Compiled.set_policy p0) f
+
+(* Random strictly-increasing key set with random non-negative values;
+   sized past the Auto floor so the forced-succinct form is the one the
+   adaptive policy would also pick at scale. *)
+let gen_sparse_map =
+  QCheck2.Gen.(
+    let* m = int_range 1 900 in
+    let* gap = int_range 1 50 in
+    let* vspan = int_range 1 (1 lsl 20) in
+    let* gaps = list_repeat m (int_range 1 gap) in
+    let* vals = list_repeat m (int_range 0 vspan) in
+    let keys = Array.make m 0 in
+    let _ =
+      List.fold_left
+        (fun (i, acc) g ->
+          let k = acc + g in
+          keys.(i) <- k;
+          (i + 1, k))
+        (0, -1) gaps
+    in
+    return (keys, Array.of_list vals))
+
+let qcheck_ef_vs_sorted =
+  qcheck ~count:200 "Elias-Fano intmap answers exactly like the sorted form"
+    gen_sparse_map
+    (fun (keys, vals) ->
+      let flat = with_policy `Flat (fun () -> Compiled.Intmap.of_sorted ~keys ~vals) in
+      let succ =
+        with_policy `Succinct (fun () -> Compiled.Intmap.of_sorted ~keys ~vals)
+      in
+      let m = Array.length keys in
+      let hi = keys.(m - 1) + 3 in
+      Compiled.Intmap.cardinal succ = m
+      && (let ok = ref true in
+          for x = -1 to hi do
+            if
+              Compiled.Intmap.find_opt succ x <> Compiled.Intmap.find_opt flat x
+              || Compiled.Intmap.mem succ x <> Compiled.Intmap.mem flat x
+            then ok := false
+          done;
+          !ok))
+
+let qcheck_lower_bound =
+  qcheck ~count:300 "branchless lower_bound matches the linear reference"
+    QCheck2.Gen.(list_size (int_range 0 60) (int_range 0 200))
+    (fun l ->
+      let a = Array.of_list (List.sort_uniq compare l) in
+      let reference x =
+        let n = Array.length a in
+        let i = ref 0 in
+        while !i < n && a.(!i) < x do incr i done;
+        !i
+      in
+      let ok = ref true in
+      for x = -2 to 202 do
+        if Compiled.Intmap.lower_bound a x <> reference x then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* 4. Packed arrays: width boundaries and negative sentinels.         *)
+
+let packed_roundtrip a =
+  let p = with_policy `Succinct (fun () -> Compiled.Packed_array.of_array a) in
+  Compiled.Packed_array.length p = Array.length a
+  && Array.for_all
+       (fun i -> Compiled.Packed_array.get p i = a.(i))
+       (Array.init (Array.length a) Fun.id)
+
+let test_packed_width_boundaries () =
+  (* One array per bit width k: values straddling 2^k - 1 / 2^k, plus the
+     negative-sentinel bias the port planes rely on. *)
+  for k = 0 to 31 do
+    let top = if k = 31 then max_int lsr 1 else (1 lsl k) - 1 in
+    let a =
+      Array.init 80 (fun i ->
+          match i mod 4 with
+          | 0 -> 0
+          | 1 -> top
+          | 2 -> top / 2
+          | _ -> i land top)
+    in
+    checkb (Printf.sprintf "width %d round-trips" k) true (packed_roundtrip a)
+  done;
+  (* Negative sentinels: packed with a base bias, must come back exact. *)
+  checkb "constant array" true (packed_roundtrip (Array.make 100 7));
+  checkb "all -1 sentinels" true (packed_roundtrip (Array.make 100 (-1)));
+  checkb "mixed sentinels" true
+    (packed_roundtrip (Array.init 128 (fun i -> if i land 3 = 0 then -1 else i)));
+  checkb "negative base bias" true
+    (packed_roundtrip (Array.init 90 (fun i -> i - 45)));
+  checkb "empty array" true (packed_roundtrip [||]);
+  checkb "below packing floor" true (packed_roundtrip (Array.init 7 Fun.id))
+
+let qcheck_packed =
+  qcheck ~count:300 "packed array reads back the original values"
+    QCheck2.Gen.(
+      list_size (int_range 0 300)
+        (oneof [ int_range (-4) 4; int_range (-1000) 1000; int_range 0 (1 lsl 30) ]))
+    (fun l -> packed_roundtrip (Array.of_list l))
+
+let suite =
+  [
+    case "round-trip: whole catalog bit-identical" test_roundtrip_whole_catalog;
+    case "round-trip: weighted schemes" test_roundtrip_weighted;
+    case "round-trip: mmap fast path (no per-blob CRC)" test_roundtrip_no_verify;
+    qcheck_roundtrip;
+    case "reject: truncated file" test_truncated;
+    case "reject: bad magic" test_bad_magic;
+    case "reject: unsupported version" test_wrong_version;
+    case "reject: corrupt header" test_corrupt_header;
+    case "reject: corrupt payload" test_corrupt_payload;
+    case "reject: wrong graph" test_wrong_graph;
+    case "reject: wrong seed/eps" test_wrong_params;
+    case "reject: wrong scheme" test_wrong_scheme;
+    case "load_or_build fallback ladder" test_load_or_build_fallback;
+    qcheck_ef_vs_sorted;
+    qcheck_lower_bound;
+    case "packed width boundaries" test_packed_width_boundaries;
+    qcheck_packed;
+  ]
